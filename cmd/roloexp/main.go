@@ -1,0 +1,74 @@
+// Command roloexp regenerates the tables and figures of the RoLo paper's
+// evaluation. With no arguments it lists the available experiments.
+//
+// Usage:
+//
+//	roloexp -run fig10 [-scale 0.1] [-pairs 20]
+//	roloexp -run all
+//	roloexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/rolo-storage/rolo/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roloexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id    = flag.String("run", "", "experiment id to run, or \"all\"")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Float64("scale", 0.1, "geometry+trace scale factor in (0,1]")
+		pairs = flag.Int("pairs", 20, "number of mirrored pairs (disks = 2*pairs)")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\nRun one with: roloexp -run <id> [-scale 0.1] [-pairs 20]")
+		return nil
+	}
+
+	opts := experiments.Options{Scale: *scale, Pairs: *pairs}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+
+	var todo []experiments.Experiment
+	if *id == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.Lookup(*id)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("========================================================================")
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := e.Run(opts, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

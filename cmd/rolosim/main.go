@@ -1,0 +1,137 @@
+// Command rolosim runs a single storage-scheme simulation and prints a
+// report. The workload is either a calibrated MSR profile or a real MSR
+// CSV trace file.
+//
+// Usage:
+//
+//	rolosim -scheme RoLo-P -profile src2_2 -scale 0.05
+//	rolosim -scheme GRAID -trace /path/to/src2_2.csv
+//	rolosim -scheme RoLo-E -profile proj_0 -pairs 10 -free 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rolosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scheme    = flag.String("scheme", "RoLo-P", "scheme: RAID10, GRAID, RoLo-P, RoLo-R, RoLo-E")
+		profile   = flag.String("profile", "src2_2", "calibrated MSR profile name")
+		traceFile = flag.String("trace", "", "MSR CSV trace file (overrides -profile)")
+		scale     = flag.Float64("scale", 0.05, "geometry+trace scale factor in (0,1]")
+		pairs     = flag.Int("pairs", 20, "mirrored pairs (disks = 2*pairs)")
+		freeGiB   = flag.Float64("free", 8, "per-disk free (logging) space in GiB before scaling")
+		stripeKB  = flag.Int64("stripe", 64, "stripe unit in KB")
+	)
+	flag.Parse()
+
+	s, err := rolo.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	cfg := rolo.DefaultConfig(s)
+	cfg.Pairs = *pairs
+	cfg.StripeUnitBytes = *stripeKB << 10
+	cfg.Disk.CapacityBytes = scaleB(18.4*(1<<30), *scale)
+	cfg.FreeBytesPerDisk = scaleB(*freeGiB*(1<<30), *scale)
+	cfg.GRAID.LogCapacityBytes = scaleB(16*(1<<30), *scale)
+
+	var recs []trace.Record
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs, err = trace.ParseMSR(f)
+		if err != nil {
+			return err
+		}
+		// Clamp out-of-volume records rather than failing: real traces
+		// address their original volume.
+		recs = clampToVolume(recs, cfg.VolumeBytes())
+	} else {
+		recs, err = rolo.GenerateProfile(*profile, cfg, *scale)
+		if err != nil {
+			return err
+		}
+	}
+
+	st := trace.Summarize(recs)
+	fmt.Printf("workload: %d requests, %.1f%% writes, %.2f IOPS avg, %.1f KB avg, %.2f GiB written\n",
+		st.Requests, 100*st.WriteRatio, st.IOPS, st.AvgReqBytes/1024, float64(st.WriteBytes)/(1<<30))
+	fmt.Printf("array: %s, %d disks, %.2f GiB/disk (%.2f GiB logging), stripe %d KB\n\n",
+		s, 2**pairs, float64(cfg.Disk.CapacityBytes)/(1<<30),
+		float64(cfg.FreeBytesPerDisk)/(1<<30), *stripeKB)
+
+	rep, err := rolo.Run(cfg, recs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("energy:            %.0f J over %v (%.1f W average)\n",
+		rep.EnergyJ, rep.Horizon, rep.EnergyJ/rep.Horizon.Seconds())
+	fmt.Printf("mean response:     %.3f ms (p95 %.1f, p99 %.1f, max %.1f)\n",
+		rep.MeanResponseMs, rep.P95ResponseMs, rep.P99ResponseMs, rep.MaxResponseMs)
+	fmt.Printf("spin cycles:       %d\n", rep.SpinCycles)
+	if rep.Rotations > 0 {
+		fmt.Printf("logger rotations:  %d\n", rep.Rotations)
+	}
+	if rep.Destages > 0 {
+		fmt.Printf("destages:          %d (interval ratio %.3f, energy ratio %.3f)\n",
+			rep.Destages, rep.DestagingIntervalRatio, rep.DestagingEnergyRatio)
+	}
+	if rep.ReadHitRate > 0 {
+		fmt.Printf("read hit rate:     %.2f%%\n", 100*rep.ReadHitRate)
+	}
+	if rep.DirectWrites > 0 {
+		fmt.Printf("direct writes:     %d\n", rep.DirectWrites)
+	}
+	states := make([]string, 0, len(rep.StateSeconds))
+	for k := range rep.StateSeconds {
+		states = append(states, k)
+	}
+	sort.Strings(states)
+	fmt.Printf("disk-state time:  ")
+	for _, k := range states {
+		fmt.Printf(" %s=%.0fs", k, rep.StateSeconds[k])
+	}
+	fmt.Println()
+	return nil
+}
+
+func scaleB(b, scale float64) int64 {
+	v := int64(b * scale)
+	v -= v % (1 << 20)
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+func clampToVolume(recs []trace.Record, volume int64) []trace.Record {
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Size <= 0 {
+			continue
+		}
+		if r.End() > volume {
+			r.Offset = r.Offset % (volume - r.Size)
+			r.Offset -= r.Offset % 512
+		}
+		out = append(out, r)
+	}
+	return out
+}

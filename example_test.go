@@ -1,0 +1,64 @@
+package rolo_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// ExampleRun simulates RoLo-P against a small synthetic burst workload and
+// prints deterministic counters.
+func ExampleRun() {
+	cfg := rolo.DefaultConfig(rolo.SchemeRoLoP)
+	cfg.Pairs = 4
+	cfg.Disk.CapacityBytes = 1 << 30
+	cfg.FreeBytesPerDisk = 512 << 20
+
+	workload := trace.Synthetic{
+		Duration:    sim.Minute,
+		IOPS:        50,
+		WriteRatio:  1.0,
+		AvgReqBytes: 64 << 10,
+		FixedSize:   true,
+		RandomFrac:  0.7,
+		Seed:        1,
+	}
+	recs, err := workload.Generate(cfg.VolumeBytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rolo.Run(cfg, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheme=%v requests=%d rotations=%d spins=%d\n",
+		rep.Scheme, rep.Requests, rep.Rotations, rep.SpinCycles)
+	// Output:
+	// scheme=RoLo-P requests=3018 rotations=0 spins=0
+}
+
+// ExampleParseScheme resolves scheme names as printed in the paper.
+func ExampleParseScheme() {
+	s, err := rolo.ParseScheme("RoLo-E")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s, int(s) > 0)
+	// Output:
+	// RoLo-E true
+}
+
+// ExampleConfig_VolumeBytes shows how the logical volume follows from the
+// disk capacity, free-space reservation and pair count.
+func ExampleConfig_VolumeBytes() {
+	cfg := rolo.DefaultConfig(rolo.SchemeRAID10)
+	cfg.Pairs = 2
+	cfg.Disk.CapacityBytes = 1 << 30
+	cfg.FreeBytesPerDisk = 256 << 20
+	fmt.Println(cfg.VolumeBytes() == 2*(1<<30-256<<20))
+	// Output:
+	// true
+}

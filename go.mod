@@ -1,0 +1,3 @@
+module github.com/rolo-storage/rolo
+
+go 1.22

@@ -1,0 +1,135 @@
+package array
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// echoController submits a single disk IO per record so Replay exercises
+// the full loop.
+type echoController struct {
+	a    *Array
+	fail error
+}
+
+func (c *echoController) Submit(rec trace.Record) error {
+	if c.fail != nil {
+		return c.fail
+	}
+	return c.a.Primaries[0].Submit(c.a.DataIO(rec.Offset%(1<<20), rec.Size, rec.Op == trace.Write, false))
+}
+
+func (c *echoController) Close(sim.Time) {}
+
+func TestReplayEndToEnd(t *testing.T) {
+	a, eng := testArray(t, 1, 0)
+	ctrl := &echoController{a: a}
+	recs := []trace.Record{
+		{At: 0, Op: trace.Write, Offset: 0, Size: 4096},
+		{At: sim.Second, Op: trace.Read, Offset: 8192, Size: 4096},
+		{At: 2 * sim.Second, Op: trace.Write, Offset: 16384, Size: 4096},
+	}
+	res, err := Replay(eng, a, ctrl, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Horizon != 2*sim.Second {
+		t.Fatalf("horizon = %v", res.Horizon)
+	}
+	if res.DrainedAt < res.Horizon {
+		t.Fatalf("drained %v before horizon", res.DrainedAt)
+	}
+	if res.EnergyAtHorizonJ <= 0 {
+		t.Fatalf("energy at horizon = %g", res.EnergyAtHorizonJ)
+	}
+	// Energy keeps accruing after the horizon while work drains.
+	if total := a.TotalEnergyJ(); total < res.EnergyAtHorizonJ {
+		t.Fatalf("total energy %g below horizon snapshot %g", total, res.EnergyAtHorizonJ)
+	}
+	if a.TotalSpinCycles() != 0 {
+		t.Fatal("unexpected spin cycles")
+	}
+}
+
+func TestReplayPropagatesSubmitError(t *testing.T) {
+	a, eng := testArray(t, 1, 0)
+	sentinel := errors.New("boom")
+	ctrl := &echoController{a: a, fail: sentinel}
+	recs := []trace.Record{{At: 0, Op: trace.Write, Offset: 0, Size: 4096}}
+	if _, err := Replay(eng, a, ctrl, recs); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestReplayStopsAfterFirstError(t *testing.T) {
+	a, eng := testArray(t, 1, 0)
+	calls := 0
+	ctrl := &funcController{fn: func(trace.Record) error {
+		calls++
+		if calls == 2 {
+			return errors.New("second record fails")
+		}
+		return nil
+	}}
+	recs := []trace.Record{
+		{At: 0, Op: trace.Write, Offset: 0, Size: 4096},
+		{At: 1, Op: trace.Write, Offset: 0, Size: 4096},
+		{At: 2, Op: trace.Write, Offset: 0, Size: 4096},
+	}
+	if _, err := Replay(eng, a, ctrl, recs); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if calls > 2 {
+		t.Fatalf("submissions continued after failure: %d calls", calls)
+	}
+}
+
+type funcController struct {
+	fn func(trace.Record) error
+}
+
+func (c *funcController) Submit(rec trace.Record) error { return c.fn(rec) }
+func (c *funcController) Close(sim.Time)                {}
+
+func TestCopierRunningAndErr(t *testing.T) {
+	a, eng := testArray(t, 1, 0)
+	var work intervals.Set
+	work.Add(0, 1<<20)
+	cp := NewCopier(eng, a.Primaries[0], []*disk.Disk{a.Mirrors[0]}, &work, 256<<10,
+		func(sp intervals.Span) *disk.IO { return a.DataIO(sp.Start, sp.Len(), false, true) },
+		func(sp intervals.Span) *disk.IO { return a.DataIO(sp.Start, sp.Len(), true, true) },
+	)
+	if cp.Running() {
+		t.Fatal("copier running before Kick")
+	}
+	cp.Kick()
+	if !cp.Running() {
+		t.Fatal("copier not running after Kick")
+	}
+	eng.Run()
+	if cp.Running() {
+		t.Fatal("copier still running after drain")
+	}
+	if cp.Err() != nil {
+		t.Fatal(cp.Err())
+	}
+	// A translator producing out-of-range IOs surfaces through Err.
+	var badWork intervals.Set
+	badWork.Add(0, 1<<20)
+	bad := NewCopier(eng, a.Primaries[0], []*disk.Disk{a.Mirrors[0]}, &badWork, 256<<10,
+		func(sp intervals.Span) *disk.IO {
+			return &disk.IO{LBA: -1, Sectors: 1, Background: true}
+		},
+		func(sp intervals.Span) *disk.IO { return a.DataIO(sp.Start, sp.Len(), true, true) },
+	)
+	bad.Kick()
+	eng.Run()
+	if bad.Err() == nil {
+		t.Fatal("bad addressing not surfaced")
+	}
+}

@@ -1,0 +1,112 @@
+// Package cache implements a block-granular LRU cache. Controllers use it
+// for the RAM read cache and RoLo-E uses it to manage the popular-block
+// read cache kept in the on-duty logging space.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// LRU is a fixed-capacity least-recently-used set of block keys. The zero
+// value is unusable; construct with NewLRU. It is not safe for concurrent
+// use (the simulator is single-threaded by design).
+type LRU struct {
+	capacity int
+	ll       *list.List
+	index    map[int64]*list.Element
+
+	hits, misses int64
+}
+
+// NewLRU returns a cache holding at most capacity blocks. A capacity of 0
+// produces a cache that never hits.
+func NewLRU(capacity int) (*LRU, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[int64]*list.Element),
+	}, nil
+}
+
+// Len returns the number of cached blocks.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Cap returns the configured capacity.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Contains reports membership without updating recency or counters.
+func (c *LRU) Contains(key int64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Get reports whether key is cached, marking it most recently used and
+// updating hit/miss counters.
+func (c *LRU) Get(key int64) bool {
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return true
+}
+
+// Put inserts key as most recently used, evicting the least recently used
+// block if the cache is full. It returns the evicted key and whether an
+// eviction happened.
+func (c *LRU) Put(key int64) (evicted int64, didEvict bool) {
+	if c.capacity == 0 {
+		return 0, false
+	}
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		return 0, false
+	}
+	c.index[key] = c.ll.PushFront(key)
+	if c.ll.Len() <= c.capacity {
+		return 0, false
+	}
+	tail := c.ll.Back()
+	c.ll.Remove(tail)
+	key = tail.Value.(int64)
+	delete(c.index, key)
+	return key, true
+}
+
+// Remove deletes key if present and reports whether it was cached.
+func (c *LRU) Remove(key int64) bool {
+	el, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.index, key)
+	return true
+}
+
+// Clear drops all entries but keeps hit/miss counters.
+func (c *LRU) Clear() {
+	c.ll.Init()
+	c.index = make(map[int64]*list.Element)
+}
+
+// Hits returns the number of Get calls that found their key.
+func (c *LRU) Hits() int64 { return c.hits }
+
+// Misses returns the number of Get calls that missed.
+func (c *LRU) Misses() int64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any Get.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

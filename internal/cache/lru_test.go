@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustLRU(t *testing.T, cap int) *LRU {
+	t.Helper()
+	c, err := NewLRU(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewLRUNegative(t *testing.T) {
+	if _, err := NewLRU(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := mustLRU(t, 2)
+	if c.Get(1) {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1)
+	if !c.Get(1) {
+		t.Fatal("miss after Put")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %g, want 0.5", c.HitRate())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := mustLRU(t, 2)
+	c.Put(1)
+	c.Put(2)
+	if ev, did := c.Put(3); !did || ev != 1 {
+		t.Fatalf("Put(3) evicted (%d,%v), want (1,true)", ev, did)
+	}
+	if c.Contains(1) || !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("wrong residents after eviction")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := mustLRU(t, 2)
+	c.Put(1)
+	c.Put(2)
+	c.Get(1) // 1 becomes MRU; 2 is now LRU
+	if ev, did := c.Put(3); !did || ev != 2 {
+		t.Fatalf("Put(3) evicted (%d,%v), want (2,true)", ev, did)
+	}
+}
+
+func TestPutExistingRefreshes(t *testing.T) {
+	c := mustLRU(t, 2)
+	c.Put(1)
+	c.Put(2)
+	c.Put(1) // refresh, no eviction
+	if ev, did := c.Put(3); !did || ev != 2 {
+		t.Fatalf("Put(3) evicted (%d,%v), want (2,true)", ev, did)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestZeroCapacityNeverHits(t *testing.T) {
+	c := mustLRU(t, 0)
+	c.Put(1)
+	if c.Get(1) {
+		t.Fatal("zero-capacity cache hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := mustLRU(t, 3)
+	c.Put(1)
+	if !c.Remove(1) {
+		t.Fatal("Remove existing returned false")
+	}
+	if c.Remove(1) {
+		t.Fatal("Remove missing returned true")
+	}
+	if c.Contains(1) {
+		t.Fatal("removed key still present")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := mustLRU(t, 3)
+	c.Put(1)
+	c.Put(2)
+	c.Get(1)
+	c.Clear()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Fatal("Clear left entries")
+	}
+	if c.Hits() != 1 {
+		t.Fatal("Clear reset counters")
+	}
+}
+
+// Property: the cache never exceeds capacity and membership matches a naive
+// model under random operations.
+func TestQuickMatchesNaiveModel(t *testing.T) {
+	f := func(seed int64, capRaw, steps uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c, err := NewLRU(capacity)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Naive model: slice ordered MRU-first.
+		var model []int64
+		find := func(k int64) int {
+			for i, v := range model {
+				if v == k {
+					return i
+				}
+			}
+			return -1
+		}
+		for i := 0; i < int(steps); i++ {
+			k := rng.Int63n(24)
+			switch rng.Intn(3) {
+			case 0: // Put
+				c.Put(k)
+				if i := find(k); i >= 0 {
+					model = append(model[:i], model[i+1:]...)
+				}
+				model = append([]int64{k}, model...)
+				if len(model) > capacity {
+					model = model[:capacity]
+				}
+			case 1: // Get
+				got := c.Get(k)
+				idx := find(k)
+				if got != (idx >= 0) {
+					return false
+				}
+				if idx >= 0 {
+					model = append(model[:idx], model[idx+1:]...)
+					model = append([]int64{k}, model...)
+				}
+			case 2: // Remove
+				got := c.Remove(k)
+				idx := find(k)
+				if got != (idx >= 0) {
+					return false
+				}
+				if idx >= 0 {
+					model = append(model[:idx], model[idx+1:]...)
+				}
+			}
+			if c.Len() != len(model) || c.Len() > capacity {
+				return false
+			}
+		}
+		for _, k := range model {
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLRUGetPut(b *testing.B) {
+	c, err := NewLRU(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := rng.Int63n(4096)
+		if !c.Get(k) {
+			c.Put(k)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+func TestMultiLoggerValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OnDutyLoggers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative logger count accepted")
+	}
+	a, _ := testArray(t, 4)
+	cfg = DefaultConfig()
+	cfg.OnDutyLoggers = 4 // no pair left to rotate to
+	if _, err := New(a, FlavorP, cfg); err == nil {
+		t.Error("logger count == pairs accepted")
+	}
+}
+
+func TestMultiLoggerInitialStates(t *testing.T) {
+	a, _ := testArray(t, 4)
+	cfg := scaledConfig()
+	cfg.OnDutyLoggers = 2
+	r, err := New(a, FlavorP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty := r.OnDutyLoggers()
+	if len(duty) != 2 {
+		t.Fatalf("on-duty set = %v, want 2 loggers", duty)
+	}
+	for _, i := range duty {
+		if a.Mirrors[i].State() != disk.Idle {
+			t.Fatalf("on-duty mirror %d state = %v", i, a.Mirrors[i].State())
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if a.Mirrors[i].State() != disk.Standby {
+			t.Fatalf("off-duty mirror %d state = %v", i, a.Mirrors[i].State())
+		}
+	}
+}
+
+func TestMultiLoggerSharesLogTraffic(t *testing.T) {
+	a, eng := testArray(t, 4)
+	cfg := scaledConfig()
+	cfg.OnDutyLoggers = 2
+	r, err := New(a, FlavorP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := writeRecs(256, 64<<10, 10*sim.Millisecond)
+	replay(t, eng, a, r, recs)
+	if err := r.CheckErr(); err != nil {
+		t.Fatal(err)
+	}
+	w0 := a.Mirrors[0].Stats().BytesWritten
+	w1 := a.Mirrors[1].Stats().BytesWritten
+	if w0 == 0 || w1 == 0 {
+		t.Fatalf("log traffic not shared: %d / %d", w0, w1)
+	}
+	// Emptiest-first placement keeps the two loggers roughly balanced.
+	ratio := float64(w0) / float64(w1)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("log balance ratio = %.2f (w0=%d w1=%d)", ratio, w0, w1)
+	}
+}
+
+func TestMultiLoggerRotatesIndependently(t *testing.T) {
+	a, eng := testArray(t, 4)
+	cfg := scaledConfig()
+	cfg.OnDutyLoggers = 2
+	r, err := New(a, FlavorP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough volume to force rotations of the shared pool
+	// (2 loggers x 64 MB).
+	recs := writeRecs(4800, 64<<10, 15*sim.Millisecond)
+	replay(t, eng, a, r, recs)
+	if err := r.CheckErr(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rotations() < 2 {
+		t.Fatalf("rotations = %d, want >= 2", r.Rotations())
+	}
+	duty := r.OnDutyLoggers()
+	if len(duty) != 2 {
+		t.Fatalf("on-duty set shrank to %v", duty)
+	}
+	if duty[0] == duty[1] {
+		t.Fatalf("duplicate on-duty logger: %v", duty)
+	}
+}
+
+func TestMultiLoggerFailureShrinksAndRefills(t *testing.T) {
+	a, eng := testArray(t, 4)
+	cfg := scaledConfig()
+	cfg.OnDutyLoggers = 2
+	r, err := New(a, FlavorP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := writeRecs(32, 64<<10, 10*sim.Millisecond)
+	replay(t, eng, a, r, recs)
+	victim := r.OnDutyLoggers()[0]
+	plan, err := r.FailMirror(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NewOnDuty < 0 {
+		t.Fatalf("no successor: %+v", plan)
+	}
+	duty := r.OnDutyLoggers()
+	if len(duty) != 2 {
+		t.Fatalf("on-duty set = %v after failover, want 2", duty)
+	}
+	for _, d := range duty {
+		if d == victim {
+			t.Fatalf("failed logger still on duty: %v", duty)
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rolo-storage/rolo/internal/array"
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// This file implements Section III-C of the paper: disk failure recovery.
+// When a disk fails, only the disks essential for data recovery are spun
+// up; the failure of an on-duty logger triggers an immediate rotation so
+// the logging service never stops (Section III-D's "elimination of single
+// point of failure").
+
+// RecoveryPlan describes the actions taken on a failure.
+type RecoveryPlan struct {
+	// Failed names the failed disk ("P3", "M0").
+	Failed string
+	// SpunUp lists the mirror indices that were woken for recovery
+	// (disks already spinning are not listed).
+	SpunUp []int
+	// LogSourceLoggers lists loggers holding live log extents needed to
+	// reconstruct recent writes of the failed disk's pair.
+	LogSourceLoggers []int
+	// RebuildBytes is the data-region volume to copy onto the
+	// replacement (the pair's data region plus unreclaimed log extents).
+	RebuildBytes int64
+	// NewOnDuty is the logger that took over if the on-duty logger
+	// failed, else -1.
+	NewOnDuty int
+}
+
+// FailMirror simulates the failure of mirror m. If m is on duty, the
+// logger rotates to the best candidate immediately; the recovery source is
+// the pair's primary, which is always spinning in RoLo-P/R.
+func (r *RoLo) FailMirror(m int) (RecoveryPlan, error) {
+	if m < 0 || m >= r.arr.Geom.Pairs {
+		return RecoveryPlan{}, fmt.Errorf("%v: mirror %d outside [0,%d)", r.flavor, m, r.arr.Geom.Pairs)
+	}
+	d := r.arr.Mirrors[m]
+	if d.Failed() {
+		return RecoveryPlan{}, fmt.Errorf("%v: mirror %d already failed", r.flavor, m)
+	}
+	d.Fail()
+	plan := RecoveryPlan{Failed: fmt.Sprintf("M%d", m), NewOnDuty: -1}
+
+	if r.destageLive[m] {
+		// The destage writing to this mirror can no longer proceed; its
+		// dirty spans survive and will be rebuilt onto the replacement.
+		r.destageLive[m] = false
+	}
+	if r.isOnDuty(m) {
+		// Non-interrupted logging: hand duty to the next logger at once.
+		// Log extents on the failed mirror are gone; the data they
+		// protected is still safe on the primaries, so the corresponding
+		// pairs simply stay dirty until their next destage.
+		r.spaces[m].Reset()
+		slot := 0
+		for i, d := range r.onDuty {
+			if d == m {
+				slot = i
+			}
+		}
+		next := r.pickNext()
+		if next < 0 {
+			// Every viable logger is nearly full: shrink the on-duty set
+			// (writes take the direct path if it empties).
+			r.onDuty = append(r.onDuty[:slot], r.onDuty[slot+1:]...)
+		} else {
+			if r.arr.Mirrors[next].State() == disk.Standby {
+				_ = r.arr.Mirrors[next].SpinUp()
+				plan.SpunUp = append(plan.SpunUp, next)
+			}
+			r.onDuty[slot] = next
+			r.spinningUp = -1
+			r.rotations++
+			r.startDestage(next)
+			plan.NewOnDuty = next
+		}
+	}
+	// Rebuild: the replacement mirror is reconstructed from its primary
+	// (data region) — the primary is ACTIVE already, so nothing else is
+	// woken.
+	plan.RebuildBytes = r.arr.Geom.DataBytesPerDisk
+	return plan, nil
+}
+
+// FailPrimary simulates the failure of primary p. Its mirror wakes
+// "silently"; in addition, every off-duty logger still holding live log
+// extents for pair p wakes, because the mirror's data region is stale for
+// exactly those extents (the paper: "awaken several other mirrored disks,
+// which are the on-duty log disks during the previous several logging
+// periods").
+func (r *RoLo) FailPrimary(p int) (RecoveryPlan, error) {
+	if p < 0 || p >= r.arr.Geom.Pairs {
+		return RecoveryPlan{}, fmt.Errorf("%v: primary %d outside [0,%d)", r.flavor, p, r.arr.Geom.Pairs)
+	}
+	d := r.arr.Primaries[p]
+	if d.Failed() {
+		return RecoveryPlan{}, fmt.Errorf("%v: primary %d already failed", r.flavor, p)
+	}
+	d.Fail()
+	plan := RecoveryPlan{Failed: fmt.Sprintf("P%d", p), NewOnDuty: -1}
+
+	// A destage sourced from this primary cannot continue.
+	if r.destageLive[p] {
+		r.destageLive[p] = false
+	}
+	// Wake the pair's own mirror.
+	if r.arr.Mirrors[p].State() == disk.Standby {
+		_ = r.arr.Mirrors[p].SpinUp()
+		plan.SpunUp = append(plan.SpunUp, p)
+	}
+	// Wake every logger holding live extents for pair p.
+	for i, sp := range r.spaces {
+		if sp.TagBytes(p) == 0 {
+			continue
+		}
+		plan.LogSourceLoggers = append(plan.LogSourceLoggers, i)
+		if r.arr.Mirrors[i].State() == disk.Standby && !r.arr.Mirrors[i].Failed() {
+			_ = r.arr.Mirrors[i].SpinUp()
+			plan.SpunUp = append(plan.SpunUp, i)
+		}
+	}
+	var logBytes int64
+	for _, i := range plan.LogSourceLoggers {
+		logBytes += r.spaces[i].TagBytes(p)
+	}
+	plan.RebuildBytes = r.arr.Geom.DataBytesPerDisk + logBytes
+	return plan, nil
+}
+
+// Rebuild replaces the failed disk of pair p and copies its contents back
+// at background priority: the mirror is rebuilt from the primary (or vice
+// versa), plus any live log extents for the pair. It returns a completion
+// hook via done.
+func (r *RoLo) Rebuild(p int, mirrorFailed bool, done func(now sim.Time)) error {
+	var failed, src *disk.Disk
+	if mirrorFailed {
+		failed, src = r.arr.Mirrors[p], r.arr.Primaries[p]
+	} else {
+		failed, src = r.arr.Primaries[p], r.arr.Mirrors[p]
+	}
+	if !failed.Failed() {
+		return fmt.Errorf("%v: pair %d: disk is healthy", r.flavor, p)
+	}
+	if src.Failed() {
+		return fmt.Errorf("%v: pair %d: both disks failed — data loss", r.flavor, p)
+	}
+	if err := failed.Replace(); err != nil {
+		return err
+	}
+	work := &intervals.Set{}
+	work.Add(0, r.arr.Geom.DataBytesPerDisk)
+	cp := array.NewCopier(r.arr.Eng, src, []*disk.Disk{failed}, work,
+		r.cfg.DestageChunkBytes,
+		func(sp intervals.Span) *disk.IO { return r.arr.DataIO(sp.Start, sp.Len(), false, true) },
+		func(sp intervals.Span) *disk.IO { return r.arr.DataIO(sp.Start, sp.Len(), true, true) },
+	)
+	fired := false
+	cp.OnDrained = func(at sim.Time) {
+		if fired {
+			return
+		}
+		fired = true
+		// The rebuilt mirror is current: its pair is clean and any log
+		// extents for it are stale.
+		if mirrorFailed {
+			r.dirty[p].Clear()
+			for _, sp := range r.spaces {
+				sp.ReleaseTag(p)
+			}
+		}
+		if done != nil {
+			done(at)
+		}
+	}
+	cp.Kick()
+	return nil
+}
+
+// degradedSubmit reissues a write pair-by-pair when some disks have
+// failed: surviving copies are still written. Used by Submit when the
+// normal path hits ErrFailed.
+func (r *RoLo) submitSurviving(ios []targetIO, record func(sim.Time)) error {
+	live := make([]targetIO, 0, len(ios))
+	for _, t := range ios {
+		if !t.disk.Failed() {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("%v: no surviving copy target", r.flavor)
+	}
+	join := array.NewJoin(len(live), record)
+	for _, t := range live {
+		t.io.OnDone = join.Done
+		if err := t.disk.Submit(t.io); err != nil {
+			return fmt.Errorf("%v: degraded submit: %w", r.flavor, err)
+		}
+	}
+	return nil
+}
+
+// targetIO pairs an IO with its destination disk.
+type targetIO struct {
+	disk *disk.Disk
+	io   *disk.IO
+}

@@ -1,0 +1,549 @@
+// Package core implements the RoLo rotated-logging architecture — the
+// primary contribution of the paper. RoLo pools the free space of the
+// mirrored disks into a rotating logical logging space: one mirror
+// (RoLo-P) or one mirrored pair (RoLo-R) serves as the on-duty logger while
+// off-duty mirrors sleep. Each rotation triggers a decentralized destage
+// for the newly on-duty pair, executed at background priority in the idle
+// time slots between foreground requests; completed destages invalidate the
+// corresponding log extents on every logger, proactively reclaiming space
+// so the logger can rotate indefinitely. RoLo-E (see roloe.go) instead
+// spins everything down except one on-duty pair that absorbs all writes and
+// caches popular reads.
+package core
+
+import (
+	"fmt"
+
+	"github.com/rolo-storage/rolo/internal/array"
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/logspace"
+	"github.com/rolo-storage/rolo/internal/metrics"
+	"github.com/rolo-storage/rolo/internal/raid"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// Flavor selects the RoLo variant.
+type Flavor int
+
+// The three RoLo flavors from Section III-B of the paper.
+const (
+	FlavorP Flavor = iota + 1 // performance-oriented: one mirror logs, 2 copies
+	FlavorR                   // reliability-oriented: one pair logs, 3 copies
+	FlavorE                   // energy-oriented: one pair up, everything else asleep
+)
+
+// String returns the flavor name.
+func (f Flavor) String() string {
+	switch f {
+	case FlavorP:
+		return "RoLo-P"
+	case FlavorR:
+		return "RoLo-R"
+	case FlavorE:
+		return "RoLo-E"
+	default:
+		return fmt.Sprintf("Flavor(%d)", int(f))
+	}
+}
+
+// Config parameterizes the RoLo controllers.
+type Config struct {
+	// RotateFreeFraction rotates the logger when its free fraction drops
+	// below this value.
+	RotateFreeFraction float64
+	// SpinUpLeadFreeFraction starts spinning up the next logger when the
+	// on-duty free fraction drops below this value, hiding the ~11 s
+	// spin-up latency.
+	SpinUpLeadFreeFraction float64
+	// DeactivateFreeFraction: if every logger's free fraction is below
+	// this, RoLo is deactivated for the request and writes go directly to
+	// the mirrors (Section III-E's 5% rule).
+	DeactivateFreeFraction float64
+	// DestageChunkBytes caps each background destage copy I/O.
+	DestageChunkBytes int64
+	// SpinDownRetry is the retry interval for deferred spin-downs.
+	SpinDownRetry sim.Time
+	// OnDutyLoggers is how many mirrors serve as on-duty loggers at once
+	// (Section III-D: "one or a few mirrored disks take turns"). More
+	// loggers raise log bandwidth at the cost of more spinning disks.
+	// Zero means one.
+	OnDutyLoggers int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		RotateFreeFraction:     0.10,
+		SpinUpLeadFreeFraction: 0.20,
+		DeactivateFreeFraction: 0.05,
+		DestageChunkBytes:      256 << 10,
+		SpinDownRetry:          sim.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.RotateFreeFraction <= 0 || c.RotateFreeFraction >= 1:
+		return fmt.Errorf("core: rotate threshold %g outside (0,1)", c.RotateFreeFraction)
+	case c.SpinUpLeadFreeFraction < c.RotateFreeFraction || c.SpinUpLeadFreeFraction >= 1:
+		return fmt.Errorf("core: spin-up lead %g must be in [rotate threshold, 1)", c.SpinUpLeadFreeFraction)
+	case c.DeactivateFreeFraction < 0 || c.DeactivateFreeFraction > c.RotateFreeFraction:
+		return fmt.Errorf("core: deactivate threshold %g outside [0, rotate threshold]", c.DeactivateFreeFraction)
+	case c.DestageChunkBytes <= 0:
+		return fmt.Errorf("core: non-positive destage chunk %d", c.DestageChunkBytes)
+	case c.SpinDownRetry <= 0:
+		return fmt.Errorf("core: non-positive spin-down retry %v", c.SpinDownRetry)
+	case c.OnDutyLoggers < 0:
+		return fmt.Errorf("core: negative on-duty logger count %d", c.OnDutyLoggers)
+	}
+	return nil
+}
+
+// loggers returns the effective on-duty logger count.
+func (c Config) loggers() int {
+	if c.OnDutyLoggers <= 0 {
+		return 1
+	}
+	return c.OnDutyLoggers
+}
+
+// RoLo is the RoLo-P / RoLo-R controller.
+type RoLo struct {
+	arr    *array.Array
+	cfg    Config
+	flavor Flavor
+
+	// spaces[i] tracks logger space per mirror (P) or per pair (R; the
+	// pair's two disks hold identical log contents, so one allocator
+	// covers both).
+	spaces []*logspace.Space
+	// dirty[p] is the set of pair-p data-region spans whose mirror copy
+	// is stale. It doubles as the destage work queue for pair p.
+	dirty []intervals.Set
+
+	onDuty      []int           // on-duty logger indices (usually one)
+	spinningUp  int             // logger index being woken ahead of rotation, or -1
+	destagers   []*array.Copier // per pair; nil when no destage ever started
+	destageLive []bool          // destage in progress for pair p
+
+	resp metrics.ResponseStats
+
+	rotations    int
+	directWrites int // writes that bypassed logging (deactivation fallback)
+	closed       bool
+}
+
+var _ array.Controller = (*RoLo)(nil)
+
+// New builds a RoLo-P or RoLo-R controller over the array. Logger 0 starts
+// on duty; all other mirrors are placed in Standby. The per-logger space
+// is the array's per-disk logging region.
+func New(arr *array.Array, flavor Flavor, cfg Config) (*RoLo, error) {
+	if flavor != FlavorP && flavor != FlavorR {
+		return nil, fmt.Errorf("core: New handles RoLo-P/R; use NewE for %v", flavor)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arr.LogRegionBytes() <= 0 {
+		return nil, fmt.Errorf("core: array has no logging region (disk %d bytes, data %d bytes)",
+			arr.DiskCfg.CapacityBytes, arr.Geom.DataBytesPerDisk)
+	}
+	if arr.Geom.Pairs < 2 {
+		return nil, fmt.Errorf("core: rotation needs >= 2 pairs, have %d", arr.Geom.Pairs)
+	}
+	if cfg.loggers() >= arr.Geom.Pairs {
+		return nil, fmt.Errorf("core: %d on-duty loggers need at least %d pairs for rotation",
+			cfg.loggers(), cfg.loggers()+1)
+	}
+	r := &RoLo{
+		arr:         arr,
+		cfg:         cfg,
+		flavor:      flavor,
+		spaces:      make([]*logspace.Space, arr.Geom.Pairs),
+		dirty:       make([]intervals.Set, arr.Geom.Pairs),
+		destagers:   make([]*array.Copier, arr.Geom.Pairs),
+		destageLive: make([]bool, arr.Geom.Pairs),
+		spinningUp:  -1,
+	}
+	for i := 0; i < cfg.loggers(); i++ {
+		r.onDuty = append(r.onDuty, i)
+	}
+	for i := range r.spaces {
+		sp, err := logspace.New(arr.LogRegionBytes())
+		if err != nil {
+			return nil, err
+		}
+		r.spaces[i] = sp
+	}
+	for i, m := range arr.Mirrors {
+		if r.isOnDuty(i) {
+			continue
+		}
+		if err := m.ForceState(disk.Standby); err != nil {
+			return nil, fmt.Errorf("core: init mirror %d: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// isOnDuty reports whether logger i is currently on duty.
+func (r *RoLo) isOnDuty(i int) bool {
+	for _, d := range r.onDuty {
+		if d == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Responses returns response-time statistics.
+func (r *RoLo) Responses() *metrics.ResponseStats { return &r.resp }
+
+// Rotations returns the number of logger rotations performed.
+func (r *RoLo) Rotations() int { return r.rotations }
+
+// DirectWrites returns how many writes bypassed logging because every
+// logger was (nearly) full.
+func (r *RoLo) DirectWrites() int { return r.directWrites }
+
+// OnDuty returns the first on-duty logger index, or -1 when logging is
+// deactivated.
+func (r *RoLo) OnDuty() int {
+	if len(r.onDuty) == 0 {
+		return -1
+	}
+	return r.onDuty[0]
+}
+
+// OnDutyLoggers returns a copy of the on-duty logger indices.
+func (r *RoLo) OnDutyLoggers() []int {
+	out := make([]int, len(r.onDuty))
+	copy(out, r.onDuty)
+	return out
+}
+
+// DirtyBytes returns the total stale bytes awaiting destage.
+func (r *RoLo) DirtyBytes() int64 {
+	var t int64
+	for i := range r.dirty {
+		t += r.dirty[i].Total()
+	}
+	return t
+}
+
+// Submit implements array.Controller.
+func (r *RoLo) Submit(rec trace.Record) error {
+	exts, err := r.arr.Geom.Map(rec.Offset, rec.Size)
+	if err != nil {
+		return fmt.Errorf("%v: %w", r.flavor, err)
+	}
+	arrive := rec.At
+	record := func(now sim.Time) { r.resp.Add(now - arrive) }
+	if rec.Op == trace.Read {
+		join := array.NewJoin(len(exts), record)
+		for _, e := range exts {
+			io := r.arr.DataIO(e.Offset, e.Length, false, false)
+			io.OnDone = join.Done
+			// Primaries are always spinning in RoLo-P/R; mirrors are
+			// mostly asleep or stale, so reads go to the primary. A
+			// failed primary degrades to its mirror, which wakes
+			// "silently" (Section III-C).
+			target := r.arr.Primaries[e.Pair]
+			if target.Failed() {
+				target = r.arr.Mirrors[e.Pair]
+			}
+			if err := target.Submit(io); err != nil {
+				return fmt.Errorf("%v: read: %w", r.flavor, err)
+			}
+		}
+		return nil
+	}
+
+	// Write path: one copy to the primary's data region, plus one (P) or
+	// two (R) sequential copies into an on-duty logging space.
+	if len(r.onDuty) == 0 {
+		// Logging deactivated (on-duty failure with no viable successor).
+		err := r.directWrite(exts, record)
+		r.reactivate()
+		return err
+	}
+	logCopies := 1
+	if r.flavor == FlavorR {
+		logCopies = 2
+	}
+	type placed struct {
+		alloc  logspace.Alloc
+		logger int
+	}
+	allocs := make([]placed, 0, len(exts))
+	allOK := true
+	for _, e := range exts {
+		lg, a, ok := r.allocOnDuty(e.Length, e.Pair)
+		if !ok {
+			allOK = false
+			break
+		}
+		allocs = append(allocs, placed{alloc: a, logger: lg})
+	}
+	if !allOK {
+		// Partial allocations stay tagged and are reclaimed with their
+		// pair's next destage; they only waste a little space. Fall back
+		// to direct mirrored writes for the whole request, and push the
+		// rotation machinery so the logger moves on.
+		err := r.directWrite(exts, record)
+		r.checkRotation()
+		return err
+	}
+
+	targets := make([]targetIO, 0, len(exts)*(1+logCopies))
+	for i, e := range exts {
+		prim := r.arr.Primaries[e.Pair]
+		if prim.Failed() {
+			// Degraded: the in-place copy goes to the mirror, which then
+			// holds current data for this span.
+			targets = append(targets, targetIO{
+				disk: r.arr.Mirrors[e.Pair],
+				io:   r.arr.DataIO(e.Offset, e.Length, true, false),
+			})
+			r.dirty[e.Pair].Remove(e.Offset, e.Offset+e.Length)
+		} else {
+			targets = append(targets, targetIO{
+				disk: prim,
+				io:   r.arr.DataIO(e.Offset, e.Length, true, false),
+			})
+			r.markDirty(e.Pair, e.Offset, e.Offset+e.Length)
+		}
+		for c := 0; c < logCopies; c++ {
+			target := r.arr.Mirrors[allocs[i].logger]
+			if c == 1 {
+				target = r.arr.Primaries[allocs[i].logger]
+			} else if st := target.State(); st == disk.SpinningUp || st == disk.Standby {
+				// Non-interrupted logging service (Section III-D): while a
+				// freshly promoted logger is still waking — an emergency
+				// failover is the only way an on-duty mirror can be cold —
+				// the second copy lands in the log region of the logger
+				// pair's primary, which is always spinning.
+				if p := r.arr.Primaries[allocs[i].logger]; !p.Failed() {
+					target = p
+				}
+			}
+			targets = append(targets, targetIO{
+				disk: target,
+				io:   r.arr.LogIO(allocs[i].alloc.Offset, allocs[i].alloc.Length, true, false),
+			})
+		}
+	}
+	if err := r.submitSurviving(targets, record); err != nil {
+		return err
+	}
+	r.checkRotation()
+	return nil
+}
+
+// allocOnDuty places a log extent on the emptiest on-duty logger, falling
+// back through the rest of the set.
+func (r *RoLo) allocOnDuty(n int64, tag int) (logger int, a logspace.Alloc, ok bool) {
+	order := make([]int, len(r.onDuty))
+	copy(order, r.onDuty)
+	// Emptiest first: balances fill level so rotations stagger.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && r.spaces[order[j]].FreeBytes() > r.spaces[order[j-1]].FreeBytes(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, lg := range order {
+		if a, ok := r.spaces[lg].Alloc(n, tag); ok {
+			return lg, a, true
+		}
+	}
+	return -1, logspace.Alloc{}, false
+}
+
+// reactivate re-enables logging after deactivation (and tops the on-duty
+// set back up) once reclamation frees a viable logger (Section III-E).
+func (r *RoLo) reactivate() {
+	for len(r.onDuty) < r.cfg.loggers() {
+		next := r.pickNext()
+		if next < 0 || r.arr.Mirrors[next].Failed() {
+			return
+		}
+		r.onDuty = append(r.onDuty, next)
+		r.rotations++
+		_ = r.arr.Mirrors[next].SpinUp()
+		r.startDestage(next)
+	}
+}
+
+// markDirty records staleness and feeds the live destager if pair p is
+// currently being destaged.
+func (r *RoLo) markDirty(p int, start, end int64) {
+	r.dirty[p].Add(start, end)
+	if r.destageLive[p] && r.destagers[p] != nil {
+		r.destagers[p].Kick()
+	}
+}
+
+// directWrite is the deactivation fallback: write both copies in place,
+// waking the target mirrors if needed (Section III-E).
+func (r *RoLo) directWrite(exts []raid.Extent, record func(sim.Time)) error {
+	r.directWrites++
+	targets := make([]targetIO, 0, 2*len(exts))
+	for _, e := range exts {
+		for _, mirror := range [...]bool{false, true} {
+			target := r.arr.Primaries[e.Pair]
+			if mirror {
+				target = r.arr.Mirrors[e.Pair]
+			}
+			targets = append(targets, targetIO{
+				disk: target,
+				io:   r.arr.DataIO(e.Offset, e.Length, true, false),
+			})
+		}
+		// The surviving mirror copy is now current for this span.
+		if !r.arr.Mirrors[e.Pair].Failed() {
+			r.dirty[e.Pair].Remove(e.Offset, e.Offset+e.Length)
+		}
+	}
+	return r.submitSurviving(targets, record)
+}
+
+// checkRotation wakes the next logger ahead of time and rotates the
+// fullest on-duty logger when it is nearly exhausted.
+func (r *RoLo) checkRotation() {
+	if len(r.onDuty) < r.cfg.loggers() {
+		r.reactivate()
+	}
+	if len(r.onDuty) == 0 {
+		return
+	}
+	// The fullest on-duty logger drives the rotation pipeline.
+	slot := 0
+	for i := range r.onDuty {
+		if r.spaces[r.onDuty[i]].FreeBytes() < r.spaces[r.onDuty[slot]].FreeBytes() {
+			slot = i
+		}
+	}
+	free := r.spaces[r.onDuty[slot]].FreeFraction()
+	if free >= r.cfg.SpinUpLeadFreeFraction {
+		return
+	}
+	if r.spinningUp == -1 {
+		if next := r.pickNext(); next >= 0 {
+			r.spinningUp = next
+			// Wake the mirror of the candidate logger; its primary
+			// (needed by RoLo-R) is always up.
+			_ = r.arr.Mirrors[next].SpinUp()
+		}
+	}
+	if free >= r.cfg.RotateFreeFraction {
+		return
+	}
+	if r.spinningUp < 0 {
+		return
+	}
+	switch r.arr.Mirrors[r.spinningUp].State() {
+	case disk.Idle, disk.Active:
+		r.rotate(slot, r.spinningUp)
+	case disk.Standby:
+		// A racing spin-down beat the wake-up; try again.
+		_ = r.arr.Mirrors[r.spinningUp].SpinUp()
+	}
+}
+
+// pickNext selects the off-duty logger with the most reclaimed space,
+// requiring it to beat the deactivation threshold.
+func (r *RoLo) pickNext() int {
+	best, bestFree := -1, int64(-1)
+	for i, sp := range r.spaces {
+		if r.isOnDuty(i) || i == r.spinningUp || r.arr.Mirrors[i].Failed() {
+			continue
+		}
+		if f := sp.FreeBytes(); f > bestFree {
+			best, bestFree = i, f
+		}
+	}
+	if best >= 0 && r.spaces[best].FreeFraction() <= r.cfg.DeactivateFreeFraction {
+		return -1
+	}
+	return best
+}
+
+// rotate replaces the on-duty logger in the given slot with `next` and
+// triggers the decentralized destage for the newly on-duty pair.
+func (r *RoLo) rotate(slot, next int) {
+	prev := r.onDuty[slot]
+	r.onDuty[slot] = next
+	r.spinningUp = -1
+	r.rotations++
+
+	r.startDestage(next)
+
+	// The previous logger spins down once the destage that writes to it
+	// (its own pair's) finishes and it has drained.
+	r.maybeSleepMirror(prev)
+}
+
+// startDestage begins (or resumes) the background destage for pair p: its
+// stale spans are copied from its primary to its mirror in idle time slots.
+// A pair with a failed disk cannot destage; its dirt waits for Rebuild.
+func (r *RoLo) startDestage(p int) {
+	if r.destageLive[p] || r.arr.Primaries[p].Failed() || r.arr.Mirrors[p].Failed() {
+		return
+	}
+	r.destageLive[p] = true
+	if r.destagers[p] == nil {
+		r.destagers[p] = array.NewCopier(r.arr.Eng,
+			r.arr.Primaries[p], []*disk.Disk{r.arr.Mirrors[p]},
+			&r.dirty[p], r.cfg.DestageChunkBytes,
+			func(sp intervals.Span) *disk.IO { return r.arr.DataIO(sp.Start, sp.Len(), false, true) },
+			func(sp intervals.Span) *disk.IO { return r.arr.DataIO(sp.Start, sp.Len(), true, true) },
+		)
+		r.destagers[p].OnDrained = func(at sim.Time) { r.destageDrained(p, at) }
+	}
+	r.destagers[p].Kick()
+}
+
+// destageDrained fires when pair p's dirty set empties: every logged copy
+// written on behalf of pair p is now stale, so its extents are reclaimed on
+// every logger (the proactive reclamation of Section III-A).
+func (r *RoLo) destageDrained(p int, _ sim.Time) {
+	if !r.destageLive[p] {
+		return
+	}
+	r.destageLive[p] = false
+	for _, sp := range r.spaces {
+		sp.ReleaseTag(p)
+	}
+	r.maybeSleepMirror(p)
+}
+
+// maybeSleepMirror spins down mirror m when it is off-duty and its pair's
+// destage has completed.
+func (r *RoLo) maybeSleepMirror(m int) {
+	if r.isOnDuty(m) || m == r.spinningUp || r.destageLive[m] {
+		return
+	}
+	array.SpinDownWhenIdle(r.arr.Eng, r.arr.Mirrors[m], r.cfg.SpinDownRetry, func() bool {
+		return !r.isOnDuty(m) && m != r.spinningUp && !r.destageLive[m] && !r.closed
+	})
+}
+
+// Close implements array.Controller.
+func (r *RoLo) Close(sim.Time) {
+	r.closed = true
+}
+
+// CheckErr returns the first destager addressing error, if any. Tests call
+// this to assert the run was internally consistent.
+func (r *RoLo) CheckErr() error {
+	for p, cp := range r.destagers {
+		if cp != nil && cp.Err() != nil {
+			return fmt.Errorf("%v: destager %d: %w", r.flavor, p, cp.Err())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rolo-storage/rolo/internal/array"
+	"github.com/rolo-storage/rolo/internal/cache"
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/logspace"
+	"github.com/rolo-storage/rolo/internal/metrics"
+	"github.com/rolo-storage/rolo/internal/raid"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// EConfig parameterizes the RoLo-E controller.
+type EConfig struct {
+	// DestageFreeFraction triggers the centralized destage when the
+	// on-duty logging space's free fraction falls below it.
+	DestageFreeFraction float64
+	// CacheFraction is the share of the logging region reserved for the
+	// popular-read-block cache.
+	CacheFraction float64
+	// CacheBlockBytes is the granularity of the read cache.
+	CacheBlockBytes int64
+	// MissIdleSpinDown is how long a miss-awakened disk stays up after
+	// its last foreground I/O before spinning back down.
+	MissIdleSpinDown sim.Time
+	// DestageChunkBytes caps each destage copy I/O.
+	DestageChunkBytes int64
+	// SpinDownRetry is the retry interval for deferred spin-downs.
+	SpinDownRetry sim.Time
+	// OnDutyPairs is how many mirrored pairs serve as log disks at once
+	// (the paper's "one or several mirrored disk pairs"). Zero means one.
+	OnDutyPairs int
+}
+
+// DefaultEConfig returns the configuration used in the evaluation.
+func DefaultEConfig() EConfig {
+	return EConfig{
+		DestageFreeFraction: 0.10,
+		CacheFraction:       0.25,
+		CacheBlockBytes:     64 << 10,
+		MissIdleSpinDown:    sim.Minute,
+		DestageChunkBytes:   256 << 10,
+		SpinDownRetry:       sim.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c EConfig) Validate() error {
+	switch {
+	case c.DestageFreeFraction <= 0 || c.DestageFreeFraction >= 1:
+		return fmt.Errorf("core: destage threshold %g outside (0,1)", c.DestageFreeFraction)
+	case c.CacheFraction < 0 || c.CacheFraction >= 1:
+		return fmt.Errorf("core: cache fraction %g outside [0,1)", c.CacheFraction)
+	case c.CacheBlockBytes <= 0:
+		return fmt.Errorf("core: non-positive cache block %d", c.CacheBlockBytes)
+	case c.MissIdleSpinDown <= 0:
+		return fmt.Errorf("core: non-positive miss idle timeout %v", c.MissIdleSpinDown)
+	case c.DestageChunkBytes <= 0:
+		return fmt.Errorf("core: non-positive destage chunk %d", c.DestageChunkBytes)
+	case c.SpinDownRetry <= 0:
+		return fmt.Errorf("core: non-positive spin-down retry %v", c.SpinDownRetry)
+	case c.OnDutyPairs < 0:
+		return fmt.Errorf("core: negative on-duty pair count %d", c.OnDutyPairs)
+	}
+	return nil
+}
+
+// pairs returns the effective on-duty pair count.
+func (c EConfig) pairs() int {
+	if c.OnDutyPairs <= 0 {
+		return 1
+	}
+	return c.OnDutyPairs
+}
+
+// RoLoE is the energy-oriented flavor: only the on-duty mirrored pair
+// spins; it logs both copies of every write and caches popular read blocks
+// in its logging space. A read miss pays a disk spin-up; a full log forces
+// a centralized destage that wakes the whole array.
+type RoLoE struct {
+	arr *array.Array
+	cfg EConfig
+
+	onDuty []int // on-duty pair indices (usually one)
+	// spaces[i] is the logging allocator of on-duty slot i; it moves with
+	// the slot across rotations (each destage resets it).
+	spaces []*logspace.Space
+	// dirty[p]: spans of pair p's data region whose only current copy
+	// lives in the on-duty log.
+	dirty []intervals.Set
+
+	readCache  *cache.LRU
+	cacheBytes int64 // reserved cache capacity (informational)
+
+	destaging bool
+
+	resp  metrics.ResponseStats
+	phase metrics.PhaseLog
+
+	lastFG    []sim.Time // per disk id, last foreground completion
+	rotations int
+	destages  int
+	readHits  int64
+	readMiss  int64
+	overflow  int64 // writes bypassing the log during destage
+	closed    bool
+}
+
+var _ array.Controller = (*RoLoE)(nil)
+
+// NewE builds a RoLo-E controller. Pair 0 starts on duty; every other disk
+// is placed in Standby.
+func NewE(arr *array.Array, cfg EConfig) (*RoLoE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arr.LogRegionBytes() <= 0 {
+		return nil, fmt.Errorf("core: array has no logging region")
+	}
+	if arr.Geom.Pairs < 2 {
+		return nil, fmt.Errorf("core: rotation needs >= 2 pairs, have %d", arr.Geom.Pairs)
+	}
+	if cfg.pairs() >= arr.Geom.Pairs {
+		return nil, fmt.Errorf("core: %d on-duty pairs need at least %d pairs for rotation",
+			cfg.pairs(), cfg.pairs()+1)
+	}
+	region := arr.LogRegionBytes()
+	cacheBytes := int64(float64(region) * cfg.CacheFraction)
+	logBytes := region - cacheBytes
+	if logBytes <= 0 {
+		return nil, fmt.Errorf("core: cache fraction %g leaves no log space", cfg.CacheFraction)
+	}
+	lru, err := cache.NewLRU(int(cacheBytes / cfg.CacheBlockBytes * int64(cfg.pairs())))
+	if err != nil {
+		return nil, err
+	}
+	e := &RoLoE{
+		arr:        arr,
+		cfg:        cfg,
+		dirty:      make([]intervals.Set, arr.Geom.Pairs),
+		readCache:  lru,
+		cacheBytes: cacheBytes,
+		lastFG:     make([]sim.Time, 2*arr.Geom.Pairs),
+	}
+	for i := 0; i < cfg.pairs(); i++ {
+		e.onDuty = append(e.onDuty, i)
+		space, err := logspace.New(logBytes)
+		if err != nil {
+			return nil, err
+		}
+		e.spaces = append(e.spaces, space)
+	}
+	for p := 0; p < arr.Geom.Pairs; p++ {
+		if e.isOnDuty(p) {
+			continue
+		}
+		if err := arr.Primaries[p].ForceState(disk.Standby); err != nil {
+			return nil, fmt.Errorf("core: init primary %d: %w", p, err)
+		}
+		if err := arr.Mirrors[p].ForceState(disk.Standby); err != nil {
+			return nil, fmt.Errorf("core: init mirror %d: %w", p, err)
+		}
+	}
+	e.phase.Begin(metrics.Logging, arr.Eng.Now(), arr.TotalEnergyJ())
+	return e, nil
+}
+
+// Responses returns response-time statistics.
+func (e *RoLoE) Responses() *metrics.ResponseStats { return &e.resp }
+
+// Phases returns the logging/destaging phase log.
+func (e *RoLoE) Phases() *metrics.PhaseLog { return &e.phase }
+
+// ReadHitRate returns the fraction of reads served by the on-duty pair
+// (the paper's Table V metric).
+func (e *RoLoE) ReadHitRate() float64 {
+	total := e.readHits + e.readMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(e.readHits) / float64(total)
+}
+
+// ReadHits returns the number of reads served without a spin-up.
+func (e *RoLoE) ReadHits() int64 { return e.readHits }
+
+// ReadMisses returns the number of reads that needed an off-duty disk.
+func (e *RoLoE) ReadMisses() int64 { return e.readMiss }
+
+// Destages returns the number of centralized destages.
+func (e *RoLoE) Destages() int { return e.destages }
+
+// Rotations returns the number of on-duty pair rotations.
+func (e *RoLoE) Rotations() int { return e.rotations }
+
+// Overflows returns the number of writes that bypassed the log because a
+// destage was reclaiming it.
+func (e *RoLoE) Overflows() int64 { return e.overflow }
+
+// isOnDuty reports whether pair p currently serves as a logger.
+func (e *RoLoE) isOnDuty(p int) bool {
+	for _, d := range e.onDuty {
+		if d == p {
+			return true
+		}
+	}
+	return false
+}
+
+// OnDutyPairs returns a copy of the on-duty pair indices.
+func (e *RoLoE) OnDutyPairs() []int {
+	out := make([]int, len(e.onDuty))
+	copy(out, e.onDuty)
+	return out
+}
+
+// slotDisks returns on-duty slot i's pair ordered (primary, mirror).
+func (e *RoLoE) slotDisks(i int) (*disk.Disk, *disk.Disk) {
+	return e.arr.Primaries[e.onDuty[i]], e.arr.Mirrors[e.onDuty[i]]
+}
+
+// allocSlot places a log extent on the emptiest on-duty slot.
+func (e *RoLoE) allocSlot(n int64, tag int) (int, logspace.Alloc, bool) {
+	best := -1
+	for i := range e.spaces {
+		if best == -1 || e.spaces[i].FreeBytes() > e.spaces[best].FreeBytes() {
+			best = i
+		}
+	}
+	for off := 0; off < len(e.spaces); off++ {
+		i := (best + off) % len(e.spaces)
+		if a, ok := e.spaces[i].Alloc(n, tag); ok {
+			return i, a, true
+		}
+	}
+	return -1, logspace.Alloc{}, false
+}
+
+// hitTarget picks the least-loaded disk across all on-duty pairs.
+func (e *RoLoE) hitTarget() *disk.Disk {
+	var best *disk.Disk
+	for i := range e.onDuty {
+		prim, mirr := e.slotDisks(i)
+		for _, d := range [...]*disk.Disk{prim, mirr} {
+			if best == nil || d.QueueLen() < best.QueueLen() {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Submit implements array.Controller.
+func (e *RoLoE) Submit(rec trace.Record) error {
+	exts, err := e.arr.Geom.Map(rec.Offset, rec.Size)
+	if err != nil {
+		return fmt.Errorf("RoLo-E: %w", err)
+	}
+	arrive := rec.At
+	record := func(now sim.Time) { e.resp.Add(now - arrive) }
+	if rec.Op == trace.Write {
+		return e.submitWrite(rec, exts, record)
+	}
+	return e.submitRead(rec, exts, record)
+}
+
+func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(sim.Time)) error {
+	// Writes invalidate any cached copies of the blocks they touch.
+	for b := rec.Offset / e.cfg.CacheBlockBytes; b <= (rec.End()-1)/e.cfg.CacheBlockBytes; b++ {
+		e.readCache.Remove(b)
+	}
+
+	type placed struct {
+		alloc logspace.Alloc
+		slot  int
+	}
+	allocs := make([]placed, 0, len(exts))
+	allOK := true
+	for _, ext := range exts {
+		slot, a, ok := e.allocSlot(ext.Length, ext.Pair)
+		if !ok {
+			allOK = false
+			break
+		}
+		allocs = append(allocs, placed{alloc: a, slot: slot})
+	}
+	if !allOK {
+		// Log full: during (or right before) the centralized destage the
+		// whole array is awake, so write both copies in place.
+		e.overflow++
+		join := array.NewJoin(2*len(exts), record)
+		for _, ext := range exts {
+			for _, mirror := range [...]bool{false, true} {
+				io := e.arr.DataIO(ext.Offset, ext.Length, true, false)
+				io.OnDone = join.Done
+				target := e.arr.Primaries[ext.Pair]
+				if mirror {
+					target = e.arr.Mirrors[ext.Pair]
+				}
+				if err := target.Submit(io); err != nil {
+					return fmt.Errorf("RoLo-E: overflow write: %w", err)
+				}
+				e.touchFG(target)
+			}
+			// In-place writes supersede whatever the log held.
+			e.dirty[ext.Pair].Remove(ext.Offset, ext.Offset+ext.Length)
+		}
+		e.maybeDestage()
+		return nil
+	}
+
+	join := array.NewJoin(2*len(exts), record)
+	for i, ext := range exts {
+		prim, mirr := e.slotDisks(allocs[i].slot)
+		for _, target := range [...]*disk.Disk{prim, mirr} {
+			io := e.arr.LogIO(allocs[i].alloc.Offset, allocs[i].alloc.Length, true, false)
+			io.OnDone = join.Done
+			if err := target.Submit(io); err != nil {
+				return fmt.Errorf("RoLo-E: log write: %w", err)
+			}
+		}
+		e.dirty[ext.Pair].Add(ext.Offset, ext.Offset+ext.Length)
+	}
+	e.maybeDestage()
+	return nil
+}
+
+func (e *RoLoE) submitRead(rec trace.Record, exts []raid.Extent, record func(sim.Time)) error {
+	// A read is a hit when every extent is available on an on-duty pair:
+	// either its latest version lives in the log (dirty) or it is cached.
+	hit := true
+	for _, ext := range exts {
+		if e.dirty[ext.Pair].Contains(ext.Offset, ext.Offset+ext.Length) {
+			continue
+		}
+		if !e.cachedRange(rec.Offset, rec.Size) {
+			hit = false
+			break
+		}
+	}
+	join := array.NewJoin(len(exts), record)
+	if hit {
+		e.readHits++
+		for _, ext := range exts {
+			// Serve from the least-loaded on-duty disk; address the read
+			// within the logging region (its exact placement does not
+			// change the seek statistics materially).
+			target := e.hitTarget()
+			io := e.arr.LogIO(e.logOffFor(ext.Offset, ext.Length), ext.Length, false, false)
+			io.OnDone = join.Done
+			if err := target.Submit(io); err != nil {
+				return fmt.Errorf("RoLo-E: hit read: %w", err)
+			}
+		}
+		return nil
+	}
+
+	e.readMiss++
+	for _, ext := range exts {
+		ext := ext
+		target := e.arr.Primaries[ext.Pair]
+		io := e.arr.DataIO(ext.Offset, ext.Length, false, false)
+		io.OnDone = func(now sim.Time) {
+			e.touchFG(target)
+			e.armSpinDown(target, ext.Pair)
+			join.Done(now)
+		}
+		if err := target.Submit(io); err != nil {
+			return fmt.Errorf("RoLo-E: miss read: %w", err)
+		}
+		e.touchFG(target)
+	}
+	// Cache the fetched blocks in the logging space: background writes to
+	// the on-duty pair that do not affect the response time.
+	e.insertCache(rec.Offset, rec.Size)
+	return nil
+}
+
+// logOffFor maps a data-region offset to an in-bounds logging-region
+// offset for modeling reads of logged/cached data. The exact placement is
+// an approximation of the sequential log layout; clamping keeps the IO
+// within the region.
+func (e *RoLoE) logOffFor(off, length int64) int64 {
+	region := e.spaces[0].Capacity()
+	lo := off % region
+	if lo+length > region {
+		lo = region - length
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo
+}
+
+// cachedRange reports whether every cache block covering [off, off+size)
+// is resident, touching each for LRU recency.
+func (e *RoLoE) cachedRange(off, size int64) bool {
+	all := true
+	for b := off / e.cfg.CacheBlockBytes; b <= (off+size-1)/e.cfg.CacheBlockBytes; b++ {
+		if !e.readCache.Get(b) {
+			all = false
+		}
+	}
+	return all
+}
+
+// insertCache records the blocks as cached and issues the background cache
+// writes into the on-duty logging space.
+func (e *RoLoE) insertCache(off, size int64) {
+	if e.readCache.Cap() == 0 {
+		return
+	}
+	for b := off / e.cfg.CacheBlockBytes; b <= (off+size-1)/e.cfg.CacheBlockBytes; b++ {
+		e.readCache.Put(b)
+	}
+	// One background write per disk of the first on-duty pair covering
+	// the inserted blocks.
+	prim, mirr := e.slotDisks(0)
+	logOff := e.logOffFor(off, size)
+	for _, target := range [...]*disk.Disk{prim, mirr} {
+		io := e.arr.LogIO(logOff, size, true, true)
+		if err := target.Submit(io); err != nil {
+			// Cache fills are best-effort; losing one only costs a
+			// future hit.
+			continue
+		}
+	}
+}
+
+// touchFG records foreground activity for the idle spin-down logic.
+func (e *RoLoE) touchFG(d *disk.Disk) {
+	if id := d.ID(); id >= 0 && id < len(e.lastFG) {
+		e.lastFG[id] = e.arr.Eng.Now()
+	}
+}
+
+// armSpinDown schedules the miss-awakened disk to spin back down after the
+// configured idle window, unless it became on-duty or saw new work.
+func (e *RoLoE) armSpinDown(d *disk.Disk, pair int) {
+	at := e.arr.Eng.Now()
+	e.arr.Eng.After(e.cfg.MissIdleSpinDown, func(now sim.Time) {
+		if e.closed || e.destaging || e.isOnDuty(pair) {
+			return
+		}
+		if e.lastFG[d.ID()] > at {
+			return // newer activity re-armed its own timer
+		}
+		array.SpinDownWhenIdle(e.arr.Eng, d, e.cfg.SpinDownRetry, func() bool {
+			return !e.closed && !e.destaging && !e.isOnDuty(pair) && e.lastFG[d.ID()] <= at
+		})
+	})
+}
+
+func (e *RoLoE) maybeDestage() {
+	if e.destaging {
+		return
+	}
+	var free, capTotal int64
+	for _, sp := range e.spaces {
+		free += sp.FreeBytes()
+		capTotal += sp.Capacity()
+	}
+	if capTotal == 0 || float64(free)/float64(capTotal) >= e.cfg.DestageFreeFraction {
+		return
+	}
+	e.startDestage(e.arr.Eng.Now())
+}
+
+// startDestage is RoLo-E's centralized destage: the whole array wakes, the
+// logged data is applied to both disks of every dirty pair, the log is
+// reset, and the on-duty role rotates to the next pair.
+func (e *RoLoE) startDestage(now sim.Time) {
+	e.destaging = true
+	e.destages++
+	e.phase.Begin(metrics.Destaging, now, e.arr.TotalEnergyJ())
+	for _, d := range e.arr.AllDisks() {
+		_ = d.SpinUp()
+	}
+	// Round-robin the log-read source across all on-duty disks to spread
+	// the read load.
+	srcs := make([]*disk.Disk, 0, 2*len(e.onDuty))
+	for i := range e.onDuty {
+		prim, mirr := e.slotDisks(i)
+		srcs = append(srcs, prim, mirr)
+	}
+	join := array.NewJoin(e.arr.Geom.Pairs, func(at sim.Time) { e.endDestage(at) })
+	for p := 0; p < e.arr.Geom.Pairs; p++ {
+		p := p
+		work := &intervals.Set{}
+		for _, sp := range e.dirty[p].Spans() {
+			work.Add(sp.Start, sp.End)
+		}
+		e.dirty[p].Clear()
+		src := srcs[p%len(srcs)]
+		cp := array.NewCopier(e.arr.Eng, src,
+			[]*disk.Disk{e.arr.Primaries[p], e.arr.Mirrors[p]},
+			work, e.cfg.DestageChunkBytes,
+			func(sp intervals.Span) *disk.IO {
+				// The logged copy is read back from the logging region;
+				// its placement approximates the sequential log layout.
+				return e.arr.LogIO(e.logOffFor(sp.Start, sp.Len()), sp.Len(), false, true)
+			},
+			func(sp intervals.Span) *disk.IO {
+				return e.arr.DataIO(sp.Start, sp.Len(), true, true)
+			},
+		)
+		fired := false
+		cp.OnDrained = func(at sim.Time) {
+			if fired {
+				return
+			}
+			fired = true
+			join.Done(at)
+		}
+		cp.Kick()
+	}
+}
+
+func (e *RoLoE) endDestage(now sim.Time) {
+	for _, sp := range e.spaces {
+		sp.Reset()
+	}
+	e.readCache.Clear()
+	// Advance every slot by the slot count: with K on-duty pairs the duty
+	// walks the array in strides of K, so distinctness is preserved.
+	k := len(e.onDuty)
+	for i := range e.onDuty {
+		e.onDuty[i] = (e.onDuty[i] + k) % e.arr.Geom.Pairs
+	}
+	e.rotations++
+	e.destaging = false
+	e.phase.Begin(metrics.Logging, now, e.arr.TotalEnergyJ())
+	for p := 0; p < e.arr.Geom.Pairs; p++ {
+		if e.isOnDuty(p) {
+			continue
+		}
+		for _, d := range [...]*disk.Disk{e.arr.Primaries[p], e.arr.Mirrors[p]} {
+			d := d
+			pp := p
+			array.SpinDownWhenIdle(e.arr.Eng, d, e.cfg.SpinDownRetry, func() bool {
+				return !e.closed && !e.destaging && !e.isOnDuty(pp)
+			})
+		}
+	}
+}
+
+// Close implements array.Controller.
+func (e *RoLoE) Close(now sim.Time) {
+	e.closed = true
+	e.phase.End(now, e.arr.TotalEnergyJ())
+}

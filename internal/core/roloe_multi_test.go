@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+func TestRoLoEMultiPairValidation(t *testing.T) {
+	cfg := DefaultEConfig()
+	cfg.OnDutyPairs = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative pair count accepted")
+	}
+	a, _ := testArray(t, 4)
+	cfg = DefaultEConfig()
+	cfg.OnDutyPairs = 4
+	if _, err := NewE(a, cfg); err == nil {
+		t.Error("pair count == pairs accepted")
+	}
+}
+
+func TestRoLoEMultiPairInitialStates(t *testing.T) {
+	a, _ := testArray(t, 4)
+	cfg := DefaultEConfig()
+	cfg.OnDutyPairs = 2
+	e, err := NewE(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty := e.OnDutyPairs()
+	if len(duty) != 2 {
+		t.Fatalf("on-duty pairs = %v", duty)
+	}
+	awake := 0
+	for _, d := range a.AllDisks() {
+		if d.State() == disk.Idle {
+			awake++
+		}
+	}
+	if awake != 4 {
+		t.Fatalf("%d disks awake, want 4 (two pairs)", awake)
+	}
+}
+
+func TestRoLoEMultiPairSharesLogWrites(t *testing.T) {
+	a, eng := testArray(t, 4)
+	cfg := DefaultEConfig()
+	cfg.OnDutyPairs = 2
+	e, err := NewE(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := writeRecs(256, 64<<10, 10*sim.Millisecond)
+	replay(t, eng, a, e, recs)
+	w0 := a.Primaries[0].Stats().BytesWritten + a.Mirrors[0].Stats().BytesWritten
+	w1 := a.Primaries[1].Stats().BytesWritten + a.Mirrors[1].Stats().BytesWritten
+	if w0 == 0 || w1 == 0 {
+		t.Fatalf("log writes not shared: pair0=%d pair1=%d", w0, w1)
+	}
+	ratio := float64(w0) / float64(w1)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("log balance ratio = %.2f", ratio)
+	}
+	// Off-duty pairs untouched during logging.
+	for p := 2; p < 4; p++ {
+		if a.Primaries[p].Stats().BytesWritten != 0 {
+			t.Fatalf("off-duty pair %d written during logging", p)
+		}
+	}
+}
+
+func TestRoLoEMultiPairRotationKeepsDistinct(t *testing.T) {
+	a, eng := testArray(t, 4)
+	cfg := DefaultEConfig()
+	cfg.OnDutyPairs = 2
+	e, err := NewE(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough volume for at least one centralized destage of the pooled
+	// 2 x 48 MB log space.
+	recs := writeRecs(2400, 64<<10, 15*sim.Millisecond)
+	replay(t, eng, a, e, recs)
+	if e.Destages() < 1 {
+		t.Fatalf("destages = %d", e.Destages())
+	}
+	duty := e.OnDutyPairs()
+	if len(duty) != 2 || duty[0] == duty[1] {
+		t.Fatalf("on-duty pairs degenerate after rotation: %v", duty)
+	}
+}

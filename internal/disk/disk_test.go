@@ -1,0 +1,493 @@
+package disk
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+func newTestDisk(t *testing.T) (*Disk, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	d, err := New(0, Ultrastar36Z15(), eng)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, eng
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Ultrastar36Z15()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero capacity", func(c *Config) { c.CapacityBytes = 0 }},
+		{"zero rpm", func(c *Config) { c.RPM = 0 }},
+		{"zero transfer", func(c *Config) { c.TransferRate = 0 }},
+		{"max<track seek", func(c *Config) { c.MaxSeek = c.TrackSeek - 1 }},
+		{"negative spinup", func(c *Config) { c.SpinUpTime = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Ultrastar36Z15()
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("expected error")
+			}
+			if _, err := New(0, c, sim.New()); err == nil {
+				t.Fatal("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestUltrastarParameters(t *testing.T) {
+	c := Ultrastar36Z15()
+	if got := c.RevolutionTime(); got != 4*sim.Millisecond {
+		t.Errorf("RevolutionTime = %v, want 4ms (15000 RPM)", got)
+	}
+	if got := c.AvgRotationalLatency(); got != 2*sim.Millisecond {
+		t.Errorf("AvgRotationalLatency = %v, want 2ms", got)
+	}
+	if c.Sectors() != c.CapacityBytes/SectorSize {
+		t.Errorf("Sectors mismatch")
+	}
+}
+
+// The seek curve must reproduce the published 3.4 ms average seek when
+// distances are uniformly random over the platter.
+func TestSeekCurveCalibration(t *testing.T) {
+	d, _ := newTestDisk(t)
+	rng := rand.New(rand.NewSource(7))
+	n := 200000
+	var total sim.Time
+	for i := 0; i < n; i++ {
+		total += d.seekTime(rng.Int63n(d.cfg.Sectors()-1) + 1)
+	}
+	avgMs := (sim.Time(int64(total) / int64(n))).Milliseconds()
+	if math.Abs(avgMs-3.4) > 0.05 {
+		t.Fatalf("average seek = %.3f ms, want 3.4 ms ± 0.05", avgMs)
+	}
+}
+
+func TestSeekMonotoneInDistance(t *testing.T) {
+	d, _ := newTestDisk(t)
+	prev := sim.Time(-1)
+	for _, dist := range []int64{0, 1, 100, 10_000, 1_000_000, d.cfg.Sectors()} {
+		s := d.seekTime(dist)
+		if s < prev {
+			t.Fatalf("seek(%d) = %v < previous %v", dist, s, prev)
+		}
+		prev = s
+	}
+	if d.seekTime(0) != 0 {
+		t.Fatal("seek(0) must be 0")
+	}
+	if got := d.seekTime(d.cfg.Sectors()); got != d.cfg.MaxSeek {
+		t.Fatalf("full-stroke seek = %v, want MaxSeek %v", got, d.cfg.MaxSeek)
+	}
+}
+
+func TestSequentialAccessSkipsPositioning(t *testing.T) {
+	d, eng := newTestDisk(t)
+	var first, second sim.Time
+	io1 := &IO{LBA: 1000, Sectors: 128, Write: true, OnDone: func(now sim.Time) { first = now }}
+	if err := d.Submit(io1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	start2 := eng.Now()
+	io2 := &IO{LBA: 1128, Sectors: 128, Write: true, OnDone: func(now sim.Time) { second = now }}
+	if err := d.Submit(io2); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	transferOnly := sim.Time(math.Ceil(float64(128*SectorSize) / d.cfg.TransferRate * float64(sim.Second)))
+	if got := second - start2; got != transferOnly {
+		t.Fatalf("sequential service = %v, want pure transfer %v", got, transferOnly)
+	}
+	if first == 0 || second == 0 {
+		t.Fatal("completions not observed")
+	}
+	if firstSvc := first - 0; firstSvc <= transferOnly {
+		t.Fatalf("random access service %v should exceed pure transfer %v", firstSvc, transferOnly)
+	}
+}
+
+func TestServiceTimeComponents(t *testing.T) {
+	d, _ := newTestDisk(t)
+	// Head at 0, never accessed: random read at far LBA pays seek+rot+transfer.
+	io := &IO{LBA: d.cfg.Sectors() / 2, Sectors: 128}
+	svc := d.ServiceTime(io)
+	transfer := sim.Time(math.Ceil(float64(128*SectorSize) / d.cfg.TransferRate * float64(sim.Second)))
+	want := d.seekTime(d.cfg.Sectors()/2) + 2*sim.Millisecond + transfer
+	if svc != want {
+		t.Fatalf("ServiceTime = %v, want %v", svc, want)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d, _ := newTestDisk(t)
+	if err := d.Submit(nil); err == nil {
+		t.Error("nil IO accepted")
+	}
+	if err := d.Submit(&IO{LBA: 0, Sectors: 0}); !errors.Is(err, ErrZeroSectors) {
+		t.Errorf("zero-sector IO: err = %v", err)
+	}
+	if err := d.Submit(&IO{LBA: -1, Sectors: 1}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative LBA: err = %v", err)
+	}
+	if err := d.Submit(&IO{LBA: d.cfg.Sectors(), Sectors: 1}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("past-end IO: err = %v", err)
+	}
+	io := &IO{LBA: 0, Sectors: 1}
+	if err := d.Submit(io); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(io); err == nil {
+		t.Error("double submit accepted")
+	}
+}
+
+func TestForegroundPriorityOverBackground(t *testing.T) {
+	d, eng := newTestDisk(t)
+	var order []string
+	mk := func(name string, bg bool, lba int64) *IO {
+		return &IO{LBA: lba, Sectors: 8, Background: bg, OnDone: func(sim.Time) { order = append(order, name) }}
+	}
+	// Queue them all at t=0. The first submitted starts immediately; among
+	// the queued remainder, foreground must win even though background was
+	// queued first.
+	if err := d.Submit(mk("first", false, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(mk("bg1", true, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(mk("bg2", true, 200000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(mk("fg1", false, 300000)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	want := []string{"first", "fg1", "bg1", "bg2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBackgroundGuardHoldsAfterTimeZeroForeground(t *testing.T) {
+	// Regression: a foreground arrival at t=0 must still arm the guard
+	// (lastFGArrival == 0 is a valid arrival time, not "never").
+	d, eng := newTestDisk(t)
+	var fgDone, bgDone sim.Time
+	fg := &IO{LBA: 0, Sectors: 8, Write: true, OnDone: func(now sim.Time) { fgDone = now }}
+	if err := d.Submit(fg); err != nil {
+		t.Fatal(err)
+	}
+	bg := &IO{LBA: 100000, Sectors: 8, Background: true, OnDone: func(now sim.Time) { bgDone = now }}
+	if err := d.Submit(bg); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if bgDone < fgDone {
+		t.Fatal("background IO finished before foreground")
+	}
+	if bgDone < d.cfg.BackgroundGuard {
+		t.Fatalf("background dispatched at %v, inside the guard window %v", bgDone, d.cfg.BackgroundGuard)
+	}
+}
+
+func TestBackgroundRunsImmediatelyWithoutForegroundHistory(t *testing.T) {
+	d, eng := newTestDisk(t)
+	var bgDone sim.Time
+	bg := &IO{LBA: 0, Sectors: 8, Background: true, OnDone: func(now sim.Time) { bgDone = now }}
+	if err := d.Submit(bg); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if bgDone == 0 || bgDone > 20*sim.Millisecond {
+		t.Fatalf("background on an fg-free disk completed at %v, want immediately", bgDone)
+	}
+}
+
+func TestSpinDownAndAutoWake(t *testing.T) {
+	d, eng := newTestDisk(t)
+	if err := d.SpinDown(); err != nil {
+		t.Fatalf("SpinDown from Idle: %v", err)
+	}
+	if d.State() != SpinningDown {
+		t.Fatalf("state = %v, want SPINDOWN", d.State())
+	}
+	eng.Run()
+	if d.State() != Standby {
+		t.Fatalf("state = %v, want STANDBY", d.State())
+	}
+	var done sim.Time
+	if err := d.Submit(&IO{LBA: 0, Sectors: 8, OnDone: func(now sim.Time) { done = now }}); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != SpinningUp {
+		t.Fatalf("state after arrival = %v, want SPINUP", d.State())
+	}
+	eng.Run()
+	if done < d.cfg.SpinDownTime+d.cfg.SpinUpTime {
+		t.Fatalf("IO completed at %v, before spin-up could finish", done)
+	}
+	if d.SpinCycles() != 1 {
+		t.Fatalf("SpinCycles = %d, want 1", d.SpinCycles())
+	}
+}
+
+func TestSpinDownRefusedWhenBusy(t *testing.T) {
+	d, eng := newTestDisk(t)
+	if err := d.Submit(&IO{LBA: 0, Sectors: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SpinDown(); err == nil {
+		t.Fatal("SpinDown accepted while Active")
+	}
+	eng.Run()
+	if err := d.SpinDown(); err != nil {
+		t.Fatalf("SpinDown after drain: %v", err)
+	}
+}
+
+func TestSpinUpExplicitNoopWhenSpinning(t *testing.T) {
+	d, eng := newTestDisk(t)
+	if err := d.SpinUp(); err != nil {
+		t.Fatalf("SpinUp while Idle should be a no-op: %v", err)
+	}
+	if d.SpinCycles() != 0 {
+		t.Fatal("no-op SpinUp counted a cycle")
+	}
+	if err := d.SpinDown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SpinUp(); err == nil {
+		t.Fatal("SpinUp during SpinningDown should fail")
+	}
+	eng.Run()
+	if err := d.SpinUp(); err != nil {
+		t.Fatalf("SpinUp from Standby: %v", err)
+	}
+	eng.Run()
+	if d.State() != Idle {
+		t.Fatalf("state = %v, want IDLE", d.State())
+	}
+}
+
+func TestArrivalDuringSpinDownWakesAfterStandby(t *testing.T) {
+	d, eng := newTestDisk(t)
+	if err := d.SpinDown(); err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	if err := d.Submit(&IO{LBA: 0, Sectors: 8, OnDone: func(now sim.Time) { done = now }}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if done < d.cfg.SpinDownTime+d.cfg.SpinUpTime {
+		t.Fatalf("IO done at %v, must wait for spin-down then spin-up", done)
+	}
+}
+
+func TestEnergyAccountingIdleOnly(t *testing.T) {
+	d, eng := newTestDisk(t)
+	eng.After(10*sim.Second, func(sim.Time) {})
+	eng.Run()
+	got := d.EnergyJ()
+	want := d.cfg.IdlePower * 10
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("10s idle energy = %g J, want %g J", got, want)
+	}
+}
+
+func TestEnergyAccountingStandby(t *testing.T) {
+	d, eng := newTestDisk(t)
+	if err := d.SpinDown(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // finishes spin-down at 1.5s
+	eng.After(10*sim.Second, func(sim.Time) {})
+	eng.Run()
+	got := d.EnergyJ()
+	want := d.cfg.SpinDownEnergy + d.cfg.StandbyPower*10
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("energy = %g J, want %g J", got, want)
+	}
+	st := d.Stats()
+	if st.StateDur[Standby] != 10*sim.Second {
+		t.Fatalf("standby duration = %v, want 10s", st.StateDur[Standby])
+	}
+	if st.StateDur[SpinningDown] != d.cfg.SpinDownTime {
+		t.Fatalf("spindown duration = %v, want %v", st.StateDur[SpinningDown], d.cfg.SpinDownTime)
+	}
+}
+
+func TestEnergyActiveDuringService(t *testing.T) {
+	d, eng := newTestDisk(t)
+	var doneAt sim.Time
+	if err := d.Submit(&IO{LBA: 0, Sectors: 2048, Write: true, OnDone: func(now sim.Time) { doneAt = now }}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	got := d.EnergyJ()
+	want := d.cfg.ActivePower * doneAt.Seconds()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("active energy = %g, want %g", got, want)
+	}
+	st := d.Stats()
+	if st.StateDur[Active] != doneAt {
+		t.Fatalf("active duration = %v, want %v", st.StateDur[Active], doneAt)
+	}
+	if st.BytesWritten != 2048*SectorSize {
+		t.Fatalf("bytes written = %d", st.BytesWritten)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	d, eng := newTestDisk(t)
+	for i := 0; i < 5; i++ {
+		if err := d.Submit(&IO{LBA: int64(i) * 1000, Sectors: 16, Write: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Submit(&IO{LBA: 900000, Sectors: 16, Background: true}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	st := d.Stats()
+	if st.IOsCompleted != 6 {
+		t.Fatalf("IOsCompleted = %d, want 6", st.IOsCompleted)
+	}
+	if st.ForegroundIOs != 5 || st.BackgroundIOs != 1 {
+		t.Fatalf("fg/bg = %d/%d, want 5/1", st.ForegroundIOs, st.BackgroundIOs)
+	}
+	if st.BytesRead != 3*16*SectorSize {
+		t.Fatalf("BytesRead = %d", st.BytesRead)
+	}
+	if st.BusyTime <= 0 {
+		t.Fatal("BusyTime not accumulated")
+	}
+}
+
+func TestStateChangeHook(t *testing.T) {
+	d, eng := newTestDisk(t)
+	var transitions []PowerState
+	d.SetStateChangeHook(func(_ *Disk, _, to PowerState, _ sim.Time) {
+		transitions = append(transitions, to)
+	})
+	if err := d.Submit(&IO{LBA: 0, Sectors: 8}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := d.SpinDown(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	want := []PowerState{Active, Idle, SpinningDown, Standby}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+// Property: total accounted state duration always equals elapsed simulation
+// time, and energy is non-negative and finite, across random I/O schedules.
+func TestQuickAccountingConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		eng := sim.New()
+		d, err := New(0, Ultrastar36Z15(), eng)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 1
+		for i := 0; i < count; i++ {
+			at := sim.Time(rng.Int63n(int64(2 * sim.Second)))
+			eng.After(at, func(sim.Time) {
+				_ = d.Submit(&IO{
+					LBA:        rng.Int63n(d.cfg.Sectors() - 256),
+					Sectors:    rng.Int63n(255) + 1,
+					Write:      rng.Intn(2) == 0,
+					Background: rng.Intn(4) == 0,
+				})
+			})
+		}
+		eng.Run()
+		st := d.Stats()
+		var total sim.Time
+		for _, dur := range st.StateDur {
+			total += dur
+		}
+		if total != eng.Now() {
+			return false
+		}
+		return st.EnergyJ >= 0 && !math.IsNaN(st.EnergyJ) && !math.IsInf(st.EnergyJ, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all submitted IOs eventually complete exactly once.
+func TestQuickAllIOsComplete(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		eng := sim.New()
+		d, err := New(0, Ultrastar36Z15(), eng)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		completed := 0
+		for i := 0; i < count; i++ {
+			at := sim.Time(rng.Int63n(int64(sim.Second)))
+			eng.After(at, func(sim.Time) {
+				_ = d.Submit(&IO{
+					LBA:     rng.Int63n(d.cfg.Sectors() - 8),
+					Sectors: 8,
+					OnDone:  func(sim.Time) { completed++ },
+				})
+			})
+		}
+		eng.Run()
+		return completed == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiskRandomIO(b *testing.B) {
+	eng := sim.New()
+	d, err := New(0, Ultrastar36Z15(), eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Submit(&IO{LBA: rng.Int63n(d.cfg.Sectors() - 128), Sectors: 128, Write: true}); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}

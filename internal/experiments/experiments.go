@@ -1,0 +1,185 @@
+// Package experiments regenerates every table and figure of the RoLo
+// paper's evaluation (Section II's motivation figures, Section IV's
+// reliability analysis, and Section V's trace-driven evaluation). Each
+// experiment is a named entry in the registry; cmd/roloexp and the root
+// benchmarks drive them.
+//
+// # Scaling
+//
+// Experiments run at a configurable scale factor s (default 0.1): disk
+// capacity, per-disk free space, the GRAID log capacity and the trace
+// length all shrink by s together. This preserves the quantities the
+// paper's conclusions rest on — rotation and destage counts, spin cycles,
+// idle-slot structure, normalized energy and response-time ratios — while
+// cutting simulation time by 1/s (the paper's own disk-size sensitivity
+// study, Section V-C, is the evidence that absolute disk size does not
+// matter at fixed free-space ratio). Scale 1.0 reproduces the full-size
+// configuration.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Scale shrinks geometry and trace together; see the package comment.
+	Scale float64
+	// Pairs is the number of mirrored pairs (the paper's default is 20,
+	// i.e. a 40-disk array).
+	Pairs int
+}
+
+// DefaultOptions returns the default experiment options.
+func DefaultOptions() Options {
+	return Options{Scale: 0.1, Pairs: 20}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return fmt.Errorf("experiments: scale %g outside (0,1]", o.Scale)
+	}
+	if o.Pairs < 2 {
+		return fmt.Errorf("experiments: pairs %d < 2", o.Pairs)
+	}
+	return nil
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID) // programmer error at init
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for k := range registry {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	return e, nil
+}
+
+// scaledConfig builds the paper's configuration scaled by o.Scale:
+// 18.4 GB drives with freeGiB of logging space each, a 16 GB GRAID log
+// disk, and a 64 KB stripe unit.
+func scaledConfig(scheme rolo.Scheme, o Options, freeGiB float64, stripe int64) rolo.Config {
+	cfg := rolo.DefaultConfig(scheme)
+	cfg.Pairs = o.Pairs
+	cfg.StripeUnitBytes = stripe
+	cfg.Disk.CapacityBytes = scaleBytes(18.4*(1<<30), o.Scale)
+	cfg.FreeBytesPerDisk = scaleBytes(freeGiB*(1<<30), o.Scale)
+	cfg.GRAID.LogCapacityBytes = scaleBytes(16*(1<<30), o.Scale)
+	return cfg
+}
+
+func scaleBytes(b float64, scale float64) int64 {
+	v := int64(b * scale)
+	const align = 1 << 20
+	v -= v % align
+	if v < align {
+		v = align
+	}
+	return v
+}
+
+// runProfile simulates one scheme against one calibrated trace profile at
+// the option scale.
+func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, stripe int64) (rolo.Report, error) {
+	cfg := scaledConfig(scheme, o, freeGiB, stripe)
+	recs, err := rolo.GenerateProfile(profile, cfg, o.Scale)
+	if err != nil {
+		return rolo.Report{}, err
+	}
+	rep, err := rolo.Run(cfg, recs)
+	if err != nil {
+		return rolo.Report{}, fmt.Errorf("%v on %s: %w", scheme, profile, err)
+	}
+	return rep, nil
+}
+
+// table is a minimal fixed-width table printer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// mainTraces are the two write-intensive traces of the main evaluation.
+var mainTraces = []string{"src2_2", "proj_0"}
+
+// ensure the trace package profiles exist at init (programming guard).
+var _ = trace.Profiles

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rolo-storage/rolo/internal/reliability"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: MTTDL vs MTTR for RAID10, GRAID, RoLo-P, RoLo-R",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "eqs",
+		Title: "Equations (1)-(5): closed-form MTTDL vs exact CTMC solutions",
+		Run:   runEqs,
+	})
+}
+
+func runFig9(o Options, w io.Writer) error {
+	days := []float64{1, 2, 3, 4, 5, 6, 7}
+	series, err := reliability.Fig9(days)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 9: MTTDL (years) as a function of MTTR (days), lambda = 1e-5/h")
+	t := &table{header: []string{"MTTR(d)"}}
+	for _, s := range series {
+		t.header = append(t.header, s.Scheme)
+	}
+	for i, d := range days {
+		row := []string{f1(d)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.0f", s.Points[i].MTTDLYears))
+		}
+		t.add(row...)
+	}
+	return t.write(w)
+}
+
+func runEqs(o Options, w io.Writer) error {
+	const lambda = 1e-5
+	fmt.Fprintln(w, "MTTDL (hours) at lambda = 1e-5/h: paper closed forms vs exact CTMC")
+	t := &table{header: []string{"scheme", "MTTR", "closed-form", "CTMC", "ratio"}}
+	type entry struct {
+		name   string
+		closed func(l, m float64) float64
+		chain  func(l, m float64) reliability.Chain
+	}
+	entries := []entry{
+		{"RAID10", reliability.MTTDLRaid10, reliability.Raid10Chain},
+		{"GRAID", reliability.MTTDLGRAID, reliability.GRAIDChain},
+		{"RoLo-P", reliability.MTTDLRoLoP, reliability.RoLoPChain},
+		{"RoLo-R", reliability.MTTDLRoLoR, reliability.RoLoRChain},
+		{"RoLo-E", reliability.MTTDLRoLoE, reliability.RoLoEChain},
+	}
+	for _, e := range entries {
+		for _, days := range []float64{1, 7} {
+			mu := 1 / (days * 24)
+			closed := e.closed(lambda, mu)
+			exact, err := e.chain(lambda, mu).MTTDL()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			t.add(e.name, fmt.Sprintf("%gd", days),
+				fmt.Sprintf("%.4g", closed), fmt.Sprintf("%.4g", exact),
+				fmt.Sprintf("%.4f", exact/closed))
+		}
+	}
+	return t.write(w)
+}

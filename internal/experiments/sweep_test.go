@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment end to end at
+// miniature scale. Beyond smoke coverage, it guarantees the whole
+// evaluation is regenerable from a clean checkout with one command.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	o := tinyOptions()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(o, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			// Every experiment's output carries at least one table row
+			// with numbers in it.
+			hasDigit := false
+			for _, r := range out {
+				if r >= '0' && r <= '9' {
+					hasDigit = true
+					break
+				}
+			}
+			if !hasDigit {
+				t.Fatalf("%s output has no numbers:\n%s", e.ID, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,140 @@
+// Package intervals provides a coalescing set of half-open byte ranges.
+// Controllers use it to track inconsistent (dirty) extents per mirrored
+// pair and to chunk destaging work.
+package intervals
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span is a half-open range [Start, End).
+type Span struct {
+	Start, End int64
+}
+
+// Len returns the span length.
+func (s Span) Len() int64 { return s.End - s.Start }
+
+// Set is a sorted, coalesced collection of non-overlapping spans. The zero
+// value is an empty set ready for use.
+type Set struct {
+	spans []Span
+}
+
+// Add inserts [start, end), merging with any overlapping or adjacent spans.
+// Empty or inverted ranges are ignored.
+func (s *Set) Add(start, end int64) {
+	if end <= start {
+		return
+	}
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].End >= start })
+	j := i
+	for j < len(s.spans) && s.spans[j].Start <= end {
+		if s.spans[j].Start < start {
+			start = s.spans[j].Start
+		}
+		if s.spans[j].End > end {
+			end = s.spans[j].End
+		}
+		j++
+	}
+	merged := Span{Start: start, End: end}
+	s.spans = append(s.spans[:i], append([]Span{merged}, s.spans[j:]...)...)
+}
+
+// Remove deletes [start, end) from the set, splitting spans as needed.
+func (s *Set) Remove(start, end int64) {
+	if end <= start {
+		return
+	}
+	var out []Span
+	for _, sp := range s.spans {
+		if sp.End <= start || sp.Start >= end {
+			out = append(out, sp)
+			continue
+		}
+		if sp.Start < start {
+			out = append(out, Span{Start: sp.Start, End: start})
+		}
+		if sp.End > end {
+			out = append(out, Span{Start: end, End: sp.End})
+		}
+	}
+	s.spans = out
+}
+
+// Contains reports whether [start, end) is fully covered by the set.
+func (s *Set) Contains(start, end int64) bool {
+	if end <= start {
+		return true
+	}
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].End > start })
+	return i < len(s.spans) && s.spans[i].Start <= start && s.spans[i].End >= end
+}
+
+// Overlaps reports whether any byte of [start, end) is in the set.
+func (s *Set) Overlaps(start, end int64) bool {
+	if end <= start {
+		return false
+	}
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].End > start })
+	return i < len(s.spans) && s.spans[i].Start < end
+}
+
+// Total returns the number of bytes covered.
+func (s *Set) Total() int64 {
+	var t int64
+	for _, sp := range s.spans {
+		t += sp.Len()
+	}
+	return t
+}
+
+// Empty reports whether the set covers nothing.
+func (s *Set) Empty() bool { return len(s.spans) == 0 }
+
+// Count returns the number of disjoint spans.
+func (s *Set) Count() int { return len(s.spans) }
+
+// Spans returns a copy of the coalesced spans in ascending order.
+func (s *Set) Spans() []Span {
+	out := make([]Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
+
+// Clear removes all spans.
+func (s *Set) Clear() { s.spans = s.spans[:0] }
+
+// PopFirst removes and returns up to max bytes from the lowest span,
+// which is how destagers chunk sequential work. It reports false when the
+// set is empty.
+func (s *Set) PopFirst(max int64) (Span, bool) {
+	if len(s.spans) == 0 || max <= 0 {
+		return Span{}, false
+	}
+	sp := s.spans[0]
+	if sp.Len() <= max {
+		s.spans = s.spans[1:]
+		return sp, true
+	}
+	taken := Span{Start: sp.Start, End: sp.Start + max}
+	s.spans[0].Start = taken.End
+	return taken, true
+}
+
+// CheckInvariants verifies internal ordering and coalescing; it is used by
+// property tests.
+func (s *Set) CheckInvariants() error {
+	for i, sp := range s.spans {
+		if sp.End <= sp.Start {
+			return fmt.Errorf("intervals: span %d degenerate: %+v", i, sp)
+		}
+		if i > 0 && s.spans[i-1].End >= sp.Start {
+			return fmt.Errorf("intervals: spans %d,%d not coalesced: %+v %+v",
+				i-1, i, s.spans[i-1], sp)
+		}
+	}
+	return nil
+}

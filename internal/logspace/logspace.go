@@ -1,0 +1,256 @@
+// Package logspace manages the logging region of a disk: sequential append
+// allocation for logged writes, and tag-based invalidation so that when the
+// destaging of a mirrored pair completes, every stale log extent written on
+// behalf of that pair — on any logger — can be reclaimed at once.
+//
+// This implements Section III-E of the RoLo paper: the logger region is
+// tracked as used and unused region lists; reclaimed regions coalesce back
+// into the unused list so the logger is ready for its next on-duty term.
+package logspace
+
+import (
+	"fmt"
+
+	"github.com/rolo-storage/rolo/internal/intervals"
+)
+
+// Alloc is one allocated extent within the logging region.
+type Alloc struct {
+	Offset int64
+	Length int64
+}
+
+// Space is the allocator for one disk's logging region. Offsets are
+// relative to the start of the region; callers translate them to LBAs.
+type Space struct {
+	addrSpace int64 // immutable size of the region's address range
+	donated   int64 // bytes permanently given to the data region
+	free      intervals.Set
+	used      map[int]*intervals.Set // tag -> extents
+	usedBy    int64
+	// cursor is the append head: allocation is next-fit from here with
+	// wrap-around, so consecutive log writes stay sequential on disk even
+	// after reclamation has opened holes behind the head (the region
+	// behaves as the circular log of Section III-A).
+	cursor int64
+}
+
+// New returns a Space over a region of the given size.
+func New(capacity int64) (*Space, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("logspace: non-positive capacity %d", capacity)
+	}
+	s := &Space{addrSpace: capacity, used: make(map[int]*intervals.Set)}
+	s.free.Add(0, capacity)
+	return s, nil
+}
+
+// Capacity returns the logging capacity in bytes (the region size minus any
+// space donated to the data region).
+func (s *Space) Capacity() int64 { return s.addrSpace - s.donated }
+
+// FreeBytes returns the number of unallocated bytes.
+func (s *Space) FreeBytes() int64 { return s.Capacity() - s.usedBy }
+
+// UsedBytes returns the number of allocated bytes.
+func (s *Space) UsedBytes() int64 { return s.usedBy }
+
+// FreeFraction returns FreeBytes/Capacity.
+func (s *Space) FreeFraction() float64 {
+	if c := s.Capacity(); c > 0 {
+		return float64(s.FreeBytes()) / float64(c)
+	}
+	return 0
+}
+
+// LargestFree returns the size of the largest contiguous free extent.
+func (s *Space) LargestFree() int64 {
+	var max int64
+	for _, sp := range s.free.Spans() {
+		if sp.Len() > max {
+			max = sp.Len()
+		}
+	}
+	return max
+}
+
+// Alloc reserves n contiguous bytes tagged with tag, next-fit from the
+// append cursor with wrap-around. Consecutive allocations are therefore
+// address-sequential whenever space permits, which is what makes on-duty
+// logging seek-free. It reports false when no free extent is large enough.
+func (s *Space) Alloc(n int64, tag int) (Alloc, bool) {
+	if n <= 0 {
+		return Alloc{}, false
+	}
+	spans := s.free.Spans()
+	// First pass: at or after the cursor (a true append when the cursor
+	// sits inside a free span).
+	for _, sp := range spans {
+		if sp.End <= s.cursor {
+			continue
+		}
+		start := sp.Start
+		if start < s.cursor {
+			start = s.cursor
+		}
+		if sp.End-start >= n {
+			return s.take(start, n, tag), true
+		}
+	}
+	// Wrap around: restart from the lowest free extent that fits.
+	for _, sp := range spans {
+		if sp.Len() >= n {
+			return s.take(sp.Start, n, tag), true
+		}
+	}
+	return Alloc{}, false
+}
+
+func (s *Space) take(start, n int64, tag int) Alloc {
+	a := Alloc{Offset: start, Length: n}
+	s.free.Remove(start, start+n)
+	set, ok := s.used[tag]
+	if !ok {
+		set = &intervals.Set{}
+		s.used[tag] = set
+	}
+	set.Add(start, start+n)
+	s.usedBy += n
+	s.cursor = start + n
+	return a
+}
+
+// ReleaseTag invalidates every extent allocated under tag and returns the
+// number of bytes reclaimed. This is the proactive reclamation step that
+// follows a completed destage.
+func (s *Space) ReleaseTag(tag int) int64 {
+	set, ok := s.used[tag]
+	if !ok {
+		return 0
+	}
+	var freed int64
+	for _, sp := range set.Spans() {
+		s.free.Add(sp.Start, sp.End)
+		freed += sp.Len()
+	}
+	delete(s.used, tag)
+	s.usedBy -= freed
+	return freed
+}
+
+// TagBytes returns the bytes currently allocated under tag.
+func (s *Space) TagBytes(tag int) int64 {
+	set, ok := s.used[tag]
+	if !ok {
+		return 0
+	}
+	return set.Total()
+}
+
+// Tags returns the tags with live allocations.
+func (s *Space) Tags() []int {
+	out := make([]int, 0, len(s.used))
+	for t := range s.used {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Reset releases all allocations, returning every non-donated byte to the
+// free list.
+func (s *Space) Reset() {
+	donatedSpans := s.donatedSpans()
+	s.free.Clear()
+	s.free.Add(0, s.addrSpace)
+	for _, sp := range donatedSpans {
+		s.free.Remove(sp.Start, sp.End)
+	}
+	s.used = make(map[int]*intervals.Set)
+	s.usedBy = 0
+	s.cursor = 0
+}
+
+// donatedSpans reconstructs which address ranges were donated: everything
+// not free and not used. Donations only ever move bytes out of the free
+// list, so this is exact.
+func (s *Space) donatedSpans() []intervals.Span {
+	var live intervals.Set
+	for _, sp := range s.free.Spans() {
+		live.Add(sp.Start, sp.End)
+	}
+	for _, set := range s.used {
+		for _, sp := range set.Spans() {
+			live.Add(sp.Start, sp.End)
+		}
+	}
+	var donated intervals.Set
+	donated.Add(0, s.addrSpace)
+	for _, sp := range live.Spans() {
+		donated.Remove(sp.Start, sp.End)
+	}
+	return donated.Spans()
+}
+
+// Shrink permanently donates n free bytes to the data region (the paper's
+// data-region expansion: an unused logger region is freed from the unused
+// region list when the data region fills). It reports false if less than n
+// bytes are free.
+func (s *Space) Shrink(n int64) bool {
+	if n <= 0 || n > s.FreeBytes() {
+		return false
+	}
+	remaining := n
+	spans := s.free.Spans()
+	for i := len(spans) - 1; i >= 0 && remaining > 0; i-- {
+		sp := spans[i]
+		take := sp.Len()
+		if take > remaining {
+			take = remaining
+		}
+		s.free.Remove(sp.End-take, sp.End)
+		remaining -= take
+	}
+	s.donated += n
+	return true
+}
+
+// CheckInvariants validates the allocator's bookkeeping: free and used
+// extents are disjoint, within bounds, and account for every byte.
+func (s *Space) CheckInvariants() error {
+	if err := s.free.CheckInvariants(); err != nil {
+		return err
+	}
+	var usedTotal int64
+	var all intervals.Set
+	for _, sp := range s.free.Spans() {
+		if sp.Start < 0 || sp.End > s.addrSpace {
+			return fmt.Errorf("logspace: free span %+v out of bounds", sp)
+		}
+		if all.Overlaps(sp.Start, sp.End) {
+			return fmt.Errorf("logspace: free span %+v overlaps", sp)
+		}
+		all.Add(sp.Start, sp.End)
+	}
+	for tag, set := range s.used {
+		if err := set.CheckInvariants(); err != nil {
+			return fmt.Errorf("logspace: tag %d: %w", tag, err)
+		}
+		for _, sp := range set.Spans() {
+			if sp.Start < 0 || sp.End > s.addrSpace {
+				return fmt.Errorf("logspace: tag %d span %+v out of bounds", tag, sp)
+			}
+			if all.Overlaps(sp.Start, sp.End) {
+				return fmt.Errorf("logspace: tag %d span %+v overlaps", tag, sp)
+			}
+			all.Add(sp.Start, sp.End)
+			usedTotal += sp.Len()
+		}
+	}
+	if usedTotal != s.usedBy {
+		return fmt.Errorf("logspace: used accounting %d != tracked %d", usedTotal, s.usedBy)
+	}
+	if got, want := all.Total(), s.addrSpace-s.donated; got != want {
+		return fmt.Errorf("logspace: accounted %d of %d live bytes", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package metrics collects simulation observables: request response times,
+// logging/destaging phase intervals with energy snapshots (for the paper's
+// destaging interval ratio and destaging energy ratio), and per-state disk
+// time fractions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// ResponseStats accumulates request response times in a streaming fashion,
+// keeping a bounded reservoir for percentile estimates.
+type ResponseStats struct {
+	count   int64
+	totalUs float64
+	max     sim.Time
+
+	reservoir []sim.Time
+	seen      int64
+	rngState  uint64
+}
+
+const reservoirSize = 4096
+
+// Add records one response time.
+func (r *ResponseStats) Add(rt sim.Time) {
+	r.count++
+	r.totalUs += float64(rt)
+	if rt > r.max {
+		r.max = rt
+	}
+	r.seen++
+	if len(r.reservoir) < reservoirSize {
+		r.reservoir = append(r.reservoir, rt)
+		return
+	}
+	// Vitter's algorithm R with a cheap xorshift generator: metrics must
+	// not perturb the simulation's seeded randomness.
+	r.rngState = r.rngState*6364136223846793005 + 1442695040888963407
+	idx := r.rngState % uint64(r.seen)
+	if idx < reservoirSize {
+		r.reservoir[idx] = rt
+	}
+}
+
+// Count returns the number of recorded responses.
+func (r *ResponseStats) Count() int64 { return r.count }
+
+// Mean returns the mean response time in milliseconds.
+func (r *ResponseStats) Mean() float64 {
+	if r.count == 0 {
+		return 0
+	}
+	return r.totalUs / float64(r.count) / float64(sim.Millisecond)
+}
+
+// Max returns the largest response time observed.
+func (r *ResponseStats) Max() sim.Time { return r.max }
+
+// Percentile estimates the p-th percentile (0 < p <= 100) in milliseconds
+// from the reservoir sample.
+func (r *ResponseStats) Percentile(p float64) float64 {
+	if len(r.reservoir) == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	sorted := make([]sim.Time, len(r.reservoir))
+	copy(sorted, r.reservoir)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx].Milliseconds()
+}
+
+// Phase labels a period of a logging cycle.
+type Phase int
+
+// Phases of a logging cycle.
+const (
+	Logging Phase = iota + 1
+	Destaging
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case Logging:
+		return "logging"
+	case Destaging:
+		return "destaging"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Interval is one completed phase with its energy consumption.
+type Interval struct {
+	Phase   Phase
+	Start   sim.Time
+	End     sim.Time
+	EnergyJ float64 // array energy consumed during the interval
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() sim.Time { return iv.End - iv.Start }
+
+// PhaseLog records the alternation of logging and destaging periods.
+// Controllers call Begin at each phase boundary with the array's cumulative
+// energy so interval energy can be computed by difference.
+type PhaseLog struct {
+	intervals []Interval
+	open      bool
+	cur       Interval
+	curEnergy float64
+}
+
+// Begin closes any open phase and starts a new one. energyJ is the array's
+// cumulative energy at this instant.
+func (l *PhaseLog) Begin(p Phase, now sim.Time, energyJ float64) {
+	l.End(now, energyJ)
+	l.open = true
+	l.cur = Interval{Phase: p, Start: now}
+	l.curEnergy = energyJ
+}
+
+// End closes the open phase, if any.
+func (l *PhaseLog) End(now sim.Time, energyJ float64) {
+	if !l.open {
+		return
+	}
+	l.cur.End = now
+	l.cur.EnergyJ = energyJ - l.curEnergy
+	l.intervals = append(l.intervals, l.cur)
+	l.open = false
+}
+
+// Intervals returns a copy of the completed intervals.
+func (l *PhaseLog) Intervals() []Interval {
+	out := make([]Interval, len(l.intervals))
+	copy(out, l.intervals)
+	return out
+}
+
+// Totals sums duration and energy per phase over completed intervals.
+func (l *PhaseLog) Totals() (dur map[Phase]sim.Time, energy map[Phase]float64) {
+	dur = make(map[Phase]sim.Time)
+	energy = make(map[Phase]float64)
+	for _, iv := range l.intervals {
+		dur[iv.Phase] += iv.Duration()
+		energy[iv.Phase] += iv.EnergyJ
+	}
+	return dur, energy
+}
+
+// DestagingIntervalRatio is the fraction of completed-cycle time spent
+// destaging — the paper's Figure 2(c) metric.
+func (l *PhaseLog) DestagingIntervalRatio() float64 {
+	dur, _ := l.Totals()
+	total := dur[Logging] + dur[Destaging]
+	if total == 0 {
+		return 0
+	}
+	return float64(dur[Destaging]) / float64(total)
+}
+
+// DestagingEnergyRatio is the fraction of completed-cycle energy consumed
+// during destaging — the paper's Figure 2(d) metric.
+func (l *PhaseLog) DestagingEnergyRatio() float64 {
+	_, energy := l.Totals()
+	total := energy[Logging] + energy[Destaging]
+	if total == 0 {
+		return 0
+	}
+	return energy[Destaging] / total
+}

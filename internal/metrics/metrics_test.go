@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+func TestResponseStatsBasics(t *testing.T) {
+	var r ResponseStats
+	if r.Mean() != 0 || r.Count() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	r.Add(2 * sim.Millisecond)
+	r.Add(4 * sim.Millisecond)
+	r.Add(6 * sim.Millisecond)
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if got := r.Mean(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Mean = %g ms, want 4", got)
+	}
+	if r.Max() != 6*sim.Millisecond {
+		t.Fatalf("Max = %v", r.Max())
+	}
+}
+
+func TestResponseStatsPercentile(t *testing.T) {
+	var r ResponseStats
+	for i := 1; i <= 100; i++ {
+		r.Add(sim.Time(i) * sim.Millisecond)
+	}
+	if got := r.Percentile(50); math.Abs(got-50) > 1 {
+		t.Fatalf("P50 = %g, want ~50", got)
+	}
+	if got := r.Percentile(99); math.Abs(got-99) > 1 {
+		t.Fatalf("P99 = %g, want ~99", got)
+	}
+	if got := r.Percentile(0); got != 0 {
+		t.Fatalf("P0 = %g, want 0 (invalid)", got)
+	}
+	if got := r.Percentile(101); got != 0 {
+		t.Fatalf("P101 = %g, want 0 (invalid)", got)
+	}
+}
+
+func TestResponseStatsReservoirBounded(t *testing.T) {
+	var r ResponseStats
+	for i := 0; i < 3*reservoirSize; i++ {
+		r.Add(sim.Time(i))
+	}
+	if len(r.reservoir) != reservoirSize {
+		t.Fatalf("reservoir grew to %d", len(r.reservoir))
+	}
+	if r.Count() != int64(3*reservoirSize) {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestPhaseLogAlternation(t *testing.T) {
+	var l PhaseLog
+	l.Begin(Logging, 0, 0)
+	l.Begin(Destaging, 100*sim.Second, 500)
+	l.Begin(Logging, 150*sim.Second, 900)
+	l.End(250*sim.Second, 1400)
+	ivs := l.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("%d intervals, want 3", len(ivs))
+	}
+	want := []Interval{
+		{Logging, 0, 100 * sim.Second, 500},
+		{Destaging, 100 * sim.Second, 150 * sim.Second, 400},
+		{Logging, 150 * sim.Second, 250 * sim.Second, 500},
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("interval %d = %+v, want %+v", i, ivs[i], want[i])
+		}
+	}
+}
+
+func TestPhaseLogRatios(t *testing.T) {
+	var l PhaseLog
+	// 300s logging consuming 600 J, 100s destaging consuming 400 J.
+	l.Begin(Logging, 0, 0)
+	l.Begin(Destaging, 300*sim.Second, 600)
+	l.End(400*sim.Second, 1000)
+	if got := l.DestagingIntervalRatio(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("interval ratio = %g, want 0.25", got)
+	}
+	if got := l.DestagingEnergyRatio(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("energy ratio = %g, want 0.4", got)
+	}
+}
+
+func TestPhaseLogEmpty(t *testing.T) {
+	var l PhaseLog
+	if l.DestagingIntervalRatio() != 0 || l.DestagingEnergyRatio() != 0 {
+		t.Fatal("empty log has non-zero ratios")
+	}
+	l.End(10, 5) // End without Begin is a no-op
+	if len(l.Intervals()) != 0 {
+		t.Fatal("End without Begin recorded an interval")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Logging.String() != "logging" || Destaging.String() != "destaging" {
+		t.Fatal("phase names wrong")
+	}
+	if Phase(99).String() == "" {
+		t.Fatal("unknown phase renders empty")
+	}
+}
+
+func TestReservoirSamplingRepresentative(t *testing.T) {
+	// Feed a stream where the second half is 10x slower; the reservoir
+	// percentile estimate must land between the two modes.
+	var r ResponseStats
+	for i := 0; i < 20000; i++ {
+		v := sim.Millisecond
+		if i >= 10000 {
+			v = 10 * sim.Millisecond
+		}
+		r.Add(v)
+	}
+	p50 := r.Percentile(50)
+	if p50 < 1 || p50 > 10 {
+		t.Fatalf("P50 = %g, want within [1,10]", p50)
+	}
+	p90 := r.Percentile(90)
+	if p90 != 10 {
+		t.Fatalf("P90 = %g, want 10 (half the stream is 10ms)", p90)
+	}
+	if r.Max() != 10*sim.Millisecond {
+		t.Fatalf("Max = %v", r.Max())
+	}
+}

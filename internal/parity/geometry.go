@@ -1,0 +1,124 @@
+// Package parity implements the paper's stated future work (Section VII):
+// RoLo deployed on a parity-based array. It provides a RAID5 substrate —
+// left-symmetric rotating parity with read-modify-write small writes — and
+// RoLo5, a rotated-parity-logging controller that defers the small-write
+// parity penalty by logging writes into the rotating free-space pool and
+// reconstructing parity in idle time slots, the way RoLo's decentralized
+// destaging works on RAID10.
+package parity
+
+import (
+	"fmt"
+)
+
+// Geometry describes a RAID5 layout: Disks drives with a rotating parity
+// strip (left-symmetric), StripUnitBytes per strip, and DataBytesPerDisk
+// of usable space per disk (the remainder of each drive is logging space
+// for RoLo5).
+type Geometry struct {
+	Disks            int
+	StripUnitBytes   int64
+	DataBytesPerDisk int64
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Disks < 3:
+		return fmt.Errorf("parity: RAID5 needs >= 3 disks, have %d", g.Disks)
+	case g.StripUnitBytes <= 0:
+		return fmt.Errorf("parity: non-positive strip unit %d", g.StripUnitBytes)
+	case g.DataBytesPerDisk <= 0:
+		return fmt.Errorf("parity: non-positive data capacity %d", g.DataBytesPerDisk)
+	case g.DataBytesPerDisk%g.StripUnitBytes != 0:
+		return fmt.Errorf("parity: data capacity %d not a multiple of strip unit %d",
+			g.DataBytesPerDisk, g.StripUnitBytes)
+	}
+	return nil
+}
+
+// VolumeBytes is the logical capacity: (Disks-1) data strips per stripe.
+func (g Geometry) VolumeBytes() int64 {
+	stripesPerDisk := g.DataBytesPerDisk / g.StripUnitBytes
+	return stripesPerDisk * int64(g.Disks-1) * g.StripUnitBytes
+}
+
+// Strip addresses one strip-aligned fragment of a request.
+type Strip struct {
+	Stripe int64 // stripe number
+	Disk   int   // disk holding this data strip
+	Offset int64 // byte offset within the disk's data region
+	Within int64 // offset within the strip
+	Length int64
+}
+
+// ParityDisk returns the disk holding the parity strip of a stripe
+// (left-symmetric rotation: parity walks backwards across the array).
+func (g Geometry) ParityDisk(stripe int64) int {
+	n := int64(g.Disks)
+	return int((n - 1 - stripe%n) % n)
+}
+
+// ParityOffset returns the byte offset of a stripe's parity strip within
+// the parity disk's data region.
+func (g Geometry) ParityOffset(stripe int64) int64 {
+	return stripe * g.StripUnitBytes
+}
+
+// Map splits the volume range [offset, offset+length) into data strips.
+func (g Geometry) Map(offset, length int64) ([]Strip, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if offset < 0 || length <= 0 || offset+length > g.VolumeBytes() {
+		return nil, fmt.Errorf("parity: range [%d,%d) outside volume of %d bytes",
+			offset, offset+length, g.VolumeBytes())
+	}
+	su := g.StripUnitBytes
+	dataPerStripe := int64(g.Disks-1) * su
+	var out []Strip
+	for length > 0 {
+		stripe := offset / dataPerStripe
+		inStripe := offset % dataPerStripe
+		dataIdx := inStripe / su // 0..Disks-2: which data strip of the stripe
+		within := inStripe % su
+		frag := su - within
+		if frag > length {
+			frag = length
+		}
+		// Left-symmetric: data strips occupy the disks after the parity
+		// disk, wrapping around.
+		pd := g.ParityDisk(stripe)
+		dd := (pd + 1 + int(dataIdx)) % g.Disks
+		out = append(out, Strip{
+			Stripe: stripe,
+			Disk:   dd,
+			Offset: stripe*su + within,
+			Within: within,
+			Length: frag,
+		})
+		offset += frag
+		length -= frag
+	}
+	return out, nil
+}
+
+// FullStripes reports which stripes of the range are fully covered by the
+// request (eligible for the full-stripe write optimization) and whether
+// every byte belongs to a full stripe.
+func (g Geometry) FullStripes(offset, length int64) (full []int64, allFull bool) {
+	dataPerStripe := int64(g.Disks-1) * g.StripUnitBytes
+	first := offset / dataPerStripe
+	last := (offset + length - 1) / dataPerStripe
+	allFull = true
+	for s := first; s <= last; s++ {
+		start := s * dataPerStripe
+		end := start + dataPerStripe
+		if offset <= start && offset+length >= end {
+			full = append(full, s)
+		} else {
+			allFull = false
+		}
+	}
+	return full, allFull
+}

@@ -1,0 +1,327 @@
+package parity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+func testGeom() Geometry {
+	return Geometry{Disks: 5, StripUnitBytes: 64 << 10, DataBytesPerDisk: 256 << 20}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeom().Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []Geometry{
+		{Disks: 2, StripUnitBytes: 64 << 10, DataBytesPerDisk: 1 << 20},
+		{Disks: 5, StripUnitBytes: 0, DataBytesPerDisk: 1 << 20},
+		{Disks: 5, StripUnitBytes: 64 << 10, DataBytesPerDisk: 0},
+		{Disks: 5, StripUnitBytes: 64 << 10, DataBytesPerDisk: 100},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestVolumeBytes(t *testing.T) {
+	g := testGeom()
+	// 4 data strips per stripe out of 5 disks.
+	want := g.DataBytesPerDisk * 4
+	if got := g.VolumeBytes(); got != want {
+		t.Fatalf("VolumeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestParityRotates(t *testing.T) {
+	g := testGeom()
+	seen := map[int]bool{}
+	for s := int64(0); s < int64(g.Disks); s++ {
+		pd := g.ParityDisk(s)
+		if pd < 0 || pd >= g.Disks {
+			t.Fatalf("parity disk %d out of range", pd)
+		}
+		if seen[pd] {
+			t.Fatalf("parity disk %d repeats within one rotation", pd)
+		}
+		seen[pd] = true
+	}
+}
+
+func TestMapAvoidsParityDisk(t *testing.T) {
+	g := testGeom()
+	// Every data strip must land on a disk other than its stripe's parity
+	// disk, and cover the full request.
+	for off := int64(0); off < 10*(int64(g.Disks-1))*g.StripUnitBytes; off += 37 * 1024 {
+		strips, err := g.Map(off, 200<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, s := range strips {
+			if s.Disk == g.ParityDisk(s.Stripe) {
+				t.Fatalf("data strip on parity disk: %+v", s)
+			}
+			total += s.Length
+		}
+		if total != 200<<10 {
+			t.Fatalf("mapped %d of %d bytes", total, 200<<10)
+		}
+	}
+}
+
+// Property: Map tiles requests without loss and strips stay in bounds.
+func TestQuickMapConservation(t *testing.T) {
+	g := testGeom()
+	f := func(offRaw, lenRaw uint32) bool {
+		off := int64(offRaw) % (g.VolumeBytes() - 1)
+		length := int64(lenRaw)%(1<<20) + 1
+		if off+length > g.VolumeBytes() {
+			length = g.VolumeBytes() - off
+		}
+		strips, err := g.Map(off, length)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, s := range strips {
+			if s.Disk < 0 || s.Disk >= g.Disks {
+				return false
+			}
+			if s.Offset < 0 || s.Offset+s.Length > g.DataBytesPerDisk {
+				return false
+			}
+			total += s.Length
+		}
+		return total == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullStripes(t *testing.T) {
+	g := testGeom()
+	dataPerStripe := int64(g.Disks-1) * g.StripUnitBytes
+	full, allFull := g.FullStripes(0, dataPerStripe)
+	if len(full) != 1 || !allFull {
+		t.Fatalf("one exact stripe: full=%v allFull=%v", full, allFull)
+	}
+	full, allFull = g.FullStripes(0, dataPerStripe/2)
+	if len(full) != 0 || allFull {
+		t.Fatalf("half stripe: full=%v allFull=%v", full, allFull)
+	}
+	full, allFull = g.FullStripes(dataPerStripe/2, 2*dataPerStripe)
+	if len(full) != 1 || allFull {
+		t.Fatalf("straddling: full=%v allFull=%v", full, allFull)
+	}
+}
+
+func buildArrays(t *testing.T) (*Array, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	arr, err := NewArray(eng, testGeom(), disk.Ultrastar36Z15().WithCapacity(320<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr, eng
+}
+
+func TestRAID5SmallWriteRMW(t *testing.T) {
+	arr, eng := buildArrays(t)
+	c := NewRAID5(arr)
+	// One strip-sized write: RMW = 2 reads + 2 writes.
+	if err := c.Submit(trace.Record{At: 0, Op: trace.Write, Offset: 0, Size: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var reads, writes int64
+	for _, d := range arr.Disks {
+		st := d.Stats()
+		reads += st.BytesRead
+		writes += st.BytesWritten
+	}
+	if reads != 2*64<<10 {
+		t.Fatalf("RMW read %d bytes, want %d", reads, 2*64<<10)
+	}
+	if writes != 2*64<<10 {
+		t.Fatalf("RMW wrote %d bytes, want %d", writes, 2*64<<10)
+	}
+	if c.RMWWrites() != 1 || c.FullStripeWrites() != 0 {
+		t.Fatalf("rmw=%d full=%d", c.RMWWrites(), c.FullStripeWrites())
+	}
+	if c.Responses().Count() != 1 {
+		t.Fatal("response not recorded")
+	}
+}
+
+func TestRAID5FullStripeSkipsRMW(t *testing.T) {
+	arr, eng := buildArrays(t)
+	c := NewRAID5(arr)
+	dataPerStripe := int64(arr.Geom.Disks-1) * arr.Geom.StripUnitBytes
+	if err := c.Submit(trace.Record{At: 0, Op: trace.Write, Offset: 0, Size: dataPerStripe}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var reads int64
+	for _, d := range arr.Disks {
+		reads += d.Stats().BytesRead
+	}
+	if reads != 0 {
+		t.Fatalf("full-stripe write read %d bytes", reads)
+	}
+	if c.FullStripeWrites() != int64(arr.Geom.Disks-1) {
+		t.Fatalf("full-stripe strips = %d", c.FullStripeWrites())
+	}
+}
+
+func TestRoLo5LoggedWriteIsTwoIOs(t *testing.T) {
+	arr, eng := buildArrays(t)
+	c, err := NewRoLo5(arr, DefaultRoLo5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(trace.Record{At: 0, Op: trace.Write, Offset: 0, Size: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Parity is stale the moment the logged write is accepted.
+	if c.StaleParityStripes() != 1 {
+		t.Fatalf("stale stripes = %d, want 1", c.StaleParityStripes())
+	}
+	// Before the background guard opens (10 ms), the foreground path is
+	// exactly two IOs, and no disk that serviced foreground work may have
+	// run sweep IOs yet (disks the request never touched are free to).
+	eng.RunUntil(9900 * sim.Microsecond)
+	var fgIOs int64
+	for _, d := range arr.Disks {
+		st := d.Stats()
+		fgIOs += st.ForegroundIOs
+		if st.ForegroundIOs > 0 && st.BackgroundIOs > 0 {
+			t.Fatalf("disk %d ran sweep IOs inside its guard window", d.ID())
+		}
+	}
+	if fgIOs != 2 {
+		t.Fatalf("logged write took %d foreground IOs, want 2", fgIOs)
+	}
+	if c.LoggedWrites() != 1 || c.DirectRMW() != 0 {
+		t.Fatalf("logged=%d rmw=%d", c.LoggedWrites(), c.DirectRMW())
+	}
+	// After the drain, the sweep has rebuilt the stripe.
+	eng.Run()
+	if c.StaleParityStripes() != 0 {
+		t.Fatalf("stale stripes after drain = %d", c.StaleParityStripes())
+	}
+}
+
+func TestRoLo5SweepRebuildsParityAndReclaims(t *testing.T) {
+	arr, eng := buildArrays(t)
+	c, err := NewRoLo5(arr, DefaultRoLo5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]trace.Record, 32)
+	for i := range recs {
+		recs[i] = trace.Record{
+			At:     sim.Time(i) * 20 * sim.Millisecond,
+			Op:     trace.Write,
+			Offset: int64(i) * (64 << 10),
+			Size:   64 << 10,
+		}
+	}
+	for i := range recs {
+		rec := recs[i]
+		if _, err := eng.Schedule(rec.At, func(sim.Time) {
+			if err := c.Submit(rec); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if c.StaleParityStripes() != 0 {
+		t.Fatalf("stale stripes after drain = %d", c.StaleParityStripes())
+	}
+	if c.SweptStripes() == 0 {
+		t.Fatal("sweeper never ran")
+	}
+	// All log extents reclaimed.
+	for i, sp := range c.spaces {
+		if sp.UsedBytes() != 0 {
+			t.Fatalf("logger %d still holds %d bytes", i, sp.UsedBytes())
+		}
+	}
+	// The sweep ran at background priority.
+	var bg int64
+	for _, d := range arr.Disks {
+		bg += d.Stats().BackgroundIOs
+	}
+	if bg == 0 {
+		t.Fatal("sweep used no background IOs")
+	}
+}
+
+func TestRoLo5LogAvoidsDataDisk(t *testing.T) {
+	arr, _ := buildArrays(t)
+	c, err := NewRoLo5(arr, DefaultRoLo5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < arr.Geom.Disks; d++ {
+		if lg := c.pickLogger(d); lg == d {
+			t.Fatalf("logger %d equals data disk", lg)
+		}
+	}
+}
+
+func TestRoLo5BeatsRAID5OnSmallWrites(t *testing.T) {
+	// The headline claim of the extension: logged small writes cost two
+	// I/Os instead of four, so mean response time drops well below the
+	// RMW baseline under a random small-write workload.
+	syn := trace.Uniform70Random64K(60, 30*sim.Second, 11)
+	mean := func(useRoLo bool) float64 {
+		arr, eng := buildArrays(t)
+		var submit func(trace.Record) error
+		var respMean func() float64
+		if useRoLo {
+			c, err := NewRoLo5(arr, DefaultRoLo5Config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			submit = c.Submit
+			respMean = c.Responses().Mean
+		} else {
+			c := NewRAID5(arr)
+			submit = c.Submit
+			respMean = c.Responses().Mean
+		}
+		recs, err := syn.Generate(arr.Geom.VolumeBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range recs {
+			rec := recs[i]
+			if _, err := eng.Schedule(rec.At, func(sim.Time) {
+				if err := submit(rec); err != nil {
+					t.Error(err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return respMean()
+	}
+	raid5 := mean(false)
+	rolo5 := mean(true)
+	if rolo5 >= raid5 {
+		t.Fatalf("RoLo5 mean %.2f ms not better than RAID5 %.2f ms", rolo5, raid5)
+	}
+	t.Logf("small-write mean: RAID5 %.2f ms vs RoLo5 %.2f ms (%.1fx)", raid5, rolo5, raid5/rolo5)
+}

@@ -1,0 +1,125 @@
+package parity
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	eng := sim.New()
+	cfg := disk.Ultrastar36Z15().WithCapacity(320 << 20)
+	if _, err := NewArray(eng, Geometry{}, cfg); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	big := testGeom()
+	big.DataBytesPerDisk = 1 << 40
+	if _, err := NewArray(eng, big, cfg); err == nil {
+		t.Error("data region beyond disk accepted")
+	}
+	badDisk := cfg
+	badDisk.RPM = 0
+	if _, err := NewArray(eng, testGeom(), badDisk); err == nil {
+		t.Error("invalid disk accepted")
+	}
+}
+
+func TestRoLo5ConfigValidation(t *testing.T) {
+	bad := []RoLo5Config{
+		{RotateFreeFraction: 0, ParityChunkStripes: 8},
+		{RotateFreeFraction: 1, ParityChunkStripes: 8},
+		{RotateFreeFraction: 0.1, ParityChunkStripes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewRoLo5(&Array{}, RoLo5Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestRoLo5RotatesUnderLoad(t *testing.T) {
+	eng := sim.New()
+	// Tiny log regions so rotation happens quickly.
+	geom := Geometry{Disks: 4, StripUnitBytes: 64 << 10, DataBytesPerDisk: 64 << 20}
+	arr, err := NewArray(eng, geom, disk.Ultrastar36Z15().WithCapacity(72<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewRoLo5(arr, DefaultRoLo5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 MB log per disk; push ~40 MB of logged writes.
+	for i := 0; i < 640; i++ {
+		rec := trace.Record{
+			At:     sim.Time(i) * 10 * sim.Millisecond,
+			Op:     trace.Write,
+			Offset: (int64(i) * 331 * 64 << 10) % (geom.VolumeBytes() - (64 << 10)),
+			Size:   64 << 10,
+		}
+		rec.Offset -= rec.Offset % (64 << 10)
+		i := i
+		_ = i
+		if _, err := eng.Schedule(rec.At, func(sim.Time) {
+			if err := c.Submit(rec); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if c.Rotations() == 0 && c.DirectRMW() == 0 {
+		t.Fatal("heavy logging neither rotated nor fell back — space cannot be infinite")
+	}
+	if c.Responses().Count() != 640 {
+		t.Fatalf("responses = %d", c.Responses().Count())
+	}
+	if c.StaleParityStripes() != 0 {
+		t.Fatalf("stale parity after drain = %d", c.StaleParityStripes())
+	}
+	c.Close(eng.Now())
+}
+
+func TestRoLo5ReadPath(t *testing.T) {
+	arr, eng := buildArrays(t)
+	c, err := NewRoLo5(arr, DefaultRoLo5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(trace.Record{At: 0, Op: trace.Read, Offset: 128 << 10, Size: 128 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var reads int64
+	for _, d := range arr.Disks {
+		reads += d.Stats().BytesRead
+	}
+	if reads != 128<<10 {
+		t.Fatalf("read %d bytes, want %d", reads, 128<<10)
+	}
+	if got := arr.TotalEnergyJ(); got <= 0 {
+		t.Fatalf("energy = %g", got)
+	}
+}
+
+func TestRAID5Rejects(t *testing.T) {
+	arr, _ := buildArrays(t)
+	c := NewRAID5(arr)
+	if err := c.Submit(trace.Record{Op: trace.Write, Offset: arr.Geom.VolumeBytes(), Size: 4096}); err == nil {
+		t.Error("out-of-volume write accepted")
+	}
+	c.Close(0)
+	r, err := NewRoLo5(arr, DefaultRoLo5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(trace.Record{Op: trace.Write, Offset: -1, Size: 4096}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}

@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in microseconds and a priority queue
+// of scheduled events. Events scheduled for the same instant fire in the
+// order they were scheduled, which makes every simulation in this repository
+// fully deterministic: the same configuration and seed always produce the
+// same trajectory.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common time unit conversions.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders t as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest microsecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// FromMilliseconds converts floating-point milliseconds to a Time.
+func FromMilliseconds(ms float64) Time { return Time(math.Round(ms * float64(Millisecond))) }
+
+// ErrTimeTravel is returned by Schedule when an event is scheduled before the
+// current simulation time.
+var ErrTimeTravel = errors.New("sim: event scheduled in the past")
+
+// Handler is a callback invoked when an event fires. The engine passes the
+// current simulation time (the event's due time).
+type Handler func(now Time)
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among same-time events
+	id    EventID
+	fn    Handler
+	index int // heap index; -1 when popped
+	dead  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	nextID  EventID
+	queue   eventHeap
+	byID    map[EventID]*event
+	stopped bool
+	fired   uint64
+}
+
+// New returns an initialized Engine starting at time zero.
+func New() *Engine {
+	return &Engine{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) - e.deadCount() }
+
+func (e *Engine) deadCount() int {
+	n := 0
+	for _, ev := range e.queue {
+		if ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers fn to run at absolute time at. It returns an EventID
+// that can be passed to Cancel. Scheduling in the past is an error.
+func (e *Engine) Schedule(at Time, fn Handler) (EventID, error) {
+	if at < e.now {
+		return 0, fmt.Errorf("%w: at=%v now=%v", ErrTimeTravel, at, e.now)
+	}
+	if e.byID == nil {
+		e.byID = make(map[EventID]*event)
+	}
+	e.nextID++
+	e.seq++
+	ev := &event{at: at, seq: e.seq, id: e.nextID, fn: fn}
+	heap.Push(&e.queue, ev)
+	e.byID[ev.id] = ev
+	return ev.id, nil
+}
+
+// After schedules fn to run d after the current time. Negative delays clamp
+// to "now".
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		d = 0
+	}
+	id, _ := e.Schedule(e.now+d, fn) // cannot fail: e.now+d >= e.now
+	return id
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired, was cancelled, or never existed).
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok || ev.dead {
+		return false
+	}
+	ev.dead = true
+	delete(e.byID, id)
+	return true
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its due time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		delete(e.byID, ev.id)
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty, the engine is stopped,
+// or the next event would fire strictly after the deadline. The clock is
+// left at the time of the last executed event (or at the deadline if it is
+// later and at least one event remained).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

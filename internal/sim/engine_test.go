@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueEngineUsable(t *testing.T) {
+	var e Engine
+	ran := false
+	if _, err := e.Schedule(5*Millisecond, func(now Time) { ran = true }); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if e.Now() != 5*Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", e.Now())
+	}
+}
+
+func TestScheduleInPast(t *testing.T) {
+	e := New()
+	e.After(10, func(Time) {})
+	e.Run()
+	if _, err := e.Schedule(5, func(Time) {}); err == nil {
+		t.Fatal("expected ErrTimeTravel scheduling at t=5 after clock reached t=10")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.After(30, func(Time) { got = append(got, 3) })
+	e.After(10, func(Time) { got = append(got, 1) })
+	e.After(20, func(Time) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.After(42, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.After(10, func(Time) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := New()
+	id := e.After(1, func(Time) {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for already-fired event")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.After(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v after RunUntil(25), want 25", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.After(Time(i), func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events, want 3 (stopped)", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", e.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var got []Time
+	e.After(10, func(now Time) {
+		got = append(got, now)
+		e.After(5, func(now Time) { got = append(got, now) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := New()
+	e.After(10, func(Time) {
+		e.After(-5, func(now Time) {
+			if now != 10 {
+				t.Errorf("negative After fired at %v, want 10", now)
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 17; i++ {
+		e.After(Time(i), func(Time) {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", e.Fired())
+	}
+}
+
+// Property: regardless of the insertion order of random timestamps, the
+// engine fires events in non-decreasing time order and the clock never
+// moves backwards.
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(stamps []uint32) bool {
+		e := New()
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s % 1_000_000)
+			e.After(at, func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset of events fires exactly the rest.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		total := int(n%64) + 1
+		ids := make([]EventID, 0, total)
+		firedCount := 0
+		for i := 0; i < total; i++ {
+			id := e.After(Time(rng.Intn(1000)), func(Time) { firedCount++ })
+			ids = append(ids, id)
+		}
+		cancelled := 0
+		for _, id := range ids {
+			if rng.Intn(2) == 0 {
+				if e.Cancel(id) {
+					cancelled++
+				}
+			}
+		}
+		e.Run()
+		return firedCount == total-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in   Time
+		secs float64
+	}{
+		{Second, 1},
+		{500 * Millisecond, 0.5},
+		{Minute, 60},
+		{Hour, 3600},
+	}
+	for _, c := range cases {
+		if got := c.in.Seconds(); got != c.secs {
+			t.Errorf("%v.Seconds() = %v, want %v", c.in, got, c.secs)
+		}
+	}
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromMilliseconds(3.4) != 3400 {
+		t.Errorf("FromMilliseconds(3.4) = %v", FromMilliseconds(3.4))
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.After(Time(rng.Intn(1_000_000)), func(Time) {})
+		}
+		e.Run()
+	}
+}
+
+func TestCancelInsideHandler(t *testing.T) {
+	e := New()
+	var id2 EventID
+	fired2 := false
+	e.After(10, func(Time) {
+		if !e.Cancel(id2) {
+			t.Error("cancel of pending event from a handler failed")
+		}
+	})
+	id2 = e.After(20, func(Time) { fired2 = true })
+	e.Run()
+	if fired2 {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := New()
+	keep := e.After(10, func(Time) {})
+	drop := e.After(20, func(Time) {})
+	_ = keep
+	if !e.Cancel(drop) {
+		t.Fatal("cancel failed")
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d", got)
+	}
+}
+
+func TestRunUntilExactBoundary(t *testing.T) {
+	e := New()
+	fired := false
+	e.After(25, func(Time) { fired = true })
+	e.RunUntil(25) // inclusive boundary
+	if !fired {
+		t.Fatal("event at the deadline did not fire")
+	}
+}

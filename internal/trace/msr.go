@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// The MSR Cambridge traces are CSV files with the fields
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// where Timestamp and ResponseTime are Windows file times (100 ns ticks)
+// and Offset/Size are bytes. ParseMSR normalizes timestamps so the first
+// record is at time zero, letting genuine MSR traces drive the simulator
+// directly in place of the calibrated synthetics.
+
+const fileTimeTicksPerMicro = 10 // 100 ns ticks per µs
+
+// ParseMSR reads records in the MSR Cambridge CSV format. Records for all
+// disk numbers are merged into one volume-relative stream; lines with
+// unknown operation types are rejected.
+func ParseMSR(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1
+	var recs []Record
+	var base int64
+	first := true
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: parse MSR: %w", err)
+		}
+		line++
+		if len(row) < 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want >= 6", line, len(row))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(row[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: timestamp: %w", line, err)
+		}
+		var op Op
+		switch strings.ToLower(strings.TrimSpace(row[3])) {
+		case "read":
+			op = Read
+		case "write":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, row[3])
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(row[4]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: offset: %w", line, err)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(row[5]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: size: %w", line, err)
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("trace: line %d: size %d", line, size)
+		}
+		if first {
+			base = ts
+			first = false
+		}
+		recs = append(recs, Record{
+			At:     sim.Time((ts - base) / fileTimeTicksPerMicro),
+			Op:     op,
+			Offset: off,
+			Size:   size,
+		})
+	}
+	return recs, nil
+}
+
+// WriteMSR emits records in the MSR Cambridge CSV format, with the given
+// hostname and disk number and a synthetic base file time of zero.
+// Response times are written as zero (they are an output of simulation,
+// not an input).
+func WriteMSR(w io.Writer, hostname string, diskNum int, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range recs {
+		ts := int64(r.At) * fileTimeTicksPerMicro
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%s,%d,%d,0\n",
+			ts, hostname, diskNum, r.Op, r.Offset, r.Size); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

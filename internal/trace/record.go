@@ -1,0 +1,110 @@
+// Package trace supplies the I/O workloads that drive the simulator: a
+// parser/writer for the MSR Cambridge block-trace format, seeded synthetic
+// workload generators (Poisson and bursty arrivals, Zipf read locality,
+// mixed sequential/random writes), and calibrated profiles reproducing the
+// published statistics of the seven MSR traces used in the RoLo paper
+// (Tables III, V and VI).
+package trace
+
+import (
+	"fmt"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// Op is the request type.
+type Op int
+
+// Request types.
+const (
+	Read Op = iota + 1
+	Write
+)
+
+// String returns the MSR-format operation name.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "Read"
+	case Write:
+		return "Write"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Record is one logical volume request.
+type Record struct {
+	At     sim.Time // arrival time relative to trace start
+	Op     Op
+	Offset int64 // byte offset within the logical volume
+	Size   int64 // bytes
+}
+
+// End returns the byte offset one past the last byte touched.
+func (r Record) End() int64 { return r.Offset + r.Size }
+
+// Stats summarizes a record slice with the paper's Table III/VI metrics.
+type Stats struct {
+	Requests      int
+	WriteRatio    float64 // fraction of requests that are writes
+	IOPS          float64 // requests per second over the trace duration
+	AvgReqBytes   float64
+	WriteBytes    int64 // total bytes written ("write capacity")
+	ReadBytes     int64
+	Duration      sim.Time
+	MaxOffsetSeen int64
+}
+
+// Summarize computes aggregate statistics over records, which must be in
+// non-decreasing time order.
+func Summarize(recs []Record) Stats {
+	var s Stats
+	s.Requests = len(recs)
+	if len(recs) == 0 {
+		return s
+	}
+	writes := 0
+	var totalBytes int64
+	for _, r := range recs {
+		totalBytes += r.Size
+		if r.Op == Write {
+			writes++
+			s.WriteBytes += r.Size
+		} else {
+			s.ReadBytes += r.Size
+		}
+		if r.End() > s.MaxOffsetSeen {
+			s.MaxOffsetSeen = r.End()
+		}
+	}
+	s.Duration = recs[len(recs)-1].At - recs[0].At
+	s.WriteRatio = float64(writes) / float64(len(recs))
+	s.AvgReqBytes = float64(totalBytes) / float64(len(recs))
+	if s.Duration > 0 {
+		s.IOPS = float64(len(recs)) / s.Duration.Seconds()
+	}
+	return s
+}
+
+// Validate checks ordering and bounds of a record slice.
+func Validate(recs []Record, volumeBytes int64) error {
+	var prev sim.Time
+	for i, r := range recs {
+		if r.At < prev {
+			return fmt.Errorf("trace: record %d at %v before predecessor %v", i, r.At, prev)
+		}
+		prev = r.At
+		if r.Op != Read && r.Op != Write {
+			return fmt.Errorf("trace: record %d has invalid op %d", i, int(r.Op))
+		}
+		if r.Size <= 0 {
+			return fmt.Errorf("trace: record %d has size %d", i, r.Size)
+		}
+		if r.Offset < 0 || (volumeBytes > 0 && r.End() > volumeBytes) {
+			return fmt.Errorf("trace: record %d [%d,%d) outside volume of %d bytes",
+				i, r.Offset, r.End(), volumeBytes)
+		}
+	}
+	return nil
+}

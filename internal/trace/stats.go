@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"sort"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// ExtendedStats adds the workload-characterization metrics the paper's
+// analysis leans on (burstiness, sequentiality, working-set size) to the
+// basic Stats aggregates. Compute it with Characterize.
+type ExtendedStats struct {
+	Stats
+	// SequentialFrac is the fraction of requests that begin exactly where
+	// the previous request of the same kind ended.
+	SequentialFrac float64
+	// DutyCycle estimates the fraction of one-second windows containing
+	// at least one arrival.
+	DutyCycle float64
+	// BurstIOPS is the mean arrival rate within active one-second
+	// windows — directly comparable to the paper's Table III IOPS column.
+	BurstIOPS float64
+	// PeakIOPS is the arrival rate of the busiest one-second window.
+	PeakIOPS float64
+	// WriteWorkingSetBytes is the number of distinct bytes written
+	// (unique, not total).
+	WriteWorkingSetBytes int64
+	// ReadWorkingSetBytes is the number of distinct bytes read.
+	ReadWorkingSetBytes int64
+}
+
+// Characterize computes extended workload statistics. Records must be in
+// time order.
+func Characterize(recs []Record) ExtendedStats {
+	var es ExtendedStats
+	es.Stats = Summarize(recs)
+	if len(recs) == 0 {
+		return es
+	}
+
+	seq := 0
+	var lastWriteEnd, lastReadEnd int64 = -1, -1
+	counts := map[int64]int{}
+	writeSpans := make([]Record, 0, len(recs))
+	readSpans := make([]Record, 0)
+	for _, r := range recs {
+		switch r.Op {
+		case Write:
+			if r.Offset == lastWriteEnd {
+				seq++
+			}
+			lastWriteEnd = r.End()
+			writeSpans = append(writeSpans, r)
+		case Read:
+			if r.Offset == lastReadEnd {
+				seq++
+			}
+			lastReadEnd = r.End()
+			readSpans = append(readSpans, r)
+		}
+		counts[int64(r.At/sim.Second)]++
+	}
+	if len(recs) > 1 {
+		es.SequentialFrac = float64(seq) / float64(len(recs)-1)
+	}
+
+	windows := int64(es.Duration/sim.Second) + 1
+	if windows > 0 {
+		es.DutyCycle = float64(len(counts)) / float64(windows)
+	}
+	if len(counts) > 0 {
+		total, peak := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > peak {
+				peak = c
+			}
+		}
+		es.BurstIOPS = float64(total) / float64(len(counts))
+		es.PeakIOPS = float64(peak)
+	}
+	es.WriteWorkingSetBytes = uniqueBytes(writeSpans)
+	es.ReadWorkingSetBytes = uniqueBytes(readSpans)
+	return es
+}
+
+// uniqueBytes measures the union of the records' byte ranges.
+func uniqueBytes(recs []Record) int64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	spans := make([][2]int64, len(recs))
+	for i, r := range recs {
+		spans[i] = [2]int64{r.Offset, r.End()}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	var total, curStart, curEnd int64
+	curStart, curEnd = spans[0][0], spans[0][1]
+	for _, sp := range spans[1:] {
+		if sp[0] <= curEnd {
+			if sp[1] > curEnd {
+				curEnd = sp[1]
+			}
+			continue
+		}
+		total += curEnd - curStart
+		curStart, curEnd = sp[0], sp[1]
+	}
+	return total + (curEnd - curStart)
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+func TestCharacterizeEmpty(t *testing.T) {
+	es := Characterize(nil)
+	if es.Requests != 0 || es.DutyCycle != 0 || es.SequentialFrac != 0 {
+		t.Fatalf("empty characterization not zero: %+v", es)
+	}
+}
+
+func TestCharacterizeSequentialRun(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = Record{
+			At:     sim.Time(i) * 100 * sim.Millisecond,
+			Op:     Write,
+			Offset: int64(i) * 4096,
+			Size:   4096,
+		}
+	}
+	es := Characterize(recs)
+	if es.SequentialFrac != 1 {
+		t.Fatalf("pure sequential run: frac = %g", es.SequentialFrac)
+	}
+	if es.WriteWorkingSetBytes != 10*4096 {
+		t.Fatalf("write WS = %d", es.WriteWorkingSetBytes)
+	}
+	if es.ReadWorkingSetBytes != 0 {
+		t.Fatalf("read WS = %d", es.ReadWorkingSetBytes)
+	}
+}
+
+func TestCharacterizeOverwritesCollapse(t *testing.T) {
+	// Writing the same block repeatedly keeps the working set at one block.
+	recs := make([]Record, 20)
+	for i := range recs {
+		recs[i] = Record{At: sim.Time(i) * sim.Second, Op: Write, Offset: 0, Size: 8192}
+	}
+	es := Characterize(recs)
+	if es.WriteWorkingSetBytes != 8192 {
+		t.Fatalf("working set = %d, want 8192", es.WriteWorkingSetBytes)
+	}
+	if es.WriteBytes != 20*8192 {
+		t.Fatalf("total written = %d", es.WriteBytes)
+	}
+}
+
+func TestCharacterizeDutyCycle(t *testing.T) {
+	// Arrivals in seconds 0 and 1, silence until second 9: duty 2/10.
+	recs := []Record{
+		{At: 0, Op: Write, Offset: 0, Size: 4096},
+		{At: 1500 * sim.Millisecond, Op: Write, Offset: 4096, Size: 4096},
+		{At: 9 * sim.Second, Op: Write, Offset: 8192, Size: 4096},
+	}
+	es := Characterize(recs)
+	if math.Abs(es.DutyCycle-0.3) > 1e-9 {
+		t.Fatalf("duty = %g, want 0.3 (3 active of 10 windows)", es.DutyCycle)
+	}
+	if es.BurstIOPS != 1 {
+		t.Fatalf("burst IOPS = %g", es.BurstIOPS)
+	}
+}
+
+func TestCharacterizeMatchesProfileCalibration(t *testing.T) {
+	// The src2_2 profile must measure back as very bursty with the
+	// published burst IOPS, and proj_0 as far steadier.
+	gen := func(p Profile, scale float64) ExtendedStats {
+		recs, err := p.Generate(64<<30, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Characterize(recs)
+	}
+	src := gen(Src2_2, 0.02)
+	proj := gen(Proj_0, 0.02)
+	if src.DutyCycle > 0.05 {
+		t.Errorf("src2_2 duty measured %g, want ~0.011", src.DutyCycle)
+	}
+	if proj.DutyCycle < 0.05 || proj.DutyCycle > 0.3 {
+		t.Errorf("proj_0 duty measured %g, want ~0.14", proj.DutyCycle)
+	}
+	if math.Abs(src.BurstIOPS-Src2_2.IOPS)/Src2_2.IOPS > 0.25 {
+		t.Errorf("src2_2 burst IOPS measured %.1f, want ~%.1f", src.BurstIOPS, Src2_2.IOPS)
+	}
+	if src.PeakIOPS < src.BurstIOPS {
+		t.Error("peak below mean burst rate")
+	}
+	// The generator mixes 70% random / 30% sequential writes.
+	if src.SequentialFrac < 0.1 || src.SequentialFrac > 0.5 {
+		t.Errorf("src2_2 sequential fraction %g outside [0.1,0.5]", src.SequentialFrac)
+	}
+}
+
+func TestUniqueBytes(t *testing.T) {
+	cases := []struct {
+		recs []Record
+		want int64
+	}{
+		{nil, 0},
+		{[]Record{{Offset: 0, Size: 100}}, 100},
+		{[]Record{{Offset: 0, Size: 100}, {Offset: 50, Size: 100}}, 150},
+		{[]Record{{Offset: 0, Size: 100}, {Offset: 200, Size: 50}}, 150},
+		{[]Record{{Offset: 200, Size: 50}, {Offset: 0, Size: 300}}, 300},
+	}
+	for i, c := range cases {
+		if got := uniqueBytes(c.recs); got != c.want {
+			t.Errorf("case %d: uniqueBytes = %d, want %d", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// BlockAlign is the alignment of generated offsets and sizes.
+const BlockAlign = 4096
+
+// Synthetic describes a parameterized workload. All randomness is drawn
+// from a generator seeded with Seed, so generation is deterministic.
+type Synthetic struct {
+	// Duration of the workload.
+	Duration sim.Time
+	// IOPS is the long-run average request arrival rate.
+	IOPS float64
+	// WriteRatio is the fraction of requests that are writes, in [0,1].
+	WriteRatio float64
+	// AvgReqBytes is the mean request size. Sizes are drawn from a
+	// two-point distribution (2/3 at half the mean, 1/3 at twice the
+	// mean) aligned to BlockAlign, preserving the mean.
+	AvgReqBytes int64
+	// FixedSize, when true, makes every request exactly AvgReqBytes.
+	FixedSize bool
+	// RandomFrac is the probability that a write starts a new random run
+	// rather than continuing sequentially. The paper's Section II
+	// micro-benchmarks use 0.7.
+	RandomFrac float64
+	// Burstiness in [0,1): 0 is a Poisson process; larger values
+	// concentrate the same average rate into ON periods of an ON/OFF
+	// modulated Poisson process (duty cycle 1-0.9·Burstiness).
+	Burstiness float64
+	// DutyCycle, when non-zero, sets the ON fraction of the ON/OFF
+	// process directly (overriding Burstiness) and reinterprets IOPS as
+	// the ON-period arrival rate. This models the MSR traces, whose
+	// published IOPS are burst rates: the week-long window is mostly
+	// idle. Must be in (0,1].
+	DutyCycle float64
+	// OnPeriod is the fixed ON-phase length for DutyCycle mode
+	// (default 10 s).
+	OnPeriod sim.Time
+	// WriteWorkingSetBytes bounds the region random writes fall in
+	// (0 means the whole volume). Overwrites within the set are what
+	// makes destaging cheaper than raw write volume.
+	WriteWorkingSetBytes int64
+	// ReadWorkingSetBytes bounds the region reads fall in (0 = volume).
+	ReadWorkingSetBytes int64
+	// ReadWSDisjoint places the read working set after the write working
+	// set (when the volume allows) instead of overlapping it, modeling
+	// workloads whose reads touch cold data rather than recent writes.
+	ReadWSDisjoint bool
+	// ReadZipfS is the Zipf skew (>1) of read popularity; 0 disables
+	// skew (uniform reads).
+	ReadZipfS float64
+	// ReadHotFrac is the probability a (non-recent) read comes from the
+	// Zipf-popular set rather than uniformly from the working set. Zero
+	// means 1 (all reads Zipf) when ReadZipfS is set. The mixture lets
+	// hit rates land anywhere between the cold floor and the hot ceiling.
+	ReadHotFrac float64
+	// RecentReadFrac is the probability that a read targets one of the
+	// most recently written extents (read-after-write temporal locality).
+	// Such reads are absorbed by any scheme that logs or caches recent
+	// writes.
+	RecentReadFrac float64
+	// Seed for the deterministic random source.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Synthetic) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("trace: non-positive duration %v", c.Duration)
+	case c.IOPS <= 0:
+		return fmt.Errorf("trace: non-positive IOPS %g", c.IOPS)
+	case c.WriteRatio < 0 || c.WriteRatio > 1:
+		return fmt.Errorf("trace: write ratio %g outside [0,1]", c.WriteRatio)
+	case c.AvgReqBytes < BlockAlign:
+		return fmt.Errorf("trace: average request %d below block size %d", c.AvgReqBytes, BlockAlign)
+	case c.RandomFrac < 0 || c.RandomFrac > 1:
+		return fmt.Errorf("trace: random fraction %g outside [0,1]", c.RandomFrac)
+	case c.Burstiness < 0 || c.Burstiness >= 1:
+		return fmt.Errorf("trace: burstiness %g outside [0,1)", c.Burstiness)
+	case c.DutyCycle < 0 || c.DutyCycle > 1:
+		return fmt.Errorf("trace: duty cycle %g outside [0,1]", c.DutyCycle)
+	case c.OnPeriod < 0:
+		return fmt.Errorf("trace: negative ON period %v", c.OnPeriod)
+	case c.ReadZipfS != 0 && c.ReadZipfS <= 1:
+		return fmt.Errorf("trace: Zipf s must exceed 1, got %g", c.ReadZipfS)
+	case c.RecentReadFrac < 0 || c.RecentReadFrac > 1:
+		return fmt.Errorf("trace: recent-read fraction %g outside [0,1]", c.RecentReadFrac)
+	case c.ReadHotFrac < 0 || c.ReadHotFrac > 1:
+		return fmt.Errorf("trace: hot-read fraction %g outside [0,1]", c.ReadHotFrac)
+	}
+	return nil
+}
+
+func alignDown(v int64) int64 {
+	v -= v % BlockAlign
+	if v < BlockAlign {
+		v = BlockAlign
+	}
+	return v
+}
+
+// Generate materializes the workload over a volume of volumeBytes bytes.
+// Records are returned in arrival order.
+func (c Synthetic) Generate(volumeBytes int64) ([]Record, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if volumeBytes < 2*BlockAlign {
+		return nil, fmt.Errorf("trace: volume of %d bytes too small", volumeBytes)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	writeWS := c.WriteWorkingSetBytes
+	if writeWS <= 0 || writeWS > volumeBytes {
+		writeWS = volumeBytes
+	}
+	readWS := c.ReadWorkingSetBytes
+	if readWS <= 0 || readWS > volumeBytes {
+		readWS = volumeBytes
+	}
+	var readBase int64
+	if c.ReadWSDisjoint {
+		readBase = writeWS
+		if readBase+readWS > volumeBytes {
+			readBase = volumeBytes - readWS
+		}
+		if readBase < 0 {
+			readBase = 0
+		}
+		readBase -= readBase % BlockAlign
+	}
+	var zipf *rand.Zipf
+	readBlocks := uint64(readWS / BlockAlign)
+	if c.ReadZipfS > 1 && readBlocks > 1 {
+		zipf = rand.NewZipf(rng, c.ReadZipfS, 1, readBlocks-1)
+	}
+
+	arrivals := c.arrivalTimes(rng)
+	recs := make([]Record, 0, len(arrivals))
+	seqNext := int64(-1)
+	// Ring of recent write extents for read-after-write locality.
+	const recentRing = 512
+	recent := make([]Record, 0, recentRing)
+	recentHead := 0
+	for _, at := range arrivals {
+		isWrite := rng.Float64() < c.WriteRatio
+		size := c.drawSize(rng)
+		var off int64
+		if isWrite {
+			if seqNext >= 0 && rng.Float64() >= c.RandomFrac && seqNext+size <= writeWS {
+				off = seqNext
+			} else {
+				off = alignedUniform(rng, writeWS-size)
+			}
+			seqNext = off + size
+			w := Record{At: at, Op: Write, Offset: off, Size: size}
+			if len(recent) < recentRing {
+				recent = append(recent, w)
+			} else {
+				recent[recentHead] = w
+				recentHead = (recentHead + 1) % recentRing
+			}
+			recs = append(recs, w)
+			continue
+		}
+		if len(recent) > 0 && rng.Float64() < c.RecentReadFrac {
+			// Re-read a recently written extent.
+			w := recent[rng.Intn(len(recent))]
+			recs = append(recs, Record{At: at, Op: Read, Offset: w.Offset, Size: w.Size})
+			continue
+		}
+		hotFrac := c.ReadHotFrac
+		if hotFrac == 0 {
+			hotFrac = 1
+		}
+		if zipf != nil && rng.Float64() < hotFrac {
+			off = int64(zipf.Uint64()) * BlockAlign
+		} else {
+			off = alignedUniform(rng, readWS-size)
+		}
+		if off+size > readWS {
+			off = alignDown(readWS - size)
+		}
+		recs = append(recs, Record{At: at, Op: Read, Offset: readBase + off, Size: size})
+	}
+	return recs, nil
+}
+
+// arrivalTimes produces the arrival process: Poisson, or ON/OFF-modulated
+// Poisson when Burstiness or DutyCycle is set.
+func (c Synthetic) arrivalTimes(rng *rand.Rand) []sim.Time {
+	var out []sim.Time
+	if c.Burstiness == 0 && (c.DutyCycle == 0 || c.DutyCycle == 1) {
+		t := 0.0
+		dur := c.Duration.Seconds()
+		for {
+			t += rng.ExpFloat64() / c.IOPS
+			if t >= dur {
+				break
+			}
+			out = append(out, sim.FromSeconds(t))
+		}
+		return out
+	}
+	// ON/OFF modulation. In Burstiness mode the duty cycle shrinks with
+	// burstiness while the ON rate grows to preserve the average; in
+	// DutyCycle mode IOPS already is the ON rate. Phase lengths are fixed
+	// so the long-run rate converges quickly; arrivals within ON phases
+	// are Poisson.
+	var duty, onRate, onDur float64
+	if c.DutyCycle > 0 {
+		duty = c.DutyCycle
+		onRate = c.IOPS
+		onDur = 10.0
+		if c.OnPeriod > 0 {
+			onDur = c.OnPeriod.Seconds()
+		}
+	} else {
+		duty = 1 - 0.9*c.Burstiness
+		onRate = c.IOPS / duty
+		onDur = 2.0
+	}
+	offDur := onDur * (1 - duty) / duty
+	t := 0.0
+	dur := c.Duration.Seconds()
+	on := true
+	phaseEnd := onDur
+	for t < dur {
+		if on {
+			next := t + rng.ExpFloat64()/onRate
+			if next >= phaseEnd {
+				t = phaseEnd
+				on = false
+				phaseEnd = t + offDur
+				continue
+			}
+			t = next
+			if t < dur {
+				out = append(out, sim.FromSeconds(t))
+			}
+		} else {
+			t = phaseEnd
+			on = true
+			phaseEnd = t + onDur
+		}
+	}
+	return out
+}
+
+func (c Synthetic) drawSize(rng *rand.Rand) int64 {
+	if c.FixedSize {
+		return alignDown(c.AvgReqBytes)
+	}
+	// Two-point distribution over block-aligned sizes a < b with the
+	// mixing probability solved so the mean is preserved exactly.
+	a := alignNearest(c.AvgReqBytes / 2)
+	b := alignNearest(2 * c.AvgReqBytes)
+	if a >= b {
+		return alignNearest(c.AvgReqBytes)
+	}
+	p := float64(b-c.AvgReqBytes) / float64(b-a)
+	if rng.Float64() < p {
+		return a
+	}
+	return b
+}
+
+func alignNearest(v int64) int64 {
+	blocks := (v + BlockAlign/2) / BlockAlign
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks * BlockAlign
+}
+
+func alignedUniform(rng *rand.Rand, maxStart int64) int64 {
+	if maxStart <= 0 {
+		return 0
+	}
+	blocks := maxStart/BlockAlign + 1
+	return rng.Int63n(blocks) * BlockAlign
+}
+
+// Uniform70Random64K returns the paper's Section II micro-benchmark
+// workload: 100 % writes of 64 KB, 70 % random, at the given request rate.
+func Uniform70Random64K(iops float64, duration sim.Time, seed int64) Synthetic {
+	return Synthetic{
+		Duration:    duration,
+		IOPS:        iops,
+		WriteRatio:  1.0,
+		AvgReqBytes: 64 << 10,
+		FixedSize:   true,
+		RandomFrac:  0.7,
+		Seed:        seed,
+	}
+}
+
+// ExpectedWriteBytes estimates the total bytes the workload writes, which
+// sizing logic uses to pick logging capacities.
+func (c Synthetic) ExpectedWriteBytes() int64 {
+	return int64(math.Round(c.Duration.Seconds() * c.IOPS * c.WriteRatio * float64(c.AvgReqBytes)))
+}

@@ -1,0 +1,99 @@
+package rolo
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// TestReportFieldsPerScheme checks that each scheme populates exactly the
+// report fields its architecture defines — the public contract downstream
+// dashboards rely on.
+func TestReportFieldsPerScheme(t *testing.T) {
+	cfg := smallConfig(SchemeRAID10)
+	recs := writeHeavy(t, cfg, 120, 90*sim.Second, 0.93)
+	reports := map[Scheme]Report{}
+	for _, s := range Schemes {
+		c := smallConfig(s)
+		rep, err := Run(c, recs)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		reports[s] = rep
+	}
+
+	raid := reports[SchemeRAID10]
+	if raid.SpinCycles != 0 || raid.Rotations != 0 || raid.Destages != 0 {
+		t.Errorf("RAID10 report carries scheme-foreign fields: %+v", raid)
+	}
+	if raid.DestagingIntervalRatio != 0 {
+		t.Errorf("RAID10 has a destaging ratio: %g", raid.DestagingIntervalRatio)
+	}
+
+	graid := reports[SchemeGRAID]
+	if graid.Destages == 0 {
+		t.Error("GRAID never destaged under a log-exceeding write volume")
+	}
+	if graid.DestagingIntervalRatio <= 0 || graid.DestagingIntervalRatio >= 1 {
+		t.Errorf("GRAID destaging interval ratio = %g", graid.DestagingIntervalRatio)
+	}
+	if graid.Rotations != 0 {
+		t.Errorf("GRAID rotated: %d", graid.Rotations)
+	}
+
+	for _, s := range []Scheme{SchemeRoLoP, SchemeRoLoR} {
+		r := reports[s]
+		if r.Rotations == 0 {
+			t.Errorf("%v never rotated", s)
+		}
+		if r.Destages != 0 {
+			t.Errorf("%v reports centralized destages: %d", s, r.Destages)
+		}
+	}
+
+	e := reports[SchemeRoLoE]
+	if e.Destages == 0 || e.Rotations == 0 {
+		t.Errorf("RoLo-E destages/rotations = %d/%d", e.Destages, e.Rotations)
+	}
+	if e.ReadHitRate <= 0 || e.ReadHitRate > 1 {
+		t.Errorf("RoLo-E hit rate = %g", e.ReadHitRate)
+	}
+
+	// Every logging scheme must beat the unmanaged RAID10 baseline even
+	// at this miniature scale. (The full Figure 10a ordering — RoLo-E
+	// below RoLo-P — needs realistic logger sizes and is asserted by
+	// TestMainExperimentsShape in internal/experiments.)
+	for _, s := range []Scheme{SchemeGRAID, SchemeRoLoP, SchemeRoLoR, SchemeRoLoE} {
+		if reports[s].EnergyJ >= raid.EnergyJ {
+			t.Errorf("%v energy %.0f not below RAID10 %.0f", s, reports[s].EnergyJ, raid.EnergyJ)
+		}
+	}
+}
+
+// TestRAMCacheReducesDiskLoad verifies the optional cache layer through
+// the facade: with a large RAM cache, repeat reads stop reaching disks and
+// the mean response drops.
+func TestRAMCacheReducesDiskLoad(t *testing.T) {
+	base := smallConfig(SchemeRAID10)
+	// Read-heavy workload over a small hot set.
+	recs := writeHeavy(t, base, 150, 60*sim.Second, 0.2)
+	cold, err := Run(base, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := base
+	warm.RAMCacheBlocks = 1 << 18 // 1 GiB of 4K blocks: everything fits
+	hot, err := Run(warm, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.RAMHitRate <= 0.3 {
+		t.Fatalf("RAM hit rate = %.2f, expected a hot cache", hot.RAMHitRate)
+	}
+	if hot.MeanResponseMs >= cold.MeanResponseMs {
+		t.Fatalf("cache did not help: %.2f ms vs %.2f ms", hot.MeanResponseMs, cold.MeanResponseMs)
+	}
+	if cold.RAMHitRate != 0 {
+		t.Fatalf("cache disabled but hit rate = %g", cold.RAMHitRate)
+	}
+}

@@ -1,0 +1,334 @@
+// Package rolo is a trace-driven simulator of the RoLo rotated-logging
+// storage architecture (Yue et al., ICDCS 2010) and its comparison schemes.
+//
+// It models RAID10 arrays of mechanically- and power-accurate disks and
+// five controllers: standard RAID10, GRAID (centralized logging on a
+// dedicated log disk), and the three RoLo flavors — RoLo-P (performance),
+// RoLo-R (reliability) and RoLo-E (energy). Workloads come either from
+// real MSR Cambridge traces or from the calibrated synthetic profiles in
+// this module.
+//
+// The typical entry point is Run:
+//
+//	cfg := rolo.DefaultConfig(rolo.SchemeRoLoP)
+//	recs, _ := rolo.GenerateProfile("src2_2", cfg, 0.1)
+//	rep, err := rolo.Run(cfg, recs)
+//
+// See the examples directory and cmd/roloexp for complete programs.
+package rolo
+
+import (
+	"fmt"
+
+	"github.com/rolo-storage/rolo/internal/array"
+	"github.com/rolo-storage/rolo/internal/baseline"
+	"github.com/rolo-storage/rolo/internal/core"
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/metrics"
+	"github.com/rolo-storage/rolo/internal/raid"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// Scheme identifies a storage controller scheme.
+type Scheme int
+
+// The five schemes evaluated in the paper.
+const (
+	SchemeRAID10 Scheme = iota + 1
+	SchemeGRAID
+	SchemeRoLoP
+	SchemeRoLoR
+	SchemeRoLoE
+)
+
+// Schemes lists all schemes in the paper's presentation order.
+var Schemes = []Scheme{SchemeRAID10, SchemeGRAID, SchemeRoLoP, SchemeRoLoR, SchemeRoLoE}
+
+// String returns the scheme name as used in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRAID10:
+		return "RAID10"
+	case SchemeGRAID:
+		return "GRAID"
+	case SchemeRoLoP:
+		return "RoLo-P"
+	case SchemeRoLoR:
+		return "RoLo-R"
+	case SchemeRoLoE:
+		return "RoLo-E"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme resolves a scheme name (case-sensitive, as printed by
+// String).
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("rolo: unknown scheme %q", name)
+}
+
+// Config describes one simulated array and scheme.
+type Config struct {
+	// Scheme selects the controller.
+	Scheme Scheme
+	// Pairs is the number of mirrored pairs; the array has 2·Pairs disks
+	// (GRAID adds one dedicated log disk).
+	Pairs int
+	// StripeUnitBytes is the RAID10 striping granularity.
+	StripeUnitBytes int64
+	// Disk is the drive model; defaults to the IBM Ultrastar 36Z15.
+	Disk disk.Config
+	// FreeBytesPerDisk is the per-disk logging region (the paper's
+	// default is 8 GB, half the drive).
+	FreeBytesPerDisk int64
+	// RAMCacheBlocks enables a controller-level RAM read cache of that
+	// many blocks in front of the scheme (0 disables it, the default).
+	// The paper assumes multi-level caches absorb most reads before they
+	// reach the disks; this knob models that level explicitly.
+	RAMCacheBlocks int
+	// RAMCacheBlockBytes is the RAM cache granularity (default 4 KiB).
+	RAMCacheBlockBytes int64
+	// GRAID, RoLo and RoLoE hold per-scheme tuning knobs.
+	GRAID baseline.GRAIDConfig
+	RoLo  core.Config
+	RoLoE core.EConfig
+}
+
+// DefaultConfig returns the paper's default configuration for the scheme:
+// 20 mirrored pairs (40 disks), 64 KB stripe unit, Ultrastar 36Z15 drives,
+// 8 GB free space per disk, 16 GB GRAID log disk.
+func DefaultConfig(scheme Scheme) Config {
+	return Config{
+		Scheme:           scheme,
+		Pairs:            20,
+		StripeUnitBytes:  64 << 10,
+		Disk:             disk.Ultrastar36Z15(),
+		FreeBytesPerDisk: 8 << 30,
+		GRAID:            baseline.DefaultGRAIDConfig(),
+		RoLo:             core.DefaultConfig(),
+		RoLoE:            core.DefaultEConfig(),
+	}
+}
+
+// Geometry derives the RAID10 geometry: the data region is the disk
+// capacity minus the logging region, rounded down to a stripe multiple.
+func (c Config) Geometry() raid.Geometry {
+	dataBytes := c.Disk.CapacityBytes - c.FreeBytesPerDisk
+	if c.StripeUnitBytes > 0 {
+		dataBytes -= dataBytes % c.StripeUnitBytes
+	}
+	return raid.Geometry{
+		Pairs:            c.Pairs,
+		StripeUnitBytes:  c.StripeUnitBytes,
+		DataBytesPerDisk: dataBytes,
+	}
+}
+
+// VolumeBytes returns the logical volume size exposed by this
+// configuration; workloads must address within it.
+func (c Config) VolumeBytes() int64 { return c.Geometry().VolumeBytes() }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Scheme {
+	case SchemeRAID10, SchemeGRAID, SchemeRoLoP, SchemeRoLoR, SchemeRoLoE:
+	default:
+		return fmt.Errorf("rolo: invalid scheme %d", int(c.Scheme))
+	}
+	if c.Pairs <= 0 {
+		return fmt.Errorf("rolo: non-positive pair count %d", c.Pairs)
+	}
+	if c.RAMCacheBlocks < 0 {
+		return fmt.Errorf("rolo: negative RAM cache size %d", c.RAMCacheBlocks)
+	}
+	if c.FreeBytesPerDisk < 0 || c.FreeBytesPerDisk >= c.Disk.CapacityBytes {
+		return fmt.Errorf("rolo: free space %d outside [0, disk capacity %d)",
+			c.FreeBytesPerDisk, c.Disk.CapacityBytes)
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	return c.Geometry().Validate()
+}
+
+// Report summarizes one simulation run.
+type Report struct {
+	Scheme   Scheme
+	Requests int64
+
+	// EnergyJ is cumulative array energy at the trace horizon — the
+	// number used for all cross-scheme energy comparisons.
+	EnergyJ float64
+	// EnergyAtDrainJ is energy once all background work finished.
+	EnergyAtDrainJ float64
+
+	MeanResponseMs float64
+	P95ResponseMs  float64
+	P99ResponseMs  float64
+	MaxResponseMs  float64
+
+	// SpinCycles is the array-wide count of disk spin-up events
+	// (Table I's "number of disks spin up/down").
+	SpinCycles int
+
+	// Rotations counts logger rotations (RoLo-P/R/E).
+	Rotations int
+	// Destages counts centralized destages (GRAID, RoLo-E).
+	Destages int
+	// DirectWrites counts writes that bypassed logging.
+	DirectWrites int64
+	// ReadHitRate is the fraction of reads served without a spin-up
+	// (RoLo-E only).
+	ReadHitRate float64
+	// RAMHitRate is the controller RAM cache hit rate (when enabled).
+	RAMHitRate float64
+
+	// DestagingIntervalRatio and DestagingEnergyRatio are the Figure 2
+	// metrics (schemes with centralized destaging phases).
+	DestagingIntervalRatio float64
+	DestagingEnergyRatio   float64
+
+	// StateSeconds aggregates time per power state over all disks.
+	StateSeconds map[string]float64
+
+	// Horizon is the trace duration; DrainedAt is when the last
+	// background work completed.
+	Horizon   sim.Time
+	DrainedAt sim.Time
+}
+
+// Run simulates the configuration against the trace records (which must be
+// time-ordered and addressed within VolumeBytes).
+func Run(cfg Config, recs []trace.Record) (Report, error) {
+	var rep Report
+	if err := cfg.Validate(); err != nil {
+		return rep, err
+	}
+	if err := trace.Validate(recs, cfg.VolumeBytes()); err != nil {
+		return rep, err
+	}
+	eng := sim.New()
+	extras := 0
+	if cfg.Scheme == SchemeGRAID {
+		extras = 1
+	}
+	arr, err := array.New(eng, cfg.Geometry(), cfg.Disk, extras)
+	if err != nil {
+		return rep, err
+	}
+
+	var (
+		ctrl  array.Controller
+		resp  *metrics.ResponseStats
+		after func(*Report) error
+	)
+	switch cfg.Scheme {
+	case SchemeRAID10:
+		c := baseline.NewRAID10(arr)
+		ctrl, resp = c, c.Responses()
+	case SchemeGRAID:
+		c, err := baseline.NewGRAID(arr, cfg.GRAID)
+		if err != nil {
+			return rep, err
+		}
+		ctrl, resp = c, c.Responses()
+		after = func(r *Report) error {
+			r.Destages = c.Destages()
+			r.DirectWrites = int64(c.LogOverflows())
+			r.DestagingIntervalRatio = c.Phases().DestagingIntervalRatio()
+			r.DestagingEnergyRatio = c.Phases().DestagingEnergyRatio()
+			return nil
+		}
+	case SchemeRoLoP, SchemeRoLoR:
+		flavor := core.FlavorP
+		if cfg.Scheme == SchemeRoLoR {
+			flavor = core.FlavorR
+		}
+		c, err := core.New(arr, flavor, cfg.RoLo)
+		if err != nil {
+			return rep, err
+		}
+		ctrl, resp = c, c.Responses()
+		after = func(r *Report) error {
+			r.Rotations = c.Rotations()
+			r.DirectWrites = int64(c.DirectWrites())
+			return c.CheckErr()
+		}
+	case SchemeRoLoE:
+		c, err := core.NewE(arr, cfg.RoLoE)
+		if err != nil {
+			return rep, err
+		}
+		ctrl, resp = c, c.Responses()
+		after = func(r *Report) error {
+			r.Rotations = c.Rotations()
+			r.Destages = c.Destages()
+			r.DirectWrites = c.Overflows()
+			r.ReadHitRate = c.ReadHitRate()
+			r.DestagingIntervalRatio = c.Phases().DestagingIntervalRatio()
+			r.DestagingEnergyRatio = c.Phases().DestagingEnergyRatio()
+			return nil
+		}
+	}
+
+	var ram *array.CachedController
+	if cfg.RAMCacheBlocks > 0 {
+		blockBytes := cfg.RAMCacheBlockBytes
+		if blockBytes == 0 {
+			blockBytes = 4096
+		}
+		ram, err = array.WithRAMCache(ctrl, resp, eng, cfg.RAMCacheBlocks, blockBytes)
+		if err != nil {
+			return rep, err
+		}
+		ctrl = ram
+	}
+
+	res, err := array.Replay(eng, arr, ctrl, recs)
+	if err != nil {
+		return rep, err
+	}
+	if ram != nil {
+		rep.RAMHitRate = ram.HitRate()
+	}
+
+	rep.Scheme = cfg.Scheme
+	rep.Requests = resp.Count()
+	rep.EnergyJ = res.EnergyAtHorizonJ
+	rep.EnergyAtDrainJ = arr.TotalEnergyJ()
+	rep.MeanResponseMs = resp.Mean()
+	rep.P95ResponseMs = resp.Percentile(95)
+	rep.P99ResponseMs = resp.Percentile(99)
+	rep.MaxResponseMs = resp.Max().Milliseconds()
+	rep.SpinCycles = arr.TotalSpinCycles()
+	rep.Horizon = res.Horizon
+	rep.DrainedAt = res.DrainedAt
+	rep.StateSeconds = make(map[string]float64)
+	for st, dur := range array.StateDurations(arr.AllDisks()) {
+		rep.StateSeconds[st.String()] = dur.Seconds()
+	}
+	if after != nil {
+		if err := after(&rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// GenerateProfile materializes a calibrated MSR profile against the
+// configuration's volume, replaying the given fraction (0,1] of the full
+// trace.
+func GenerateProfile(name string, cfg Config, scale float64) ([]trace.Record, error) {
+	p, err := trace.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(cfg.VolumeBytes(), scale)
+}
