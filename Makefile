@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: everything CI (and a pre-commit) should run.
+check:
+	./scripts/check.sh

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/rolo-storage/rolo/internal/experiments"
+	"github.com/rolo-storage/rolo/internal/sim"
 )
 
 func main() {
@@ -26,10 +27,12 @@ func main() {
 
 func run() error {
 	var (
-		id    = flag.String("run", "", "experiment id to run, or \"all\"")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Float64("scale", 0.1, "geometry+trace scale factor in (0,1]")
-		pairs = flag.Int("pairs", 20, "number of mirrored pairs (disks = 2*pairs)")
+		id         = flag.String("run", "", "experiment id to run, or \"all\"")
+		list       = flag.Bool("list", false, "list available experiments")
+		scale      = flag.Float64("scale", 0.1, "geometry+trace scale factor in (0,1]")
+		pairs      = flag.Int("pairs", 20, "number of mirrored pairs (disks = 2*pairs)")
+		journalDir = flag.String("journal", "", "write one JSONL telemetry journal per run into this directory")
+		probeIv    = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
 	)
 	flag.Parse()
 
@@ -42,9 +45,19 @@ func run() error {
 		return nil
 	}
 
-	opts := experiments.Options{Scale: *scale, Pairs: *pairs}
+	opts := experiments.Options{
+		Scale:         *scale,
+		Pairs:         *pairs,
+		JournalDir:    *journalDir,
+		ProbeInterval: sim.Time((*probeIv) / time.Microsecond),
+	}
 	if err := opts.Validate(); err != nil {
 		return err
+	}
+	if opts.JournalDir != "" {
+		if err := os.MkdirAll(opts.JournalDir, 0o755); err != nil {
+			return err
+		}
 	}
 
 	var todo []experiments.Experiment

@@ -10,12 +10,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -35,6 +39,9 @@ func run() error {
 		pairs     = flag.Int("pairs", 20, "mirrored pairs (disks = 2*pairs)")
 		freeGiB   = flag.Float64("free", 8, "per-disk free (logging) space in GiB before scaling")
 		stripeKB  = flag.Int64("stripe", 64, "stripe unit in KB")
+		journal   = flag.String("journal", "", "write a JSONL telemetry event journal to this file")
+		probeIv   = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
+		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -70,21 +77,42 @@ func run() error {
 		}
 	}
 
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Telemetry.Sink = telemetry.NewJSONLSink(f)
+	}
+	cfg.Telemetry.ProbeInterval = sim.Time((*probeIv) / time.Microsecond)
+
 	st := trace.Summarize(recs)
-	fmt.Printf("workload: %d requests, %.1f%% writes, %.2f IOPS avg, %.1f KB avg, %.2f GiB written\n",
-		st.Requests, 100*st.WriteRatio, st.IOPS, st.AvgReqBytes/1024, float64(st.WriteBytes)/(1<<30))
-	fmt.Printf("array: %s, %d disks, %.2f GiB/disk (%.2f GiB logging), stripe %d KB\n\n",
-		s, 2**pairs, float64(cfg.Disk.CapacityBytes)/(1<<30),
-		float64(cfg.FreeBytesPerDisk)/(1<<30), *stripeKB)
+	if !*asJSON {
+		fmt.Printf("workload: %d requests, %.1f%% writes, %.2f IOPS avg, %.1f KB avg, %.2f GiB written\n",
+			st.Requests, 100*st.WriteRatio, st.IOPS, st.AvgReqBytes/1024, float64(st.WriteBytes)/(1<<30))
+		fmt.Printf("array: %s, %d disks, %.2f GiB/disk (%.2f GiB logging), stripe %d KB\n\n",
+			s, 2**pairs, float64(cfg.Disk.CapacityBytes)/(1<<30),
+			float64(cfg.FreeBytesPerDisk)/(1<<30), *stripeKB)
+	}
 
 	rep, err := rolo.Run(cfg, recs)
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 	fmt.Printf("energy:            %.0f J over %v (%.1f W average)\n",
 		rep.EnergyJ, rep.Horizon, rep.EnergyJ/rep.Horizon.Seconds())
 	fmt.Printf("mean response:     %.3f ms (p95 %.1f, p99 %.1f, max %.1f)\n",
 		rep.MeanResponseMs, rep.P95ResponseMs, rep.P99ResponseMs, rep.MaxResponseMs)
+	fmt.Printf("  reads:           %d reqs, mean %.3f ms, p99 %.1f ms\n",
+		rep.ReadLatency.Count, rep.ReadLatency.MeanMs, rep.ReadLatency.P99Ms)
+	fmt.Printf("  writes:          %d reqs, mean %.3f ms, p99 %.1f ms\n",
+		rep.WriteLatency.Count, rep.WriteLatency.MeanMs, rep.WriteLatency.P99Ms)
 	fmt.Printf("spin cycles:       %d\n", rep.SpinCycles)
 	if rep.Rotations > 0 {
 		fmt.Printf("logger rotations:  %d\n", rep.Rotations)
@@ -109,6 +137,11 @@ func run() error {
 		fmt.Printf(" %s=%.0fs", k, rep.StateSeconds[k])
 	}
 	fmt.Println()
+	if rep.ProbeSamples > 0 {
+		fmt.Printf("probes:            %d samples, peak log occupancy %.1f%%, peak backlog %.2f MiB, peak spinning %d\n",
+			rep.ProbeSamples, 100*rep.PeakLogOccupancy,
+			float64(rep.PeakDestageBacklogBytes)/(1<<20), rep.PeakSpinningDisks)
+	}
 	return nil
 }
 

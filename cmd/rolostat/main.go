@@ -1,0 +1,221 @@
+// Command rolostat analyzes a JSONL telemetry journal produced by
+// rolosim -journal (or roloexp -journal) and prints a run summary: event
+// counts, request statistics, rotation and destage activity, per-disk
+// spin cycles, and the reconstructed normal/destaging phase timeline.
+//
+// Usage:
+//
+//	rolostat run.jsonl
+//	rolosim -scheme RoLo-P -journal run.jsonl && rolostat run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rolostat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) != 2 {
+		return fmt.Errorf("usage: rolostat <journal.jsonl>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ParseJournal(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: empty journal", os.Args[1])
+	}
+	return summarize(events, os.Stdout)
+}
+
+// phase is one contiguous span of the normal/destaging timeline.
+type phase struct {
+	start, end sim.Time
+	destaging  bool
+	open       bool // run ended before the span closed
+}
+
+func summarize(events []telemetry.Event, w *os.File) error {
+	var (
+		counts     = map[telemetry.Kind]int64{}
+		prev       sim.Time
+		reqBytes   int64
+		reads      int64
+		writes     int64
+		latSum     float64
+		latMax     int64
+		latN       int64
+		rotations  []sim.Time
+		spinUps    = map[int]int{}
+		spinDowns  = map[int]int{}
+		destageDur sim.Time
+		phases     []phase
+		live       int // destages in flight
+		peakOcc    float64
+		peakBack   int64
+		probes     int
+		destages   int
+		openDest   = map[int][]sim.Time{} // pair -> start stack
+	)
+	first, last := events[0].At, events[len(events)-1].At
+	cur := phase{start: first}
+
+	closePhase := func(at sim.Time, destaging bool) {
+		if at > cur.start {
+			cur.end = at
+			phases = append(phases, cur)
+		}
+		cur = phase{start: at, destaging: destaging}
+	}
+
+	for i, ev := range events {
+		if ev.At < prev {
+			return fmt.Errorf("event %d: timestamp %v before %v (journal not monotonic)", i, ev.At, prev)
+		}
+		prev = ev.At
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case telemetry.KindRequestStart:
+			reqBytes += ev.Bytes
+			if ev.Write {
+				writes++
+			} else {
+				reads++
+			}
+		case telemetry.KindRequestDone:
+			latSum += float64(ev.LatencyUs)
+			latN++
+			if ev.LatencyUs > latMax {
+				latMax = ev.LatencyUs
+			}
+		case telemetry.KindRotation:
+			rotations = append(rotations, ev.At)
+		case telemetry.KindSpinUp:
+			spinUps[ev.Disk]++
+		case telemetry.KindSpinDown:
+			spinDowns[ev.Disk]++
+		case telemetry.KindDestageStart:
+			if live == 0 && !cur.destaging {
+				closePhase(ev.At, true)
+			}
+			live++
+			openDest[ev.Pair] = append(openDest[ev.Pair], ev.At)
+		case telemetry.KindDestageDone:
+			destages++
+			if st := openDest[ev.Pair]; len(st) > 0 {
+				destageDur += ev.At - st[len(st)-1]
+				openDest[ev.Pair] = st[:len(st)-1]
+			}
+			if live > 0 {
+				live--
+			}
+			if live == 0 && cur.destaging {
+				closePhase(ev.At, false)
+			}
+		case telemetry.KindProbe:
+			probes++
+			if ev.LogCap > 0 {
+				if occ := float64(ev.LogUsed) / float64(ev.LogCap); occ > peakOcc {
+					peakOcc = occ
+				}
+			}
+			if ev.Backlog > peakBack {
+				peakBack = ev.Backlog
+			}
+		}
+	}
+	cur.end = last
+	cur.open = live > 0
+	if cur.end > cur.start || len(phases) == 0 {
+		phases = append(phases, cur)
+	}
+
+	fmt.Fprintf(w, "journal: %d events over %v\n\n", len(events), last-first)
+
+	fmt.Fprintln(w, "event counts:")
+	for _, k := range telemetry.Kinds {
+		if counts[k] > 0 {
+			fmt.Fprintf(w, "  %-13s %d\n", k, counts[k])
+		}
+	}
+
+	if n := reads + writes; n > 0 {
+		fmt.Fprintf(w, "\nrequests: %d (%d reads, %d writes), %.2f MiB total\n",
+			n, reads, writes, float64(reqBytes)/(1<<20))
+	}
+	if latN > 0 {
+		fmt.Fprintf(w, "response: mean %.3f ms, max %.3f ms over %d completions\n",
+			latSum/float64(latN)/1000, float64(latMax)/1000, latN)
+	}
+
+	if len(rotations) > 0 {
+		fmt.Fprintf(w, "\nrotations: %d", len(rotations))
+		if len(rotations) > 1 {
+			var gap sim.Time
+			for i := 1; i < len(rotations); i++ {
+				gap += rotations[i] - rotations[i-1]
+			}
+			fmt.Fprintf(w, ", mean interval %v", gap/sim.Time(len(rotations)-1))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if destages > 0 {
+		fmt.Fprintf(w, "destages: %d, total busy time %v\n", destages, destageDur)
+	}
+
+	if len(spinUps) > 0 {
+		disks := make([]int, 0, len(spinUps))
+		for d := range spinUps {
+			disks = append(disks, d)
+		}
+		sort.Ints(disks)
+		fmt.Fprintf(w, "\nspin cycles per disk (%d disks cycled):\n", len(disks))
+		for _, d := range disks {
+			fmt.Fprintf(w, "  disk %2d: %d up / %d down\n", d, spinUps[d], spinDowns[d])
+		}
+	}
+
+	if probes > 0 {
+		fmt.Fprintf(w, "\nprobes: %d samples, peak log occupancy %.1f%%, peak backlog %.2f MiB\n",
+			probes, 100*peakOcc, float64(peakBack)/(1<<20))
+	}
+
+	fmt.Fprintf(w, "\nphase timeline (%d phases):\n", len(phases))
+	var normal, destaging sim.Time
+	for _, p := range phases {
+		name := "normal"
+		if p.destaging {
+			name = "destaging"
+			destaging += p.end - p.start
+		} else {
+			normal += p.end - p.start
+		}
+		suffix := ""
+		if p.open {
+			suffix = " (run ended mid-phase)"
+		}
+		fmt.Fprintf(w, "  %12v .. %12v  %-9s %v%s\n", p.start, p.end, name, p.end-p.start, suffix)
+	}
+	if total := normal + destaging; total > 0 {
+		fmt.Fprintf(w, "destaging fraction: %.2f%% of journal span\n",
+			100*float64(destaging)/float64(total))
+	}
+	return nil
+}

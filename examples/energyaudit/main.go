@@ -13,6 +13,8 @@ import (
 	"strconv"
 
 	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 )
 
 func main() {
@@ -43,11 +45,17 @@ func main() {
 		profile, len(recs), 2*base.Pairs, scale)
 
 	var raidEnergy, raidMean float64
-	fmt.Printf("%-8s %12s %10s %12s %8s %6s\n",
-		"scheme", "energy (J)", "vs RAID10", "mean rt (ms)", "p99 (ms)", "spins")
+	fmt.Printf("%-8s %12s %10s %12s %8s %6s %8s %s\n",
+		"scheme", "energy (J)", "vs RAID10", "mean rt (ms)", "p99 (ms)", "spins",
+		"log peak", "activity")
 	for _, scheme := range rolo.Schemes {
 		cfg := base
 		cfg.Scheme = scheme
+		// Telemetry rides along: event counts plus minute-grained probes
+		// for the log-occupancy peak, at no cost to the results.
+		var counts telemetry.CountingSink
+		cfg.Telemetry.Sink = &counts
+		cfg.Telemetry.ProbeInterval = sim.Minute
 		rep, err := rolo.Run(cfg, recs)
 		if err != nil {
 			log.Fatal(err)
@@ -55,9 +63,12 @@ func main() {
 		if scheme == rolo.SchemeRAID10 {
 			raidEnergy, raidMean = rep.EnergyJ, rep.MeanResponseMs
 		}
-		fmt.Printf("%-8s %12.0f %9.1f%% %12.2f %8.1f %6d\n",
+		activity := fmt.Sprintf("%d rot / %d dest",
+			counts.Count(telemetry.KindRotation), counts.Count(telemetry.KindDestageDone))
+		fmt.Printf("%-8s %12.0f %9.1f%% %12.2f %8.1f %6d %7.1f%% %s\n",
 			scheme, rep.EnergyJ, 100*(1-rep.EnergyJ/raidEnergy),
-			rep.MeanResponseMs, rep.P99ResponseMs, rep.SpinCycles)
+			rep.MeanResponseMs, rep.P99ResponseMs, rep.SpinCycles,
+			100*rep.PeakLogOccupancy, activity)
 		_ = raidMean
 	}
 	fmt.Println("\nReading the table: RoLo-P/R keep read latency flat while erasing roughly")

@@ -6,6 +6,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/cache"
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -22,11 +23,15 @@ type CachedController struct {
 	lru        *cache.LRU
 	blockBytes int64
 	hitLatency sim.Time
+	tel        *telemetry.Recorder
 
 	hits, misses int64
 }
 
-var _ Controller = (*CachedController)(nil)
+var (
+	_ Controller             = (*CachedController)(nil)
+	_ telemetry.Instrumented = (*CachedController)(nil)
+)
 
 // WithRAMCache wraps inner with a RAM cache of blocks entries of
 // blockBytes each. resp must be the inner controller's response collector
@@ -51,6 +56,16 @@ func WithRAMCache(inner Controller, resp *metrics.ResponseStats, eng *sim.Engine
 		blockBytes: blockBytes,
 		hitLatency: 100 * sim.Microsecond,
 	}, nil
+}
+
+// SetTelemetry implements telemetry.Instrumented: the recorder is used
+// for the RAM cache's own hit/miss and request events; it is also passed
+// through to the inner controller if that is instrumented.
+func (c *CachedController) SetTelemetry(rec *telemetry.Recorder) {
+	c.tel = rec
+	if in, ok := c.inner.(telemetry.Instrumented); ok {
+		in.SetTelemetry(rec)
+	}
 }
 
 // HitRate returns the RAM cache hit rate over reads.
@@ -80,11 +95,20 @@ func (c *CachedController) Submit(rec trace.Record) error {
 	}
 	if all {
 		c.hits++
+		c.tel.CacheHit(rec.At, -1, rec.Size)
+		// The inner controller never sees a RAM hit, so the cache emits
+		// the request events itself.
+		c.tel.RequestStart(rec.At, false, rec.Size)
 		arrive := rec.At
-		c.eng.After(c.hitLatency, func(now sim.Time) { c.resp.Add(now - arrive) })
+		c.eng.After(c.hitLatency, func(now sim.Time) {
+			rt := now - arrive
+			c.resp.AddClass(rt, false)
+			c.tel.RequestDone(now, false, rt)
+		})
 		return nil
 	}
 	c.misses++
+	c.tel.CacheMiss(rec.At, -1, rec.Size)
 	for b := first; b <= last; b++ {
 		c.lru.Put(b)
 	}

@@ -10,6 +10,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -55,6 +56,7 @@ type GRAID struct {
 
 	resp  metrics.ResponseStats
 	phase metrics.PhaseLog
+	tel   *telemetry.Recorder
 
 	destages     int
 	logOverflows int
@@ -62,7 +64,11 @@ type GRAID struct {
 	closed       bool
 }
 
-var _ array.Controller = (*GRAID)(nil)
+var (
+	_ array.Controller       = (*GRAID)(nil)
+	_ telemetry.Instrumented = (*GRAID)(nil)
+	_ telemetry.GaugeSource  = (*GRAID)(nil)
+)
 
 // NewGRAID builds a GRAID controller. The array must have exactly one
 // extra disk (the dedicated logger); mirrors are placed in Standby.
@@ -103,6 +109,18 @@ func NewGRAID(arr *array.Array, cfg GRAIDConfig) (*GRAID, error) {
 // Responses returns the response-time statistics.
 func (g *GRAID) Responses() *metrics.ResponseStats { return &g.resp }
 
+// SetTelemetry implements telemetry.Instrumented.
+func (g *GRAID) SetTelemetry(rec *telemetry.Recorder) { g.tel = rec }
+
+// TelemetryGauges implements telemetry.GaugeSource: occupancy of the
+// dedicated log disk and the mirror-stale bytes awaiting destage.
+func (g *GRAID) TelemetryGauges() (logUsed, logCap, backlog int64) {
+	for p := range g.dirty {
+		backlog += g.dirty[p].Total()
+	}
+	return g.logSpace.UsedBytes(), g.logSpace.Capacity(), backlog
+}
+
 // Phases returns the logging/destaging phase log.
 func (g *GRAID) Phases() *metrics.PhaseLog { return &g.phase }
 
@@ -120,7 +138,13 @@ func (g *GRAID) Submit(rec trace.Record) error {
 		return fmt.Errorf("graid: %w", err)
 	}
 	arrive := rec.At
-	record := func(now sim.Time) { g.resp.Add(now - arrive) }
+	isWrite := rec.Op == trace.Write
+	g.tel.RequestStart(arrive, isWrite, rec.Size)
+	record := func(now sim.Time) {
+		rt := now - arrive
+		g.resp.AddClass(rt, isWrite)
+		g.tel.RequestDone(now, isWrite, rt)
+	}
 	switch rec.Op {
 	case trace.Read:
 		// Mirrors are asleep; reads are always served by the primaries.
@@ -261,6 +285,7 @@ func (g *GRAID) startDestage(now sim.Time) {
 	g.destages++
 	destagedGen := g.gen
 	g.gen++
+	g.tel.DestageStart(now, -1)
 	g.phase.Begin(metrics.Destaging, now, g.arr.TotalEnergyJ())
 
 	join := array.NewJoin(g.arr.Geom.Pairs, func(at sim.Time) {
@@ -297,7 +322,10 @@ func (g *GRAID) startDestage(now sim.Time) {
 }
 
 func (g *GRAID) endDestage(now sim.Time, destagedGen int) {
-	g.logSpace.ReleaseTag(destagedGen)
+	g.tel.DestageDone(now, -1)
+	if freed := g.logSpace.ReleaseTag(destagedGen); freed > 0 {
+		g.tel.LogInvalidate(now, -1, freed)
+	}
 	g.destaging = false
 	g.phase.Begin(metrics.Logging, now, g.arr.TotalEnergyJ())
 	for _, m := range g.arr.Mirrors {

@@ -10,6 +10,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/array"
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -18,9 +19,13 @@ import (
 type RAID10 struct {
 	arr  *array.Array
 	resp metrics.ResponseStats
+	tel  *telemetry.Recorder
 }
 
-var _ array.Controller = (*RAID10)(nil)
+var (
+	_ array.Controller       = (*RAID10)(nil)
+	_ telemetry.Instrumented = (*RAID10)(nil)
+)
 
 // NewRAID10 returns a RAID10 controller over the array. As in the paper,
 // the baseline performs no power management: every disk is kept at ACTIVE
@@ -35,6 +40,9 @@ func NewRAID10(arr *array.Array) *RAID10 {
 // Responses returns the response-time statistics collected so far.
 func (c *RAID10) Responses() *metrics.ResponseStats { return &c.resp }
 
+// SetTelemetry implements telemetry.Instrumented.
+func (c *RAID10) SetTelemetry(rec *telemetry.Recorder) { c.tel = rec }
+
 // Submit implements array.Controller.
 func (c *RAID10) Submit(rec trace.Record) error {
 	exts, err := c.arr.Geom.Map(rec.Offset, rec.Size)
@@ -42,7 +50,13 @@ func (c *RAID10) Submit(rec trace.Record) error {
 		return fmt.Errorf("raid10: %w", err)
 	}
 	arrive := rec.At
-	record := func(now sim.Time) { c.resp.Add(now - arrive) }
+	isWrite := rec.Op == trace.Write
+	c.tel.RequestStart(arrive, isWrite, rec.Size)
+	record := func(now sim.Time) {
+		rt := now - arrive
+		c.resp.AddClass(rt, isWrite)
+		c.tel.RequestDone(now, isWrite, rt)
+	}
 	switch rec.Op {
 	case trace.Write:
 		join := array.NewJoin(2*len(exts), record)

@@ -21,6 +21,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -130,13 +131,18 @@ type RoLo struct {
 	destageLive []bool          // destage in progress for pair p
 
 	resp metrics.ResponseStats
+	tel  *telemetry.Recorder
 
 	rotations    int
 	directWrites int // writes that bypassed logging (deactivation fallback)
 	closed       bool
 }
 
-var _ array.Controller = (*RoLo)(nil)
+var (
+	_ array.Controller       = (*RoLo)(nil)
+	_ telemetry.Instrumented = (*RoLo)(nil)
+	_ telemetry.GaugeSource  = (*RoLo)(nil)
+)
 
 // New builds a RoLo-P or RoLo-R controller over the array. Logger 0 starts
 // on duty; all other mirrors are placed in Standby. The per-logger space
@@ -203,6 +209,19 @@ func (r *RoLo) isOnDuty(i int) bool {
 // Responses returns response-time statistics.
 func (r *RoLo) Responses() *metrics.ResponseStats { return &r.resp }
 
+// SetTelemetry implements telemetry.Instrumented.
+func (r *RoLo) SetTelemetry(rec *telemetry.Recorder) { r.tel = rec }
+
+// TelemetryGauges implements telemetry.GaugeSource: log occupancy summed
+// over every logger's space, and the stale bytes awaiting destage.
+func (r *RoLo) TelemetryGauges() (logUsed, logCap, backlog int64) {
+	for _, sp := range r.spaces {
+		logUsed += sp.UsedBytes()
+		logCap += sp.Capacity()
+	}
+	return logUsed, logCap, r.DirtyBytes()
+}
+
 // Rotations returns the number of logger rotations performed.
 func (r *RoLo) Rotations() int { return r.rotations }
 
@@ -242,7 +261,13 @@ func (r *RoLo) Submit(rec trace.Record) error {
 		return fmt.Errorf("%v: %w", r.flavor, err)
 	}
 	arrive := rec.At
-	record := func(now sim.Time) { r.resp.Add(now - arrive) }
+	isWrite := rec.Op == trace.Write
+	r.tel.RequestStart(arrive, isWrite, rec.Size)
+	record := func(now sim.Time) {
+		rt := now - arrive
+		r.resp.AddClass(rt, isWrite)
+		r.tel.RequestDone(now, isWrite, rt)
+	}
 	if rec.Op == trace.Read {
 		join := array.NewJoin(len(exts), record)
 		for _, e := range exts {
@@ -373,6 +398,7 @@ func (r *RoLo) reactivate() {
 		}
 		r.onDuty = append(r.onDuty, next)
 		r.rotations++
+		r.tel.Rotation(r.arr.Eng.Now(), next)
 		_ = r.arr.Mirrors[next].SpinUp()
 		r.startDestage(next)
 	}
@@ -479,6 +505,7 @@ func (r *RoLo) rotate(slot, next int) {
 	r.onDuty[slot] = next
 	r.spinningUp = -1
 	r.rotations++
+	r.tel.Rotation(r.arr.Eng.Now(), next)
 
 	r.startDestage(next)
 
@@ -495,6 +522,7 @@ func (r *RoLo) startDestage(p int) {
 		return
 	}
 	r.destageLive[p] = true
+	r.tel.DestageStart(r.arr.Eng.Now(), p)
 	if r.destagers[p] == nil {
 		r.destagers[p] = array.NewCopier(r.arr.Eng,
 			r.arr.Primaries[p], []*disk.Disk{r.arr.Mirrors[p]},
@@ -510,13 +538,18 @@ func (r *RoLo) startDestage(p int) {
 // destageDrained fires when pair p's dirty set empties: every logged copy
 // written on behalf of pair p is now stale, so its extents are reclaimed on
 // every logger (the proactive reclamation of Section III-A).
-func (r *RoLo) destageDrained(p int, _ sim.Time) {
+func (r *RoLo) destageDrained(p int, at sim.Time) {
 	if !r.destageLive[p] {
 		return
 	}
 	r.destageLive[p] = false
+	r.tel.DestageDone(at, p)
+	var freed int64
 	for _, sp := range r.spaces {
-		sp.ReleaseTag(p)
+		freed += sp.ReleaseTag(p)
+	}
+	if freed > 0 {
+		r.tel.LogInvalidate(at, p, freed)
 	}
 	r.maybeSleepMirror(p)
 }

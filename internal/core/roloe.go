@@ -11,6 +11,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -100,6 +101,7 @@ type RoLoE struct {
 
 	resp  metrics.ResponseStats
 	phase metrics.PhaseLog
+	tel   *telemetry.Recorder
 
 	lastFG    []sim.Time // per disk id, last foreground completion
 	rotations int
@@ -110,7 +112,11 @@ type RoLoE struct {
 	closed    bool
 }
 
-var _ array.Controller = (*RoLoE)(nil)
+var (
+	_ array.Controller       = (*RoLoE)(nil)
+	_ telemetry.Instrumented = (*RoLoE)(nil)
+	_ telemetry.GaugeSource  = (*RoLoE)(nil)
+)
 
 // NewE builds a RoLo-E controller. Pair 0 starts on duty; every other disk
 // is placed in Standby.
@@ -171,6 +177,22 @@ func NewE(arr *array.Array, cfg EConfig) (*RoLoE, error) {
 
 // Responses returns response-time statistics.
 func (e *RoLoE) Responses() *metrics.ResponseStats { return &e.resp }
+
+// SetTelemetry implements telemetry.Instrumented.
+func (e *RoLoE) SetTelemetry(rec *telemetry.Recorder) { e.tel = rec }
+
+// TelemetryGauges implements telemetry.GaugeSource: occupancy of the
+// on-duty logging spaces and the bytes whose only current copy is logged.
+func (e *RoLoE) TelemetryGauges() (logUsed, logCap, backlog int64) {
+	for _, sp := range e.spaces {
+		logUsed += sp.UsedBytes()
+		logCap += sp.Capacity()
+	}
+	for i := range e.dirty {
+		backlog += e.dirty[i].Total()
+	}
+	return logUsed, logCap, backlog
+}
 
 // Phases returns the logging/destaging phase log.
 func (e *RoLoE) Phases() *metrics.PhaseLog { return &e.phase }
@@ -261,7 +283,13 @@ func (e *RoLoE) Submit(rec trace.Record) error {
 		return fmt.Errorf("RoLo-E: %w", err)
 	}
 	arrive := rec.At
-	record := func(now sim.Time) { e.resp.Add(now - arrive) }
+	isWrite := rec.Op == trace.Write
+	e.tel.RequestStart(arrive, isWrite, rec.Size)
+	record := func(now sim.Time) {
+		rt := now - arrive
+		e.resp.AddClass(rt, isWrite)
+		e.tel.RequestDone(now, isWrite, rt)
+	}
 	if rec.Op == trace.Write {
 		return e.submitWrite(rec, exts, record)
 	}
@@ -345,6 +373,7 @@ func (e *RoLoE) submitRead(rec trace.Record, exts []raid.Extent, record func(sim
 	join := array.NewJoin(len(exts), record)
 	if hit {
 		e.readHits++
+		e.tel.CacheHit(rec.At, e.onDuty[0], rec.Size)
 		for _, ext := range exts {
 			// Serve from the least-loaded on-duty disk; address the read
 			// within the logging region (its exact placement does not
@@ -360,6 +389,7 @@ func (e *RoLoE) submitRead(rec trace.Record, exts []raid.Extent, record func(sim
 	}
 
 	e.readMiss++
+	e.tel.CacheMiss(rec.At, e.onDuty[0], rec.Size)
 	for _, ext := range exts {
 		ext := ext
 		target := e.arr.Primaries[ext.Pair]
@@ -476,6 +506,7 @@ func (e *RoLoE) maybeDestage() {
 func (e *RoLoE) startDestage(now sim.Time) {
 	e.destaging = true
 	e.destages++
+	e.tel.DestageStart(now, -1)
 	e.phase.Begin(metrics.Destaging, now, e.arr.TotalEnergyJ())
 	for _, d := range e.arr.AllDisks() {
 		_ = d.SpinUp()
@@ -521,8 +552,14 @@ func (e *RoLoE) startDestage(now sim.Time) {
 }
 
 func (e *RoLoE) endDestage(now sim.Time) {
+	e.tel.DestageDone(now, -1)
+	var freed int64
 	for _, sp := range e.spaces {
+		freed += sp.UsedBytes()
 		sp.Reset()
+	}
+	if freed > 0 {
+		e.tel.LogInvalidate(now, -1, freed)
 	}
 	e.readCache.Clear()
 	// Advance every slot by the slot count: with K on-duty pairs the duty
@@ -532,6 +569,7 @@ func (e *RoLoE) endDestage(now sim.Time) {
 		e.onDuty[i] = (e.onDuty[i] + k) % e.arr.Geom.Pairs
 	}
 	e.rotations++
+	e.tel.Rotation(now, e.onDuty[0])
 	e.destaging = false
 	e.phase.Begin(metrics.Logging, now, e.arr.TotalEnergyJ())
 	for p := 0; p < e.arr.Geom.Pairs; p++ {

@@ -20,10 +20,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -34,6 +38,11 @@ type Options struct {
 	// Pairs is the number of mirrored pairs (the paper's default is 20,
 	// i.e. a 40-disk array).
 	Pairs int
+	// JournalDir, when non-empty, writes one JSONL telemetry journal per
+	// simulation run into this directory, named <scheme>_<profile>.jsonl.
+	JournalDir string
+	// ProbeInterval enables periodic telemetry probes in every run.
+	ProbeInterval sim.Time
 }
 
 // DefaultOptions returns the default experiment options.
@@ -48,6 +57,9 @@ func (o Options) Validate() error {
 	}
 	if o.Pairs < 2 {
 		return fmt.Errorf("experiments: pairs %d < 2", o.Pairs)
+	}
+	if o.ProbeInterval < 0 {
+		return fmt.Errorf("experiments: negative probe interval %v", o.ProbeInterval)
 	}
 	return nil
 }
@@ -116,12 +128,23 @@ func scaleBytes(b float64, scale float64) int64 {
 }
 
 // runProfile simulates one scheme against one calibrated trace profile at
-// the option scale.
+// the option scale. When o.JournalDir is set, the run's telemetry journal
+// is written alongside; probes follow o.ProbeInterval either way.
 func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, stripe int64) (rolo.Report, error) {
 	cfg := scaledConfig(scheme, o, freeGiB, stripe)
 	recs, err := rolo.GenerateProfile(profile, cfg, o.Scale)
 	if err != nil {
 		return rolo.Report{}, err
+	}
+	cfg.Telemetry.ProbeInterval = o.ProbeInterval
+	if o.JournalDir != "" {
+		name := fmt.Sprintf("%s_%s.jsonl", scheme, profile)
+		f, err := os.Create(filepath.Join(o.JournalDir, name))
+		if err != nil {
+			return rolo.Report{}, err
+		}
+		defer f.Close()
+		cfg.Telemetry.Sink = telemetry.NewJSONLSink(f)
 	}
 	rep, err := rolo.Run(cfg, recs)
 	if err != nil {

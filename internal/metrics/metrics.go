@@ -6,76 +6,97 @@ package metrics
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 )
 
-// ResponseStats accumulates request response times in a streaming fashion,
-// keeping a bounded reservoir for percentile estimates.
-type ResponseStats struct {
+// ClassStats accumulates response times for one request class (reads or
+// writes): a streaming mean and exact max, plus an exact log-bucketed
+// histogram for percentiles. Unlike the sampling reservoir it replaced,
+// the histogram counts every response, so percentiles carry no sampling
+// error (only the ≤1% bucket-resolution error) and are deterministic
+// without any RNG.
+type ClassStats struct {
 	count   int64
 	totalUs float64
 	max     sim.Time
-
-	reservoir []sim.Time
-	seen      int64
-	rngState  uint64
+	hist    telemetry.Histogram
 }
 
-const reservoirSize = 4096
-
 // Add records one response time.
-func (r *ResponseStats) Add(rt sim.Time) {
-	r.count++
-	r.totalUs += float64(rt)
-	if rt > r.max {
-		r.max = rt
+func (c *ClassStats) Add(rt sim.Time) {
+	c.count++
+	c.totalUs += float64(rt)
+	if rt > c.max {
+		c.max = rt
 	}
-	r.seen++
-	if len(r.reservoir) < reservoirSize {
-		r.reservoir = append(r.reservoir, rt)
-		return
+	c.hist.Observe(int64(rt))
+}
+
+// Count returns the number of recorded responses.
+func (c *ClassStats) Count() int64 { return c.count }
+
+// Mean returns the mean response time in milliseconds.
+func (c *ClassStats) Mean() float64 {
+	if c.count == 0 {
+		return 0
 	}
-	// Vitter's algorithm R with a cheap xorshift generator: metrics must
-	// not perturb the simulation's seeded randomness.
-	r.rngState = r.rngState*6364136223846793005 + 1442695040888963407
-	idx := r.rngState % uint64(r.seen)
-	if idx < reservoirSize {
-		r.reservoir[idx] = rt
+	return c.totalUs / float64(c.count) / float64(sim.Millisecond)
+}
+
+// Max returns the largest response time observed.
+func (c *ClassStats) Max() sim.Time { return c.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) in milliseconds.
+func (c *ClassStats) Percentile(p float64) float64 {
+	return sim.Time(c.hist.Quantile(p)).Milliseconds()
+}
+
+// Histogram exposes the underlying latency histogram.
+func (c *ClassStats) Histogram() *telemetry.Histogram { return &c.hist }
+
+// ResponseStats accumulates request response times with a per-class
+// (read/write) breakdown. The zero value is ready to use.
+type ResponseStats struct {
+	all   ClassStats
+	read  ClassStats
+	write ClassStats
+}
+
+// Add records one response time of unknown class (it contributes to the
+// combined statistics only). Controllers that know the request direction
+// should call AddClass instead.
+func (r *ResponseStats) Add(rt sim.Time) { r.all.Add(rt) }
+
+// AddClass records one response time for a read (write=false) or write.
+func (r *ResponseStats) AddClass(rt sim.Time, write bool) {
+	r.all.Add(rt)
+	if write {
+		r.write.Add(rt)
+	} else {
+		r.read.Add(rt)
 	}
 }
 
 // Count returns the number of recorded responses.
-func (r *ResponseStats) Count() int64 { return r.count }
+func (r *ResponseStats) Count() int64 { return r.all.Count() }
 
 // Mean returns the mean response time in milliseconds.
-func (r *ResponseStats) Mean() float64 {
-	if r.count == 0 {
-		return 0
-	}
-	return r.totalUs / float64(r.count) / float64(sim.Millisecond)
-}
+func (r *ResponseStats) Mean() float64 { return r.all.Mean() }
 
 // Max returns the largest response time observed.
-func (r *ResponseStats) Max() sim.Time { return r.max }
+func (r *ResponseStats) Max() sim.Time { return r.all.Max() }
 
-// Percentile estimates the p-th percentile (0 < p <= 100) in milliseconds
-// from the reservoir sample.
-func (r *ResponseStats) Percentile(p float64) float64 {
-	if len(r.reservoir) == 0 || p <= 0 || p > 100 {
-		return 0
-	}
-	sorted := make([]sim.Time, len(r.reservoir))
-	copy(sorted, r.reservoir)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return sorted[idx].Milliseconds()
-}
+// Percentile returns the p-th percentile (0 < p <= 100) in milliseconds
+// over all responses.
+func (r *ResponseStats) Percentile(p float64) float64 { return r.all.Percentile(p) }
+
+// Reads returns the read-class statistics.
+func (r *ResponseStats) Reads() *ClassStats { return &r.read }
+
+// Writes returns the write-class statistics.
+func (r *ResponseStats) Writes() *ClassStats { return &r.write }
 
 // Phase labels a period of a logging cycle.
 type Phase int

@@ -1,0 +1,114 @@
+package telemetry
+
+import "math/bits"
+
+// Histogram is an exact log-bucketed histogram of non-negative int64
+// values (latencies in microseconds throughout this repository). Every
+// observation is counted — unlike a sampling reservoir there is no
+// estimation error in the counts — and bucket boundaries follow an
+// HDR-style layout: values below 2^(histSubBits+1) get exact unit
+// buckets, and each further power-of-two octave is split into
+// 2^histSubBits sub-buckets, bounding the relative quantile error by
+// 2^-(histSubBits+1) (≈0.8% at histSubBits=6) at any scale.
+//
+// The zero value is an empty histogram ready to use.
+type Histogram struct {
+	counts []int64
+	total  int64
+	sum    float64
+	max    int64
+}
+
+// histSubBits sets the resolution: 64 sub-buckets per octave.
+const histSubBits = 6
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < 2<<histSubBits {
+		return int(u)
+	}
+	shift := bits.Len64(u) - (histSubBits + 1)
+	return (shift << histSubBits) + int(u>>uint(shift))
+}
+
+// bucketValue returns the representative value (midpoint) of bucket i.
+func bucketValue(i int) int64 {
+	if i < 2<<histSubBits {
+		return int64(i)
+	}
+	shift := (i >> histSubBits) - 1
+	rem := int64(i - shift<<histSubBits)
+	low := rem << uint(shift)
+	return low + int64(1)<<uint(shift)/2
+}
+
+// Observe counts one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketOf(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest observed value (exact, not bucketed).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns the value at the p-th percentile (0 < p <= 100): the
+// representative value of the bucket holding the sample of rank
+// ceil(p/100·total), matching the rank convention of a sorted-sample
+// percentile. It returns 0 for an empty histogram or out-of-range p.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.total == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(h.total))
+	if float64(rank)*100 < p*float64(h.total) {
+		rank++ // ceil without float round-off at exact multiples
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max // top bucket midpoint may exceed the true max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Buckets invokes fn for every non-empty bucket in increasing value
+// order with the bucket's representative value and count.
+func (h *Histogram) Buckets(fn func(value, count int64)) {
+	for i, c := range h.counts {
+		if c > 0 {
+			fn(bucketValue(i), c)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramBucketLayout(t *testing.T) {
+	// Exact unit buckets below 2^(histSubBits+1).
+	for v := int64(0); v < 2<<histSubBits; v++ {
+		i := bucketOf(v)
+		if got := bucketValue(i); got != v {
+			t.Fatalf("small value %d maps to bucket value %d", v, got)
+		}
+	}
+	// Bucket indices are monotonic and representative values stay within
+	// the guaranteed relative error at every scale.
+	prev := -1
+	for _, v := range []int64{1, 100, 127, 128, 129, 1000, 4096, 1 << 20, 1 << 40, 1 << 62} {
+		i := bucketOf(v)
+		if i < prev {
+			t.Fatalf("bucket index not monotonic at %d", v)
+		}
+		prev = i
+		rep := bucketValue(i)
+		relErr := math.Abs(float64(rep-v)) / float64(v)
+		if relErr > 1.0/float64(int64(1)<<(histSubBits+1)) {
+			t.Fatalf("value %d: representative %d, relative error %.4f", v, rep, relErr)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Total() != 0 || h.Quantile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not empty")
+	}
+	h.Observe(5)
+	h.Observe(10)
+	h.Observe(-3) // clamps to 0
+	if h.Total() != 3 || h.Max() != 10 || h.Sum() != 15 {
+		t.Fatalf("total=%d max=%d sum=%g", h.Total(), h.Max(), h.Sum())
+	}
+	if h.Quantile(0) != 0 || h.Quantile(101) != 0 {
+		t.Fatal("out-of-range quantile not zero")
+	}
+	if got := h.Quantile(100); got != 10 {
+		t.Fatalf("Q100 = %d, want 10", got)
+	}
+}
+
+// TestHistogramQuantileExactness compares histogram quantiles against the
+// exact sorted-sample percentile (what the old ≤4096-sample reservoir
+// returned) across several distributions: the histogram must agree to
+// within its bucket resolution.
+func TestHistogramQuantileExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(1_000_000) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 20_000) },
+		"bimodal":   func() int64 { return []int64{1000, 250_000}[rng.Intn(2)] + rng.Int63n(100) },
+		"tiny":      func() int64 { return rng.Int63n(100) },
+		"singleton": func() int64 { return 777 },
+	}
+	for name, draw := range distributions {
+		var h Histogram
+		samples := make([]int64, 0, 4096)
+		for i := 0; i < 4096; i++ {
+			v := draw()
+			h.Observe(v)
+			samples = append(samples, v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, p := range []float64{1, 25, 50, 90, 95, 99, 99.9, 100} {
+			idx := int(math.Ceil(p/100*float64(len(samples)))) - 1
+			exact := samples[idx]
+			got := h.Quantile(p)
+			tol := math.Max(1, float64(exact)/float64(int64(1)<<(histSubBits+1)))
+			if math.Abs(float64(got-exact)) > tol {
+				t.Errorf("%s: Q%g = %d, exact %d (tolerance %.0f)", name, p, got, exact, tol)
+			}
+		}
+	}
+}
+
+func TestHistogramBucketsIteration(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(500)
+	var total int64
+	prev := int64(-1)
+	h.Buckets(func(value, count int64) {
+		if value <= prev {
+			t.Fatalf("bucket values not increasing: %d after %d", value, prev)
+		}
+		prev = value
+		total += count
+	})
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// GaugeSource exposes a controller's instantaneous logging gauges for
+// periodic probes. Controllers without a logging space (RAID10) simply do
+// not implement it.
+type GaugeSource interface {
+	// TelemetryGauges returns the occupied and total logging-space bytes
+	// (summed over the scheme's active allocators) and the destage
+	// backlog in bytes.
+	TelemetryGauges() (logUsed, logCap, backlog int64)
+}
+
+// Prober samples per-disk power state, log-space occupancy and destage
+// backlog at a fixed interval, emitting one Probe event per sample and
+// tracking run-wide peaks. Samples stop at the trace horizon so the
+// engine's event queue can drain.
+type Prober struct {
+	eng      *sim.Engine
+	rec      *Recorder
+	disks    []*disk.Disk
+	src      GaugeSource
+	interval sim.Time
+	horizon  sim.Time
+
+	samples       int
+	peakOccupancy float64
+	peakBacklog   int64
+	peakSpinning  int
+}
+
+// StartProber schedules probes every interval from the current time
+// through horizon (inclusive). src may be nil (no gauges); rec may be nil
+// (peaks are still tracked, no events are emitted).
+func StartProber(eng *sim.Engine, rec *Recorder, disks []*disk.Disk, src GaugeSource,
+	interval, horizon sim.Time) *Prober {
+	p := &Prober{
+		eng: eng, rec: rec, disks: disks, src: src,
+		interval: interval, horizon: horizon,
+	}
+	eng.After(0, p.tick)
+	return p
+}
+
+// stateChar is the one-character encoding used in Probe state strings.
+func stateChar(d *disk.Disk) byte {
+	if d.Failed() {
+		return 'F'
+	}
+	switch d.State() {
+	case disk.Active:
+		return 'A'
+	case disk.Idle:
+		return 'I'
+	case disk.Standby:
+		return 'S'
+	case disk.SpinningUp:
+		return 'U'
+	case disk.SpinningDown:
+		return 'D'
+	default:
+		return '?'
+	}
+}
+
+func (p *Prober) tick(now sim.Time) {
+	p.samples++
+	spinning := 0
+	var states []byte
+	if p.rec.Enabled() {
+		states = make([]byte, len(p.disks))
+	}
+	for i, d := range p.disks {
+		switch d.State() {
+		case disk.Active, disk.Idle, disk.SpinningUp:
+			if !d.Failed() {
+				spinning++
+			}
+		}
+		if states != nil {
+			states[i] = stateChar(d)
+		}
+	}
+	if spinning > p.peakSpinning {
+		p.peakSpinning = spinning
+	}
+	var used, capacity, backlog int64
+	if p.src != nil {
+		used, capacity, backlog = p.src.TelemetryGauges()
+		if capacity > 0 {
+			if occ := float64(used) / float64(capacity); occ > p.peakOccupancy {
+				p.peakOccupancy = occ
+			}
+		}
+		if backlog > p.peakBacklog {
+			p.peakBacklog = backlog
+		}
+	}
+	if p.rec.Enabled() {
+		p.rec.Emit(Event{
+			At: now, Kind: KindProbe, Disk: -1, Pair: -1,
+			States: string(states), LogUsed: used, LogCap: capacity, Backlog: backlog,
+		})
+	}
+	if next := now + p.interval; next <= p.horizon {
+		p.eng.After(p.interval, p.tick)
+	}
+}
+
+// Samples returns the number of probe samples taken.
+func (p *Prober) Samples() int { return p.samples }
+
+// PeakOccupancy returns the highest sampled log-space occupancy fraction.
+func (p *Prober) PeakOccupancy() float64 { return p.peakOccupancy }
+
+// PeakBacklog returns the highest sampled destage backlog in bytes.
+func (p *Prober) PeakBacklog() int64 { return p.peakBacklog }
+
+// PeakSpinning returns the highest sampled count of spinning disks
+// (Active, Idle or SpinningUp).
+func (p *Prober) PeakSpinning() int { return p.peakSpinning }

@@ -18,6 +18,7 @@
 package rolo
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"github.com/rolo-storage/rolo/internal/array"
@@ -27,6 +28,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
 	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -61,6 +63,25 @@ func (s Scheme) String() string {
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
+}
+
+// MarshalJSON encodes the scheme as its paper name.
+func (s Scheme) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON decodes a scheme from its paper name.
+func (s *Scheme) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	v, err := ParseScheme(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 // ParseScheme resolves a scheme name (case-sensitive, as printed by
@@ -99,6 +120,9 @@ type Config struct {
 	GRAID baseline.GRAIDConfig
 	RoLo  core.Config
 	RoLoE core.EConfig
+	// Telemetry optionally attaches an event journal sink and periodic
+	// probes to the run. The zero value disables both, at zero cost.
+	Telemetry telemetry.Config
 }
 
 // DefaultConfig returns the paper's default configuration for the scheme:
@@ -155,7 +179,19 @@ func (c Config) Validate() error {
 	if err := c.Disk.Validate(); err != nil {
 		return err
 	}
+	if err := c.Telemetry.Validate(); err != nil {
+		return err
+	}
 	return c.Geometry().Validate()
+}
+
+// LatencyBreakdown summarizes one request class (reads or writes).
+type LatencyBreakdown struct {
+	Count  int64
+	MeanMs float64
+	P95Ms  float64
+	P99Ms  float64
+	MaxMs  float64
 }
 
 // Report summarizes one simulation run.
@@ -173,6 +209,11 @@ type Report struct {
 	P95ResponseMs  float64
 	P99ResponseMs  float64
 	MaxResponseMs  float64
+
+	// ReadLatency and WriteLatency break the response times down by
+	// request class. Cache-absorbed reads count as reads.
+	ReadLatency  LatencyBreakdown
+	WriteLatency LatencyBreakdown
 
 	// SpinCycles is the array-wide count of disk spin-up events
 	// (Table I's "number of disks spin up/down").
@@ -197,6 +238,21 @@ type Report struct {
 
 	// StateSeconds aggregates time per power state over all disks.
 	StateSeconds map[string]float64
+	// DiskStateSeconds holds the same per-state accounting for each disk
+	// individually, indexed by disk ID (data pairs first, then any
+	// dedicated log disk).
+	DiskStateSeconds []map[string]float64
+
+	// ProbeSamples is the number of periodic probe samples taken (0 when
+	// probes are disabled). The peaks below are sampled at probe times.
+	ProbeSamples int
+	// PeakLogOccupancy is the highest sampled log-space occupancy
+	// fraction across the run (schemes with a logging region).
+	PeakLogOccupancy float64
+	// PeakDestageBacklogBytes is the highest sampled destage backlog.
+	PeakDestageBacklogBytes int64
+	// PeakSpinningDisks is the highest sampled count of spinning disks.
+	PeakSpinningDisks int
 
 	// Horizon is the trace duration; DrainedAt is when the last
 	// background work completed.
@@ -278,6 +334,10 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 		}
 	}
 
+	// The RAM cache wrapper has no logging space of its own, so gauges
+	// come from the inner scheme controller.
+	gauges, _ := ctrl.(telemetry.GaugeSource)
+
 	var ram *array.CachedController
 	if cfg.RAMCacheBlocks > 0 {
 		blockBytes := cfg.RAMCacheBlockBytes
@@ -289,6 +349,28 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 			return rep, err
 		}
 		ctrl = ram
+	}
+
+	tel := telemetry.NewRecorder(cfg.Telemetry.Sink)
+	if in, ok := ctrl.(telemetry.Instrumented); ok {
+		in.SetTelemetry(tel)
+	}
+	if tel.Enabled() {
+		for _, d := range arr.AllDisks() {
+			d.SetStateChangeHook(func(d *disk.Disk, _, to disk.PowerState, now sim.Time) {
+				switch to {
+				case disk.SpinningUp:
+					tel.SpinUp(now, d.ID())
+				case disk.SpinningDown:
+					tel.SpinDown(now, d.ID())
+				}
+			})
+		}
+	}
+	var prober *telemetry.Prober
+	if iv := cfg.Telemetry.ProbeInterval; iv > 0 && len(recs) > 0 {
+		prober = telemetry.StartProber(eng, tel, arr.AllDisks(), gauges,
+			iv, recs[len(recs)-1].At)
 	}
 
 	res, err := array.Replay(eng, arr, ctrl, recs)
@@ -310,16 +392,46 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 	rep.SpinCycles = arr.TotalSpinCycles()
 	rep.Horizon = res.Horizon
 	rep.DrainedAt = res.DrainedAt
+	rep.ReadLatency = breakdown(resp.Reads())
+	rep.WriteLatency = breakdown(resp.Writes())
 	rep.StateSeconds = make(map[string]float64)
 	for st, dur := range array.StateDurations(arr.AllDisks()) {
 		rep.StateSeconds[st.String()] = dur.Seconds()
+	}
+	for _, d := range arr.AllDisks() {
+		per := make(map[string]float64)
+		for st, dur := range d.Stats().StateDur {
+			per[st.String()] = dur.Seconds()
+		}
+		rep.DiskStateSeconds = append(rep.DiskStateSeconds, per)
+	}
+	if prober != nil {
+		rep.ProbeSamples = prober.Samples()
+		rep.PeakLogOccupancy = prober.PeakOccupancy()
+		rep.PeakDestageBacklogBytes = prober.PeakBacklog()
+		rep.PeakSpinningDisks = prober.PeakSpinning()
 	}
 	if after != nil {
 		if err := after(&rep); err != nil {
 			return rep, err
 		}
 	}
+	if f, ok := cfg.Telemetry.Sink.(telemetry.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return rep, fmt.Errorf("rolo: flushing telemetry sink: %w", err)
+		}
+	}
 	return rep, nil
+}
+
+func breakdown(c *metrics.ClassStats) LatencyBreakdown {
+	return LatencyBreakdown{
+		Count:  c.Count(),
+		MeanMs: c.Mean(),
+		P95Ms:  c.Percentile(95),
+		P99Ms:  c.Percentile(99),
+		MaxMs:  c.Max().Milliseconds(),
+	}
 }
 
 // GenerateProfile materializes a calibrated MSR profile against the

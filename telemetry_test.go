@@ -1,0 +1,125 @@
+package rolo
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
+)
+
+// TestJournalDeterminism is the telemetry regression contract: two
+// identical runs must produce byte-identical journals, journal event
+// counts must agree with the Report counters, and attaching a sink must
+// not perturb the simulation at all.
+func TestJournalDeterminism(t *testing.T) {
+	cfg := smallConfig(SchemeRoLoP)
+	recs := writeHeavy(t, cfg, 100, 2*sim.Minute, 0.95)
+
+	runOnce := func() (Report, []byte, *telemetry.CountingSink) {
+		var buf bytes.Buffer
+		var counts telemetry.CountingSink
+		c := cfg
+		c.Telemetry.Sink = telemetry.TeeSink{telemetry.NewJSONLSink(&buf), &counts}
+		c.Telemetry.ProbeInterval = 10 * sim.Second
+		rep, err := Run(c, recs)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep, buf.Bytes(), &counts
+	}
+
+	rep1, j1, counts := runOnce()
+	_, j2, _ := runOnce()
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("identical runs produced different journals (%d vs %d bytes)", len(j1), len(j2))
+	}
+	if len(j1) == 0 {
+		t.Fatal("journal is empty")
+	}
+
+	events, err := telemetry.ParseJournal(bytes.NewReader(j1))
+	if err != nil {
+		t.Fatalf("ParseJournal: %v", err)
+	}
+	var prev sim.Time
+	for i, ev := range events {
+		if ev.At < prev {
+			t.Fatalf("event %d at %v precedes %v: journal not monotonic", i, ev.At, prev)
+		}
+		prev = ev.At
+	}
+
+	if got := counts.Count(telemetry.KindRotation); got != int64(rep1.Rotations) {
+		t.Errorf("journal rotations = %d, report says %d", got, rep1.Rotations)
+	}
+	if got := counts.Count(telemetry.KindSpinUp); got != int64(rep1.SpinCycles) {
+		t.Errorf("journal spin-ups = %d, report says %d spin cycles", got, rep1.SpinCycles)
+	}
+	if got := counts.Count(telemetry.KindRequestStart); got != rep1.Requests {
+		t.Errorf("journal request starts = %d, report says %d requests", got, rep1.Requests)
+	}
+	if got := counts.Count(telemetry.KindRequestDone); got != rep1.Requests {
+		t.Errorf("journal request dones = %d, report says %d requests", got, rep1.Requests)
+	}
+	if rep1.ProbeSamples == 0 {
+		t.Error("ProbeSamples = 0 with probes enabled")
+	}
+	if got := counts.Count(telemetry.KindProbe); got != int64(rep1.ProbeSamples) {
+		t.Errorf("journal probes = %d, report says %d samples", got, rep1.ProbeSamples)
+	}
+
+	// A run with no sink and no probes must report exactly the same
+	// results (telemetry is observation, not behavior).
+	plain, err := Run(cfg, recs)
+	if err != nil {
+		t.Fatalf("Run without telemetry: %v", err)
+	}
+	withSink := rep1
+	withSink.ProbeSamples = 0
+	withSink.PeakLogOccupancy = 0
+	withSink.PeakDestageBacklogBytes = 0
+	withSink.PeakSpinningDisks = 0
+	if !reflect.DeepEqual(plain, withSink) {
+		t.Errorf("telemetry perturbed the report:\nwith:    %+v\nwithout: %+v", withSink, plain)
+	}
+}
+
+// TestPerDiskStateSeconds checks the per-disk state accounting sums back
+// to the aggregate StateSeconds map for every scheme.
+func TestPerDiskStateSeconds(t *testing.T) {
+	for _, s := range []Scheme{SchemeRAID10, SchemeGRAID, SchemeRoLoP, SchemeRoLoE} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := smallConfig(s)
+			recs := writeHeavy(t, cfg, 50, sim.Minute, 0.95)
+			rep, err := Run(cfg, recs)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			wantDisks := 2 * cfg.Pairs
+			if s == SchemeGRAID {
+				wantDisks++ // dedicated log disk
+			}
+			if len(rep.DiskStateSeconds) != wantDisks {
+				t.Fatalf("DiskStateSeconds has %d entries, want %d", len(rep.DiskStateSeconds), wantDisks)
+			}
+			sums := make(map[string]float64)
+			for _, per := range rep.DiskStateSeconds {
+				for st, sec := range per {
+					sums[st] += sec
+				}
+			}
+			if len(sums) != len(rep.StateSeconds) {
+				t.Fatalf("per-disk states %v, aggregate states %v", sums, rep.StateSeconds)
+			}
+			for st, want := range rep.StateSeconds {
+				if got := sums[st]; math.Abs(got-want) > 1e-6*math.Max(1, want) {
+					t.Errorf("state %s: per-disk sum %.9f, aggregate %.9f", st, got, want)
+				}
+			}
+		})
+	}
+}
