@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build vet lint test race check
 
 all: check
 
@@ -9,6 +9,12 @@ build:
 
 vet: build
 	$(GO) vet ./...
+
+# lint builds the repo's own analyzer suite and runs it over the tree via
+# the go vet -vettool protocol.
+lint: build
+	$(GO) build -o bin/rololint ./cmd/rololint
+	$(GO) vet -vettool=bin/rololint ./...
 
 test: vet
 	$(GO) test ./...

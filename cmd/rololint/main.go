@@ -1,0 +1,165 @@
+// Command rololint is the repository's static-analysis gate: a
+// multichecker for the analyzers under internal/analysis that enforce
+// simulation determinism, telemetry discipline, sim-time hygiene, error
+// propagation, and phase-log pairing.
+//
+// It speaks the `go vet -vettool` protocol, so the canonical invocation —
+// the one scripts/check.sh and CI run — is:
+//
+//	go build -o bin/rololint ./cmd/rololint
+//	go vet -vettool=bin/rololint ./...
+//
+// which analyzes every package including _test.go files, with build-cache
+// integration. For quick local iteration it can also load packages itself:
+//
+//	rololint ./...
+//
+// (standalone mode skips test files; the vettool form is the gate).
+//
+// Individual analyzers can be selected the same way as with go vet:
+//
+//	go vet -vettool=bin/rololint -simdeterminism ./...
+//
+// Findings are suppressed by a `//lint:allow <analyzer> <reason>` comment
+// on the offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/errpropagation"
+	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
+	"github.com/rolo-storage/rolo/internal/analysis/simdeterminism"
+	"github.com/rolo-storage/rolo/internal/analysis/simtimeunits"
+	"github.com/rolo-storage/rolo/internal/analysis/telemetryguard"
+)
+
+// suite lists every analyzer in the gate, in reporting order.
+var suite = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	telemetryguard.Analyzer,
+	simtimeunits.Analyzer,
+	errpropagation.Analyzer,
+	phasepairing.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rololint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (-V=full for a build ID)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
+	enabled := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, false,
+			"enable only the named analyzers ("+firstLine(a.Doc)+")")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: rololint [flags] [package pattern... | unit.cfg]\n\nanalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(fs.Output(), "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	if *flagsFlag {
+		return printFlagsJSON()
+	}
+
+	// go vet semantics: naming any analyzer runs only the named ones;
+	// naming none runs the full suite.
+	var selected []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = suite
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return analysis.RunUnitchecker(rest[0], selected, os.Stderr)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	return analysis.RunStandalone(rest, selected, os.Stderr)
+}
+
+// printVersion implements -V. The go command requires the exact shape
+// `<name> version devel ... buildID=<contentID>` (see
+// cmd/go/internal/work.(*Builder).toolID) and uses the content ID to key
+// its action cache, so the ID must change whenever the binary does: a
+// hash of the executable itself serves.
+func printVersion(mode string) int {
+	progname := filepath.Base(os.Args[0])
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return 0
+	}
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		f, ferr := os.Open(exe)
+		if ferr == nil {
+			_, err = io.Copy(h, f)
+			_ = f.Close() // read-only; the hash either succeeded or err is set
+		} else {
+			err = ferr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rololint: -V=full: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil))
+	return 0
+}
+
+// printFlagsJSON implements -flags, the go command's query for the flags
+// it may forward to a vettool.
+func printFlagsJSON() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(suite))
+	for _, a := range suite {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	out, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -30,7 +30,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		scheme    = flag.String("scheme", "RoLo-P", "scheme: RAID10, GRAID, RoLo-P, RoLo-R, RoLo-E")
 		profile   = flag.String("profile", "src2_2", "calibrated MSR profile name")
@@ -62,7 +62,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow errpropagation read-only trace file, close error carries no data
 		recs, err = trace.ParseMSR(f)
 		if err != nil {
 			return err
@@ -78,11 +78,17 @@ func run() error {
 	}
 
 	if *journal != "" {
-		f, err := os.Create(*journal)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*journal)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
+		// The journal is written through this file; a failed close means
+		// a truncated journal, so it surfaces as the run's error.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		cfg.Telemetry.Sink = telemetry.NewJSONLSink(f)
 	}
 	cfg.Telemetry.ProbeInterval = sim.Time((*probeIv) / time.Microsecond)

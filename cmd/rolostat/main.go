@@ -33,7 +33,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow errpropagation read-only journal, close error carries no data
 	events, err := telemetry.ParseJournal(f)
 	if err != nil {
 		return err

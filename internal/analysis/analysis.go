@@ -1,0 +1,193 @@
+// Package analysis is a self-contained, stdlib-only miniature of the
+// golang.org/x/tools/go/analysis framework, sized for this repository's
+// needs: it defines the Analyzer and Pass types, runs a set of analyzers
+// over one type-checked package, and implements the `//lint:allow`
+// suppression directive.
+//
+// Why not depend on x/tools? The reproduction is built and verified in
+// hermetic environments with no module proxy, so the linter must compile
+// from the standard library alone. The subset implemented here is small:
+// analyzers are intra-package (no facts, no cross-package dependencies),
+// which is all the rololint suite requires.
+//
+// Two drivers sit on top of this package:
+//
+//   - unitchecker.go speaks the `go vet -vettool` JSON protocol, so the
+//     suite runs under the go command with full build-cache integration
+//     (including _test.go files);
+//   - standalone.go loads packages itself via `go list -export`, for
+//     direct `rololint ./...` invocations during development.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` directives. It must be a valid
+	// identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report or pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a positioned diagnostic attributed to an analyzer, as
+// produced by RunAnalyzers after suppression filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Unit is one package ready for analysis.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// RunAnalyzers applies every analyzer to the unit and returns the
+// surviving findings sorted by position. Diagnostics suppressed by a
+// `//lint:allow <analyzer> <reason>` comment on the same line or the line
+// immediately above are dropped; a directive with no reason does not
+// suppress anything (the reason is the point of the escape hatch).
+func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	allow := collectAllows(u.Fset, u.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			posn := u.Fset.Position(d.Pos)
+			if allow.match(name, posn) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: posn, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// allowKey identifies one suppressed (file, line, analyzer) cell.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+// match reports whether a diagnostic from the named analyzer at posn is
+// covered by a directive on its line or the line above.
+func (s allowSet) match(analyzer string, posn token.Position) bool {
+	return s[allowKey{posn.Filename, posn.Line, analyzer}] ||
+		s[allowKey{posn.Filename, posn.Line - 1, analyzer}]
+}
+
+// AllowDirective is the comment prefix of the suppression escape hatch.
+const AllowDirective = "lint:allow"
+
+// collectAllows scans file comments for `//lint:allow <analyzer> <reason>`
+// directives. The directive suppresses findings of <analyzer> on its own
+// line and the following line, so it works both as a trailing comment and
+// as a comment above the offending statement.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, AllowDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// Analyzer name without a reason: ignored on purpose.
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				set[allowKey{posn.Filename, posn.Line, fields[0]}] = true
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,15 @@
+package errpropagation_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/errpropagation"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", errpropagation.Analyzer,
+		"fix/internal/errs", // flagged and exempted patterns in scope
+		"fix/nonscope",      // out of scope: no internal/cmd path segment
+	)
+}

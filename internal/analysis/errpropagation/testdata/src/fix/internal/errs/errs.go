@@ -1,0 +1,54 @@
+// Package errs exercises the errpropagation analyzer: dropped,
+// propagated, explicitly discarded and exempted error returns.
+package errs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func countAndFail() (int, error) { return 0, nil }
+
+func noError() int { return 1 }
+
+func dropped() {
+	mayFail()       // want `call to errs\.mayFail drops its error`
+	countAndFail()  // want `call to errs\.countAndFail drops its error`
+	defer mayFail() // want `deferred call to errs\.mayFail drops its error`
+	go mayFail()    // want `go call to errs\.mayFail drops its error`
+	noError()       // no error in the results: fine
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := countAndFail()
+	_ = n
+	if err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard is visible in review: fine
+	return nil
+}
+
+func exemptions(w io.Writer) {
+	fmt.Println("reporting output is exempt")
+	fmt.Fprintf(w, "as is Fprintf\n")
+	var sb strings.Builder
+	sb.WriteString("never fails") // strings.Builder is exempt
+	var buf bytes.Buffer
+	buf.WriteByte('x') // bytes.Buffer is exempt
+	bw := bufio.NewWriter(w)
+	bw.WriteString("sticky error") // bufio writes surface from Flush: exempt
+	bw.Flush()                     // want `call to \(\*bufio\.Writer\)\.Flush drops its error`
+}
+
+func allowed() {
+	mayFail() //lint:allow errpropagation best-effort cleanup, failure is harmless
+}

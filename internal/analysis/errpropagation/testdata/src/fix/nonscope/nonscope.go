@@ -1,0 +1,9 @@
+// Package nonscope sits outside the analyzer's scope (no internal or
+// cmd path segment), so nothing here is flagged.
+package nonscope
+
+func mayFail() error { return nil }
+
+func droppedOutOfScope() {
+	mayFail() // out of scope: fine
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TypecheckFiles parses and type-checks one package from its file list,
+// returning a Unit ready for RunAnalyzers. The importer resolves every
+// import; goVersion ("go1.22"-style, or empty) sets the language version.
+// Parse or type errors are returned joined into a single error.
+func TypecheckFiles(fset *token.FileSet, path string, filenames []string,
+	imp types.Importer, goVersion string) (*Unit, error) {
+	var files []*ast.File
+	var errs []string
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("parse: %s", strings.Join(errs, "; "))
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err.Error()) },
+	}
+	if goVersion != "" {
+		conf.GoVersion = goVersion
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("typecheck %s: %s", path, strings.Join(errs, "; "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,182 @@
+// Package phasepairing checks that every metrics.PhaseLog.Begin has a
+// reachable matching End (or Close).
+//
+// A PhaseLog whose final phase is never ended silently drops that
+// interval from Totals(), skewing the destaging interval/energy ratios
+// the reproduction reports. Begin itself closes the previous phase, so
+// the alternating Begin/Begin/... pattern inside a controller is fine —
+// what must exist is a terminal End.
+//
+// "Reachable" is resolved at two granularities:
+//
+//   - a Begin on a bare local variable (or parameter) must be matched
+//     by an End/Close on the same variable somewhere in the same
+//     function (deferred calls count);
+//   - a Begin on a field chain rooted at a variable of a named type
+//     declared in this package (`g.phase.Begin(...)` inside a *GRAID
+//     method, or on the fresh `g` inside NewGRAID) is matched by an
+//     End/Close on the same field chain anywhere in the package —
+//     controllers begin phases in constructors and event handlers and
+//     end them in their run-teardown method.
+//
+// Anything else (package-level logs, logs reached through interfaces) is
+// matched per function. The `//lint:allow phasepairing <reason>`
+// directive covers intentional exceptions.
+package phasepairing
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+)
+
+// Analyzer is the phasepairing check.
+var Analyzer = &analysis.Analyzer{
+	Name: "phasepairing",
+	Doc:  "flag metrics.PhaseLog.Begin calls with no reachable End/Close",
+	Run:  run,
+}
+
+// site is one Begin call, the key identifying its receiver, and the
+// receiver's display form for diagnostics.
+type site struct {
+	call *ast.CallExpr
+	key  string
+	disp string
+}
+
+func run(pass *analysis.Pass) error {
+	var begins []site             // per-function Begin sites, key scoped to the function
+	ends := map[string]bool{}     // keys (function- or type-scoped) with an End/Close
+	typeEnds := map[string]bool{} // type-scoped keys with an End/Close anywhere in the package
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnBegins, fnEnds, fnTypeEnds := scanFunc(pass, fd)
+			begins = append(begins, fnBegins...)
+			for k := range fnEnds {
+				ends[k] = true
+			}
+			for k := range fnTypeEnds {
+				typeEnds[k] = true
+			}
+		}
+	}
+
+	for _, b := range begins {
+		if ends[b.key] || typeEnds[b.key] {
+			continue
+		}
+		pass.Reportf(b.call.Pos(),
+			"PhaseLog.Begin with no reachable End/Close for %s; the final phase interval would be dropped", b.disp)
+	}
+	return nil
+}
+
+// scanFunc collects PhaseLog Begin/End sites in one function. Keys for
+// receiver-rooted field chains are type-scoped ("(*GRAID).phase") and
+// valid package-wide; all other keys are prefixed with the function name
+// so they only match within it.
+func scanFunc(pass *analysis.Pass, fd *ast.FuncDecl) (begins []site, ends, typeEnds map[string]bool) {
+	ends = map[string]bool{}
+	typeEnds = map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.Name()
+		if name != "Begin" && name != "End" && name != "Close" {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil ||
+			!analysis.IsNamed(sig.Recv().Type(), "internal/metrics", "PhaseLog") {
+			return true
+		}
+		key, typeScoped := receiverKey(pass, fd, sel.X)
+		switch name {
+		case "Begin":
+			begins = append(begins, site{call: call, key: key, disp: types.ExprString(ast.Unparen(sel.X))})
+		default:
+			ends[key] = true
+			if typeScoped {
+				typeEnds[key] = true
+			}
+		}
+		return true
+	})
+	return begins, ends, typeEnds
+}
+
+// receiverKey renders the expression the PhaseLog method is called on
+// into a matching key. If expr is a field chain rooted at a variable
+// whose type is a named type declared in this package (g.phase,
+// e.stats.phase, ... where g is a *GRAID receiver, constructor local,
+// or parameter), the key is type-scoped: "(TypeName).field.chain".
+// Otherwise the key is scoped to the function.
+func receiverKey(pass *analysis.Pass, fd *ast.FuncDecl, expr ast.Expr) (key string, typeScoped bool) {
+	expr = ast.Unparen(expr)
+	if root, path := chainRoot(expr); root != nil && path != "" {
+		if named := localNamedType(pass, root); named != nil {
+			return "(" + named.Obj().Name() + ")." + path, true
+		}
+	}
+	// Position-prefix the key so same-named functions (methods on
+	// different types) cannot cross-match.
+	return fmt.Sprintf("%d·%s", fd.Pos(), types.ExprString(expr)), false
+}
+
+// localNamedType resolves the named type (behind one pointer) of the
+// variable ident refers to, if that type is declared in the package
+// under analysis; otherwise nil.
+func localNamedType(pass *analysis.Pass, ident *ast.Ident) *types.Named {
+	obj := pass.TypesInfo.Uses[ident]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[ident]
+	}
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	return named
+}
+
+// chainRoot unwinds a selector chain x.a.b → (x, "a.b"). A non-chain
+// expression yields a nil root.
+func chainRoot(expr ast.Expr) (*ast.Ident, string) {
+	var parts []string
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e, strings.Join(parts, ".")
+		case *ast.SelectorExpr:
+			parts = append([]string{e.Sel.Name}, parts...)
+			expr = ast.Unparen(e.X)
+		default:
+			return nil, ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package phasepairing_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", phasepairing.Analyzer, "fix/phases")
+}

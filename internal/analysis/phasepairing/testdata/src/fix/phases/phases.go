@@ -1,0 +1,95 @@
+// Package phases exercises the phasepairing analyzer: Begin calls with
+// and without a reachable End.
+package phases
+
+import "github.com/rolo-storage/rolo/internal/metrics"
+
+func localUnpaired() {
+	var l metrics.PhaseLog
+	l.Begin(metrics.Logging, 0, 0) // want `PhaseLog\.Begin with no reachable End/Close`
+}
+
+func localPaired() {
+	var l metrics.PhaseLog
+	l.Begin(metrics.Logging, 0, 0)    // ended below: fine
+	l.Begin(metrics.Destaging, 10, 1) // Begin closes the previous phase: fine
+	l.End(20, 2)
+}
+
+func localDeferredEnd() {
+	var l metrics.PhaseLog
+	l.Begin(metrics.Logging, 0, 0) // deferred End counts: fine
+	defer l.End(5, 1)
+}
+
+func twoLogs() {
+	var a, b metrics.PhaseLog
+	a.Begin(metrics.Logging, 0, 0) // want `PhaseLog\.Begin with no reachable End/Close`
+	b.Begin(metrics.Logging, 0, 0) // b is ended, a is not: fine
+	b.End(9, 1)
+}
+
+// leaky begins phases but no method of it ever ends one.
+type leaky struct {
+	phase metrics.PhaseLog
+}
+
+func (k *leaky) start(now int64) {
+	k.phase.Begin(metrics.Logging, now, 0) // want `PhaseLog\.Begin with no reachable End/Close`
+}
+
+// controller mirrors the real schemes: Begin in event handlers, the
+// terminal End in the teardown method.
+type controller struct {
+	phase metrics.PhaseLog
+}
+
+func (c *controller) onRotate(now int64) {
+	c.phase.Begin(metrics.Logging, now, 0) // ended in finish: fine
+}
+
+func (c *controller) onDestage(now int64) {
+	c.phase.Begin(metrics.Destaging, now, 0) // ended in finish: fine
+}
+
+func (c *controller) finish(now int64) {
+	c.phase.End(now, 0)
+}
+
+// newController mirrors the scheme constructors: the opening phase is
+// begun on a local of the controller type and ended in finish.
+func newController(now int64) *controller {
+	c := &controller{}
+	c.phase.Begin(metrics.Logging, now, 0) // ended in finish: fine
+	return c
+}
+
+// newLeaky shows the constructor pattern still flags when no method of
+// the type ever ends a phase.
+func newLeaky(now int64) *leaky {
+	k := &leaky{}
+	k.phase.Begin(metrics.Logging, now, 0) // want `PhaseLog\.Begin with no reachable End/Close`
+	return k
+}
+
+// nested exercises a deeper field chain.
+type stats struct {
+	phase metrics.PhaseLog
+}
+
+type wrapper struct {
+	stats stats
+}
+
+func (w *wrapper) begin(now int64) {
+	w.stats.phase.Begin(metrics.Logging, now, 0) // ended below on the same chain: fine
+}
+
+func (w *wrapper) end(now int64) {
+	w.stats.phase.End(now, 0)
+}
+
+func allowed() {
+	var l metrics.PhaseLog
+	l.Begin(metrics.Logging, 0, 0) //lint:allow phasepairing run is cut at the horizon, interval dropped on purpose
+}

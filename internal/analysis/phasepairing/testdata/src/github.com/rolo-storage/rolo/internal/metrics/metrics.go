@@ -1,0 +1,22 @@
+// Package metrics is a fixture stub of the real metrics package: the
+// PhaseLog type the phasepairing analyzer matches by package-path
+// suffix.
+package metrics
+
+// Phase labels a period of a logging cycle.
+type Phase int
+
+// Phases.
+const (
+	Logging Phase = iota + 1
+	Destaging
+)
+
+// PhaseLog records phase alternation.
+type PhaseLog struct{ open bool }
+
+// Begin starts a phase (closing any open one, as in the real package).
+func (l *PhaseLog) Begin(p Phase, now int64, energyJ float64) { l.open = true }
+
+// End closes the open phase.
+func (l *PhaseLog) End(now int64, energyJ float64) { l.open = false }

@@ -1,0 +1,232 @@
+// Package simdeterminism forbids nondeterminism in simulation code.
+//
+// The engine in internal/sim promises that the same configuration and
+// seed always produce the same trajectory — the telemetry layer's
+// byte-for-byte journal determinism and every reported curve depend on
+// it. This analyzer mechanically enforces the three ways that promise is
+// most easily broken:
+//
+//  1. wall-clock reads (time.Now, time.Since, time.Until) — simulation
+//     code must use sim.Engine's virtual clock;
+//  2. the global math/rand source (rand.Intn, rand.Float64, rand.Shuffle,
+//     ...) — randomness must flow from a seeded rand.New(rand.NewSource)
+//     so a run is a pure function of its seed;
+//  3. map iteration whose order can leak into the trajectory or output:
+//     a `for range` over a map whose body prints, emits telemetry,
+//     schedules simulation events, or appends to a slice that outlives
+//     the loop. Collecting keys into a slice that is subsequently sorted
+//     in the same function is the sanctioned pattern and is not flagged.
+//
+// Scope: packages with an "internal" or "cmd" path segment, excluding
+// _test.go files. Legitimate wall-clock uses (e.g. progress timers in
+// command-line drivers) carry a `//lint:allow simdeterminism <reason>`
+// directive.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+)
+
+// Analyzer is the simdeterminism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock time, the global math/rand source, and order-leaking map iteration in simulation code",
+	Run:  run,
+}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.HasPathSegment(path, "internal") && !analysis.HasPathSegment(path, "cmd") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. time.Time.Sub, rand.Rand.Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in simulation code; use the sim.Engine clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewZipf, NewPCG, ...) build seeded
+		// generators and are the sanctioned API; every other top-level
+		// function draws from the unseeded global source.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"global %s.%s source in simulation code; use a seeded rand.New(rand.NewSource(seed))",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the loop body's
+// effects depend on iteration order.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	fn := analysis.EnclosingFunc(stack)
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isSchedulingCall(pass, call):
+			reason = "schedules events"
+		case isOutputCall(pass, call):
+			reason = "emits output"
+		case isEscapingAppend(pass, call, rng, fn):
+			reason = "appends to a slice that outlives the loop without sorting it"
+		}
+		return true
+	})
+	if reason != "" {
+		pass.Reportf(rng.Pos(),
+			"map iteration %s; iteration order is random — sort the keys first", reason)
+	}
+}
+
+// printFuncs are fmt's direct-output functions.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// isEmittingMethodName matches telemetry emission and writer output
+// methods by name.
+func isEmittingMethodName(name string) bool {
+	return strings.HasPrefix(name, "Emit") ||
+		strings.HasPrefix(name, "Write") ||
+		strings.HasPrefix(name, "Print")
+}
+
+func isOutputCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	if !isMethod && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()] {
+		return true
+	}
+	return isMethod && isEmittingMethodName(fn.Name())
+}
+
+// isSchedulingCall matches simulation event scheduling (sim.Engine's
+// Schedule/After shape) by method name.
+func isSchedulingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && (fn.Name() == "Schedule" || fn.Name() == "After")
+}
+
+// isEscapingAppend reports whether call is `append(s, ...)` for a slice s
+// declared outside the range statement, unless s is sorted later in the
+// enclosing function (the collect-then-sort idiom).
+func isEscapingAppend(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt, fn ast.Node) bool {
+	ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin || ident.Name != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	target := ast.Unparen(call.Args[0])
+	switch target := target.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil {
+			return false
+		}
+		// Declared inside the loop: the append cannot outlive an iteration.
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			return false
+		}
+	case *ast.SelectorExpr:
+		// Field or package-level target: always outlives the loop.
+	default:
+		return false
+	}
+	return !sortedLater(pass, target, fn)
+}
+
+// sortedLater reports whether the enclosing function passes expr to a
+// sort/slices ordering function somewhere, which makes collect-loops
+// deterministic downstream.
+func sortedLater(pass *analysis.Pass, expr ast.Expr, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	want := types.ExprString(expr)
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		pkg := callee.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(ast.Unparen(arg)) == want {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/simdeterminism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer,
+		"fix/internal/simdet", // flagged and allowed patterns in scope
+		"fix/plain",           // out of scope: no internal/cmd path segment
+	)
+}

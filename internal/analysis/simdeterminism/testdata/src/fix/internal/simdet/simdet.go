@@ -1,0 +1,93 @@
+// Package simdet exercises the simdeterminism analyzer: wall-clock
+// reads, global math/rand, and order-leaking map iteration.
+package simdet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type engine struct{}
+
+func (engine) Schedule(at int64) {}
+
+func wallClock() {
+	_ = time.Now()        // want `wall-clock time\.Now`
+	t0 := time.Now()      // want `wall-clock time\.Now`
+	_ = time.Since(t0)    // want `wall-clock time\.Since`
+	_ = time.Until(t0)    // want `wall-clock time\.Until`
+	_ = time.Unix(0, 0)   // constructing times is fine
+	_ = t0.Sub(t0)        // methods are fine
+	start := time.Now()   //lint:allow simdeterminism wall-clock benchmark timing is intentional here
+	_ = time.Since(start) //lint:allow simdeterminism paired with the timer above
+	_ = time.Duration(5)  // plain duration math is fine
+	_ = time.Second * 3   // constants are fine
+}
+
+//lint:allow simdeterminism
+func allowWithoutReason() {
+	// The directive above has no reason, so it must NOT suppress:
+	_ = time.Now() // want `wall-clock time\.Now`
+}
+
+func globalRand() {
+	_ = rand.Intn(10)                   // want `global rand\.Intn source`
+	_ = rand.Float64()                  // want `global rand\.Float64 source`
+	rand.Shuffle(3, func(i, j int) {})  // want `global rand\.Shuffle source`
+	rng := rand.New(rand.NewSource(42)) // seeded: fine
+	_ = rng.Intn(10)                    // method on seeded source: fine
+	_ = rand.NewZipf(rng, 1.1, 1, 100)  // constructor: fine
+}
+
+func mapEmit(m map[string]int, eng engine) {
+	for k := range m { // want `map iteration emits output`
+		fmt.Println(k)
+	}
+	for k, v := range m { // want `map iteration emits output`
+		if v > 0 {
+			fmt.Printf("%s\n", k)
+		}
+	}
+	for range m { // want `map iteration schedules events`
+		eng.Schedule(1)
+	}
+}
+
+func mapAppendEscape(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to a slice that outlives the loop`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: fine
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative aggregation: fine
+		total += v
+	}
+	// Appending inside the loop to a slice declared inside it: fine.
+	for k := range m {
+		local := []string{}
+		local = append(local, k)
+		_ = local
+	}
+	return total
+}
+
+func sliceRange(xs []string) {
+	for _, x := range xs { // slices iterate in order: fine
+		fmt.Println(x)
+	}
+}

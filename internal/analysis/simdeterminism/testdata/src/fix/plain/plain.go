@@ -1,0 +1,9 @@
+// Package plain sits outside the analyzer's scope (no internal or cmd
+// path segment), so nothing here is flagged.
+package plain
+
+import "time"
+
+func wallClockOK() time.Time {
+	return time.Now() // out of scope: not simulation code
+}

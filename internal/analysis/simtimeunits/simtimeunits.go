@@ -1,0 +1,132 @@
+// Package simtimeunits enforces sim-time hygiene.
+//
+// Two rules:
+//
+//  1. A bare integer literal must not be used where sim.Time is expected.
+//     sim.Time counts microseconds; `sched(1000)` silently means one
+//     millisecond while reading like "1000 of something". Writing the
+//     unit — `sched(1*sim.Millisecond)` — is mandatory. Literals folded
+//     into arithmetic with a unit (the `3 * sim.Second` idiom) and the
+//     literal 0 (unambiguous: the epoch / zero duration) are allowed, as
+//     are constant declarations (that is how the units themselves are
+//     defined).
+//
+//  2. In metrics and experiments packages, float64/float32 values must
+//     not be compared with == or !=: accumulated energies and derived
+//     ratios carry rounding error, and exact comparison is almost always
+//     a latent bug. Compare against a tolerance, or restructure (<=, <).
+//
+// _test.go files are exempt: engine tests legitimately use abstract
+// integer ticks, and tests compare exact floats on purpose.
+package simtimeunits
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+)
+
+// Analyzer is the simtimeunits check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtimeunits",
+	Doc:  "require unit expressions for sim.Time literals and forbid float equality in metrics code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	floatEqScope := strings.Contains(path, "metrics") || strings.Contains(path, "experiment")
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				checkTimeLiteral(pass, n, stack)
+			case *ast.BinaryExpr:
+				if floatEqScope {
+					checkFloatEquality(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTimeLiteral flags an integer literal whose contextual type is
+// sim.Time unless it is 0, part of a larger arithmetic expression, or a
+// constant declaration initializer.
+func checkTimeLiteral(pass *analysis.Pass, lit *ast.BasicLit, stack []ast.Node) {
+	if lit.Kind != token.INT {
+		return
+	}
+	// The contextual type may be recorded on the literal itself or on a
+	// (…)/-x wrapper around it (a negated literal is typed as a whole).
+	node := ast.Expr(lit)
+	i := len(stack) - 1
+	for {
+		if tv, ok := pass.TypesInfo.Types[node]; ok && analysis.IsNamed(tv.Type, "internal/sim", "Time") {
+			if tv.Value != nil && constant.Sign(tv.Value) == 0 {
+				return
+			}
+			break
+		}
+		if i < 0 {
+			return
+		}
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			node = p
+		case *ast.UnaryExpr:
+			node = p
+		default:
+			return
+		}
+		i--
+	}
+	for ; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr, *ast.UnaryExpr, *ast.ValueSpec:
+			continue // look through (…), -x, and up to the owning decl
+		case *ast.BinaryExpr:
+			// `5 * sim.Second` and friends: the unit is in the expression.
+			return
+		case *ast.GenDecl:
+			if parent.Tok == token.CONST {
+				return // unit constants are defined from literals
+			}
+		}
+		break
+	}
+	pass.Reportf(lit.Pos(),
+		"raw integer literal %s used as sim.Time; write the unit (e.g. %s*sim.Microsecond)",
+		lit.Value, lit.Value)
+}
+
+// checkFloatEquality flags == and != between floating-point operands.
+func checkFloatEquality(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.TypesInfo, bin.X) && !isFloat(pass.TypesInfo, bin.Y) {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"float equality comparison (%s) in metrics code; compare with a tolerance or restructure",
+		bin.Op)
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0 && basic.Info()&types.IsUntyped == 0
+}

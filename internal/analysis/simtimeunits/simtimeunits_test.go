@@ -1,0 +1,15 @@
+package simtimeunits_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/simtimeunits"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", simtimeunits.Analyzer,
+		"fix/units",      // sim.Time literal rule; float equality out of scope here
+		"fix/metricsfix", // float equality rule in scope
+	)
+}

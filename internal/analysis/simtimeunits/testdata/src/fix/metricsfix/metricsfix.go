@@ -1,0 +1,28 @@
+// Package metricsfix exercises the float-equality rule, which applies to
+// packages whose path mentions metrics or experiments.
+package metricsfix
+
+func ratios(a, b float64, n int) bool {
+	if a == b { // want `float equality comparison`
+		return true
+	}
+	if a != 0 { // want `float equality comparison`
+		return false
+	}
+	if a <= b { // ordered comparison: fine
+		return true
+	}
+	if n == 0 { // integer equality: fine
+		return false
+	}
+	const eps = 1e-9
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < eps // tolerance comparison: fine
+}
+
+func allowed(x float64) bool {
+	return x == 0 //lint:allow simtimeunits zero sentinel set explicitly upstream, never computed
+}

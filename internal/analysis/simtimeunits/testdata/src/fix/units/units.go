@@ -1,0 +1,48 @@
+// Package units exercises the sim.Time literal rule.
+package units
+
+import "github.com/rolo-storage/rolo/internal/sim"
+
+func sched(at sim.Time)          {}
+func window(start, end sim.Time) {}
+func scaled(n int, d sim.Time)   {}
+
+type config struct {
+	Interval sim.Time
+	Count    int
+}
+
+func literals() {
+	sched(5)                     // want `raw integer literal 5 used as sim\.Time`
+	sched(1000)                  // want `raw integer literal 1000 used as sim\.Time`
+	sched(0)                     // zero is unambiguous: fine
+	sched(5 * sim.Millisecond)   // unit expression: fine
+	sched(sim.Second)            // named constant: fine
+	window(0, 3*sim.Second)      // fine
+	window(7, sim.Second)        // want `raw integer literal 7 used as sim\.Time`
+	scaled(5, sim.Second)        // the plain int 5 is not a sim.Time: fine
+	sched(-2)                    // want `raw integer literal 2 used as sim\.Time`
+	sched(2 - 3*sim.Millisecond) // arithmetic carries the unit: fine
+}
+
+func composite() {
+	_ = config{Interval: 250, Count: 4}                   // want `raw integer literal 250 used as sim\.Time`
+	_ = config{Interval: 250 * sim.Microsecond, Count: 4} // fine
+}
+
+func decls() {
+	var d sim.Time = 9        // want `raw integer literal 9 used as sim\.Time`
+	const grace sim.Time = 30 // constant declarations define units: fine
+	_ = d
+	_ = grace
+	var ok sim.Time = 2 * sim.Second // fine
+	_ = ok
+}
+
+func allowed() {
+	sched(12345) //lint:allow simtimeunits calibration value measured in microseconds
+}
+
+func floatsOutOfScope(a, b float64) bool {
+	return a == b // float equality outside metrics/experiments: fine
+}

@@ -1,0 +1,14 @@
+// Package sim is a fixture stub of the real simulation engine package:
+// the Time type and its unit constants, matched by the simtimeunits
+// analyzer via package-path suffix.
+package sim
+
+// Time is a simulation timestamp in microseconds.
+type Time int64
+
+// Unit constants (defined from raw literals — the one sanctioned place).
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the standalone
+// driver consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+}
+
+// RunStandalone loads the packages matching the go list patterns (with
+// their dependencies' export data) and applies the analyzers, printing
+// findings to w. It shells out to the go command, so it must run inside a
+// module. Test files are not loaded in this mode — the `go vet -vettool`
+// path (RunUnitchecker) covers those — but it needs no prior go vet
+// plumbing, which makes it the convenient local iteration loop.
+// The exit-code convention matches RunUnitchecker.
+func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
+	findings, err := analyzePatterns(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	// One walk over the dependency closure gives export data for every
+	// import; -export populates .Export from the build cache, compiling
+	// as needed.
+	deps, err := goList(append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	targets, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, p := range targets {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		lookup := func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, name)
+		}
+		unit, err := TypecheckFiles(fset, p.ImportPath, files,
+			importer.ForCompiler(fset, "gc", lookup), "")
+		if err != nil {
+			return nil, err
+		}
+		findings, err := RunAnalyzers(unit, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, findings...)
+	}
+	return all, nil
+}
+
+// goList runs `go list -json` with the given extra arguments and decodes
+// the package stream.
+func goList(args []string) ([]listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

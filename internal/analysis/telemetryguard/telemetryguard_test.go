@@ -1,0 +1,12 @@
+package telemetryguard_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/telemetryguard"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", telemetryguard.Analyzer, "fix/guard")
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration the go command hands a
+// -vettool for each package unit. Only the fields this driver consumes
+// are declared; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker analyzes the single package unit described by the vet
+// config file at cfgPath, printing findings to w in the classic
+// `file:line:col: message` form. It returns the process exit code:
+// 0 for a clean run, 1 for a driver error, 2 when findings were reported
+// (matching the go vet convention that any nonzero exit fails the build).
+func RunUnitchecker(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	findings, err := analyzeUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func analyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", cfgPath, err)
+	}
+
+	// The go command expects a facts file for every analyzed unit so it
+	// can cache and feed dependency facts downstream. The rololint suite
+	// is factless, so an empty file satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("write facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts written (none), nothing to report.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	unit, err := TypecheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the problem; stay quiet.
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunAnalyzers(unit, analyzers)
+}

@@ -95,20 +95,26 @@ func (c *CachedController) Submit(rec trace.Record) error {
 	}
 	if all {
 		c.hits++
-		c.tel.CacheHit(rec.At, -1, rec.Size)
-		// The inner controller never sees a RAM hit, so the cache emits
-		// the request events itself.
-		c.tel.RequestStart(rec.At, false, rec.Size)
+		if c.tel != nil {
+			c.tel.CacheHit(rec.At, -1, rec.Size)
+			// The inner controller never sees a RAM hit, so the cache
+			// emits the request events itself.
+			c.tel.RequestStart(rec.At, false, rec.Size)
+		}
 		arrive := rec.At
 		c.eng.After(c.hitLatency, func(now sim.Time) {
 			rt := now - arrive
 			c.resp.AddClass(rt, false)
-			c.tel.RequestDone(now, false, rt)
+			if c.tel != nil {
+				c.tel.RequestDone(now, false, rt)
+			}
 		})
 		return nil
 	}
 	c.misses++
-	c.tel.CacheMiss(rec.At, -1, rec.Size)
+	if c.tel != nil {
+		c.tel.CacheMiss(rec.At, -1, rec.Size)
+	}
 	for b := first; b <= last; b++ {
 		c.lru.Put(b)
 	}

@@ -139,11 +139,15 @@ func (g *GRAID) Submit(rec trace.Record) error {
 	}
 	arrive := rec.At
 	isWrite := rec.Op == trace.Write
-	g.tel.RequestStart(arrive, isWrite, rec.Size)
+	if g.tel != nil {
+		g.tel.RequestStart(arrive, isWrite, rec.Size)
+	}
 	record := func(now sim.Time) {
 		rt := now - arrive
 		g.resp.AddClass(rt, isWrite)
-		g.tel.RequestDone(now, isWrite, rt)
+		if g.tel != nil {
+			g.tel.RequestDone(now, isWrite, rt)
+		}
 	}
 	switch rec.Op {
 	case trace.Read:
@@ -285,7 +289,9 @@ func (g *GRAID) startDestage(now sim.Time) {
 	g.destages++
 	destagedGen := g.gen
 	g.gen++
-	g.tel.DestageStart(now, -1)
+	if g.tel != nil {
+		g.tel.DestageStart(now, -1)
+	}
 	g.phase.Begin(metrics.Destaging, now, g.arr.TotalEnergyJ())
 
 	join := array.NewJoin(g.arr.Geom.Pairs, func(at sim.Time) {
@@ -322,8 +328,11 @@ func (g *GRAID) startDestage(now sim.Time) {
 }
 
 func (g *GRAID) endDestage(now sim.Time, destagedGen int) {
-	g.tel.DestageDone(now, -1)
-	if freed := g.logSpace.ReleaseTag(destagedGen); freed > 0 {
+	if g.tel != nil {
+		g.tel.DestageDone(now, -1)
+	}
+	freed := g.logSpace.ReleaseTag(destagedGen)
+	if g.tel != nil && freed > 0 {
 		g.tel.LogInvalidate(now, -1, freed)
 	}
 	g.destaging = false

@@ -51,11 +51,15 @@ func (c *RAID10) Submit(rec trace.Record) error {
 	}
 	arrive := rec.At
 	isWrite := rec.Op == trace.Write
-	c.tel.RequestStart(arrive, isWrite, rec.Size)
+	if c.tel != nil {
+		c.tel.RequestStart(arrive, isWrite, rec.Size)
+	}
 	record := func(now sim.Time) {
 		rt := now - arrive
 		c.resp.AddClass(rt, isWrite)
-		c.tel.RequestDone(now, isWrite, rt)
+		if c.tel != nil {
+			c.tel.RequestDone(now, isWrite, rt)
+		}
 	}
 	switch rec.Op {
 	case trace.Write:

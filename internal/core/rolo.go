@@ -262,11 +262,15 @@ func (r *RoLo) Submit(rec trace.Record) error {
 	}
 	arrive := rec.At
 	isWrite := rec.Op == trace.Write
-	r.tel.RequestStart(arrive, isWrite, rec.Size)
+	if r.tel != nil {
+		r.tel.RequestStart(arrive, isWrite, rec.Size)
+	}
 	record := func(now sim.Time) {
 		rt := now - arrive
 		r.resp.AddClass(rt, isWrite)
-		r.tel.RequestDone(now, isWrite, rt)
+		if r.tel != nil {
+			r.tel.RequestDone(now, isWrite, rt)
+		}
 	}
 	if rec.Op == trace.Read {
 		join := array.NewJoin(len(exts), record)
@@ -398,7 +402,9 @@ func (r *RoLo) reactivate() {
 		}
 		r.onDuty = append(r.onDuty, next)
 		r.rotations++
-		r.tel.Rotation(r.arr.Eng.Now(), next)
+		if r.tel != nil {
+			r.tel.Rotation(r.arr.Eng.Now(), next)
+		}
 		_ = r.arr.Mirrors[next].SpinUp()
 		r.startDestage(next)
 	}
@@ -505,7 +511,9 @@ func (r *RoLo) rotate(slot, next int) {
 	r.onDuty[slot] = next
 	r.spinningUp = -1
 	r.rotations++
-	r.tel.Rotation(r.arr.Eng.Now(), next)
+	if r.tel != nil {
+		r.tel.Rotation(r.arr.Eng.Now(), next)
+	}
 
 	r.startDestage(next)
 
@@ -522,7 +530,9 @@ func (r *RoLo) startDestage(p int) {
 		return
 	}
 	r.destageLive[p] = true
-	r.tel.DestageStart(r.arr.Eng.Now(), p)
+	if r.tel != nil {
+		r.tel.DestageStart(r.arr.Eng.Now(), p)
+	}
 	if r.destagers[p] == nil {
 		r.destagers[p] = array.NewCopier(r.arr.Eng,
 			r.arr.Primaries[p], []*disk.Disk{r.arr.Mirrors[p]},
@@ -543,12 +553,14 @@ func (r *RoLo) destageDrained(p int, at sim.Time) {
 		return
 	}
 	r.destageLive[p] = false
-	r.tel.DestageDone(at, p)
+	if r.tel != nil {
+		r.tel.DestageDone(at, p)
+	}
 	var freed int64
 	for _, sp := range r.spaces {
 		freed += sp.ReleaseTag(p)
 	}
-	if freed > 0 {
+	if r.tel != nil && freed > 0 {
 		r.tel.LogInvalidate(at, p, freed)
 	}
 	r.maybeSleepMirror(p)

@@ -284,11 +284,15 @@ func (e *RoLoE) Submit(rec trace.Record) error {
 	}
 	arrive := rec.At
 	isWrite := rec.Op == trace.Write
-	e.tel.RequestStart(arrive, isWrite, rec.Size)
+	if e.tel != nil {
+		e.tel.RequestStart(arrive, isWrite, rec.Size)
+	}
 	record := func(now sim.Time) {
 		rt := now - arrive
 		e.resp.AddClass(rt, isWrite)
-		e.tel.RequestDone(now, isWrite, rt)
+		if e.tel != nil {
+			e.tel.RequestDone(now, isWrite, rt)
+		}
 	}
 	if rec.Op == trace.Write {
 		return e.submitWrite(rec, exts, record)
@@ -373,7 +377,9 @@ func (e *RoLoE) submitRead(rec trace.Record, exts []raid.Extent, record func(sim
 	join := array.NewJoin(len(exts), record)
 	if hit {
 		e.readHits++
-		e.tel.CacheHit(rec.At, e.onDuty[0], rec.Size)
+		if e.tel != nil {
+			e.tel.CacheHit(rec.At, e.onDuty[0], rec.Size)
+		}
 		for _, ext := range exts {
 			// Serve from the least-loaded on-duty disk; address the read
 			// within the logging region (its exact placement does not
@@ -389,7 +395,9 @@ func (e *RoLoE) submitRead(rec trace.Record, exts []raid.Extent, record func(sim
 	}
 
 	e.readMiss++
-	e.tel.CacheMiss(rec.At, e.onDuty[0], rec.Size)
+	if e.tel != nil {
+		e.tel.CacheMiss(rec.At, e.onDuty[0], rec.Size)
+	}
 	for _, ext := range exts {
 		ext := ext
 		target := e.arr.Primaries[ext.Pair]
@@ -506,7 +514,9 @@ func (e *RoLoE) maybeDestage() {
 func (e *RoLoE) startDestage(now sim.Time) {
 	e.destaging = true
 	e.destages++
-	e.tel.DestageStart(now, -1)
+	if e.tel != nil {
+		e.tel.DestageStart(now, -1)
+	}
 	e.phase.Begin(metrics.Destaging, now, e.arr.TotalEnergyJ())
 	for _, d := range e.arr.AllDisks() {
 		_ = d.SpinUp()
@@ -552,13 +562,15 @@ func (e *RoLoE) startDestage(now sim.Time) {
 }
 
 func (e *RoLoE) endDestage(now sim.Time) {
-	e.tel.DestageDone(now, -1)
+	if e.tel != nil {
+		e.tel.DestageDone(now, -1)
+	}
 	var freed int64
 	for _, sp := range e.spaces {
 		freed += sp.UsedBytes()
 		sp.Reset()
 	}
-	if freed > 0 {
+	if e.tel != nil && freed > 0 {
 		e.tel.LogInvalidate(now, -1, freed)
 	}
 	e.readCache.Clear()
@@ -569,7 +581,9 @@ func (e *RoLoE) endDestage(now sim.Time) {
 		e.onDuty[i] = (e.onDuty[i] + k) % e.arr.Geom.Pairs
 	}
 	e.rotations++
-	e.tel.Rotation(now, e.onDuty[0])
+	if e.tel != nil {
+		e.tel.Rotation(now, e.onDuty[0])
+	}
 	e.destaging = false
 	e.phase.Begin(metrics.Logging, now, e.arr.TotalEnergyJ())
 	for p := 0; p < e.arr.Geom.Pairs; p++ {

@@ -130,7 +130,7 @@ func scaleBytes(b float64, scale float64) int64 {
 // runProfile simulates one scheme against one calibrated trace profile at
 // the option scale. When o.JournalDir is set, the run's telemetry journal
 // is written alongside; probes follow o.ProbeInterval either way.
-func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, stripe int64) (rolo.Report, error) {
+func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, stripe int64) (rep rolo.Report, err error) {
 	cfg := scaledConfig(scheme, o, freeGiB, stripe)
 	recs, err := rolo.GenerateProfile(profile, cfg, o.Scale)
 	if err != nil {
@@ -139,14 +139,20 @@ func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, 
 	cfg.Telemetry.ProbeInterval = o.ProbeInterval
 	if o.JournalDir != "" {
 		name := fmt.Sprintf("%s_%s.jsonl", scheme, profile)
-		f, err := os.Create(filepath.Join(o.JournalDir, name))
-		if err != nil {
-			return rolo.Report{}, err
+		f, ferr := os.Create(filepath.Join(o.JournalDir, name))
+		if ferr != nil {
+			return rolo.Report{}, ferr
 		}
-		defer f.Close()
+		// The journal is written through this file; a failed close means
+		// a truncated journal, so it surfaces as the run's error.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		cfg.Telemetry.Sink = telemetry.NewJSONLSink(f)
 	}
-	rep, err := rolo.Run(cfg, recs)
+	rep, err = rolo.Run(cfg, recs)
 	if err != nil {
 		return rolo.Report{}, fmt.Errorf("%v on %s: %w", scheme, profile, err)
 	}

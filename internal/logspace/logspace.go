@@ -10,6 +10,7 @@ package logspace
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/rolo-storage/rolo/internal/intervals"
 )
@@ -147,12 +148,14 @@ func (s *Space) TagBytes(tag int) int64 {
 	return set.Total()
 }
 
-// Tags returns the tags with live allocations.
+// Tags returns the tags with live allocations, in ascending order so
+// callers iterate deterministically.
 func (s *Space) Tags() []int {
 	out := make([]int, 0, len(s.used))
 	for t := range s.used {
 		out = append(out, t)
 	}
+	sort.Ints(out)
 	return out
 }
 

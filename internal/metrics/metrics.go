@@ -194,7 +194,7 @@ func (l *PhaseLog) DestagingIntervalRatio() float64 {
 func (l *PhaseLog) DestagingEnergyRatio() float64 {
 	_, energy := l.Totals()
 	total := energy[Logging] + energy[Destaging]
-	if total == 0 {
+	if total <= 0 {
 		return 0
 	}
 	return energy[Destaging] / total

@@ -1,17 +1,33 @@
 #!/bin/sh
-# Full verification gate: build, vet, and race-enabled tests.
+# Full verification gate: build, vet, rololint, and race-enabled tests.
 # Run from the repository root (or via `make check`).
-set -eu
+set -u
 
 cd "$(dirname "$0")/.."
 
-echo "== go build ./..."
-go build ./...
+if ! command -v go >/dev/null 2>&1; then
+	echo "check.sh: go toolchain not found in PATH; install Go to run the gate" >&2
+	exit 1
+fi
 
-echo "== go vet ./..."
-go vet ./...
+# stage <name> <cmd...> runs one gate stage, naming the stage that failed
+# and propagating its exit status.
+stage() {
+	name="$1"
+	shift
+	echo "== $name"
+	"$@"
+	status=$?
+	if [ "$status" -ne 0 ]; then
+		echo "check.sh: stage failed: $name (exit $status)" >&2
+		exit "$status"
+	fi
+}
 
-echo "== go test -race ./..."
-go test -race ./...
+stage "go build ./..." go build ./...
+stage "go vet ./..." go vet ./...
+stage "build rololint" go build -o bin/rololint ./cmd/rololint
+stage "go vet -vettool=bin/rololint ./..." go vet -vettool=bin/rololint ./...
+stage "go test -race ./..." go test -race ./...
 
 echo "OK"
