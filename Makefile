@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check
+.PHONY: all build vet lint test race fuzz check
 
 all: check
 
@@ -21,6 +21,13 @@ test: vet
 
 race:
 	$(GO) test -race ./...
+
+# fuzz runs each native fuzz target for a meaningful stretch; the check
+# gate runs the same targets for a few seconds as a smoke test.
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzParseMSR$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzParseSyntheticSpec$$' -fuzztime $(FUZZTIME) ./internal/trace/
 
 # check is the full gate: everything CI (and a pre-commit) should run.
 check:

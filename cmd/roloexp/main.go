@@ -33,6 +33,7 @@ func run() error {
 		pairs      = flag.Int("pairs", 20, "number of mirrored pairs (disks = 2*pairs)")
 		journalDir = flag.String("journal", "", "write one JSONL telemetry journal per run into this directory")
 		probeIv    = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
+		check      = flag.Bool("check", false, "enable RoloSan: validate simulation invariants in every run and fail on the first violation")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func run() error {
 		Pairs:         *pairs,
 		JournalDir:    *journalDir,
 		ProbeInterval: sim.Time((*probeIv) / time.Microsecond),
+		Check:         *check,
 	}
 	if err := opts.Validate(); err != nil {
 		return err

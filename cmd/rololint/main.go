@@ -1,7 +1,9 @@
 // Command rololint is the repository's static-analysis gate: a
 // multichecker for the analyzers under internal/analysis that enforce
 // simulation determinism, telemetry discipline, sim-time hygiene, error
-// propagation, and phase-log pairing.
+// propagation, phase-log pairing, power-state-machine legality
+// (statetransition), and the sanitizer's audited-mutation-helper
+// discipline (invariantguard).
 //
 // It speaks the `go vet -vettool` protocol, so the canonical invocation —
 // the one scripts/check.sh and CI run — is:
@@ -36,9 +38,11 @@ import (
 
 	"github.com/rolo-storage/rolo/internal/analysis"
 	"github.com/rolo-storage/rolo/internal/analysis/errpropagation"
+	"github.com/rolo-storage/rolo/internal/analysis/invariantguard"
 	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
 	"github.com/rolo-storage/rolo/internal/analysis/simdeterminism"
 	"github.com/rolo-storage/rolo/internal/analysis/simtimeunits"
+	"github.com/rolo-storage/rolo/internal/analysis/statetransition"
 	"github.com/rolo-storage/rolo/internal/analysis/telemetryguard"
 )
 
@@ -49,6 +53,8 @@ var suite = []*analysis.Analyzer{
 	simtimeunits.Analyzer,
 	errpropagation.Analyzer,
 	phasepairing.Analyzer,
+	statetransition.Analyzer,
+	invariantguard.Analyzer,
 }
 
 func main() {

@@ -41,6 +41,7 @@ func run() (err error) {
 		stripeKB  = flag.Int64("stripe", 64, "stripe unit in KB")
 		journal   = flag.String("journal", "", "write a JSONL telemetry event journal to this file")
 		probeIv   = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
+		check     = flag.Bool("check", false, "enable RoloSan: validate simulation invariants during the run and fail on the first violation")
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
 	)
 	flag.Parse()
@@ -92,6 +93,7 @@ func run() (err error) {
 		cfg.Telemetry.Sink = telemetry.NewJSONLSink(f)
 	}
 	cfg.Telemetry.ProbeInterval = sim.Time((*probeIv) / time.Microsecond)
+	cfg.Check = *check
 
 	st := trace.Summarize(recs)
 	if !*asJSON {
@@ -147,6 +149,10 @@ func run() (err error) {
 		fmt.Printf("probes:            %d samples, peak log occupancy %.1f%%, peak backlog %.2f MiB, peak spinning %d\n",
 			rep.ProbeSamples, 100*rep.PeakLogOccupancy,
 			float64(rep.PeakDestageBacklogBytes)/(1<<20), rep.PeakSpinningDisks)
+	}
+	if *check {
+		fmt.Printf("sanitizer:         clean (%d events, %d sweeps)\n",
+			rep.SanitizerEvents, rep.SanitizerSweeps)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	tracegen -profile src2_2 -scale 0.05 > src2_2.csv
 //	tracegen -iops 100 -write-ratio 0.9 -duration 10m -size 64 > synth.csv
+//	tracegen -spec "iops=200 write=0.9 duration=10m size=64K seed=3" > synth.csv
 package main
 
 import (
@@ -38,6 +39,7 @@ func run() error {
 		burst      = flag.Float64("burst", 0, "burstiness in [0,1) (explicit mode)")
 		seed       = flag.Int64("seed", 1, "random seed (explicit mode)")
 		hostname   = flag.String("hostname", "rolosim", "hostname column value")
+		spec       = flag.String("spec", "", "compact workload spec (see trace.ParseSyntheticSpec); overrides explicit-mode flags")
 		list       = flag.Bool("list", false, "list calibrated profiles")
 	)
 	flag.Parse()
@@ -61,6 +63,12 @@ func run() error {
 			return lerr
 		}
 		recs, err = p.Generate(volume, *scale)
+	} else if *spec != "" {
+		syn, serr := trace.ParseSyntheticSpec(*spec)
+		if serr != nil {
+			return serr
+		}
+		recs, err = syn.Generate(volume)
 	} else {
 		syn := trace.Synthetic{
 			Duration:    sim.FromSeconds(duration.Seconds()),

@@ -1,0 +1,373 @@
+// Package cfg builds intraprocedural control-flow graphs over Go function
+// bodies and solves forward may-analyses on them, sized for the rololint
+// suite's needs: tracking the possible values of one expression drawn from
+// a small finite universe (such as a disk power-state field) through
+// branches, loops and switches.
+//
+// The graph normalizes branch conditions: an `if x == C` / `if x != C`
+// statement and a `switch x { case C1, C2: }` statement both annotate
+// their outgoing edges with a Cond carrying the compared expression and
+// the constant candidates the edge implies (or excludes). Analyzers
+// interpret Conds against their own tracked expression; unrecognized
+// conditions simply carry no Cond and refine nothing, which keeps the
+// analysis sound (over-approximate).
+//
+// Constructs the builder does not model — goto, labeled break/continue,
+// type switches and select — mark the whole graph Unanalyzable; callers
+// must then assume the full value set everywhere in the function, again
+// erring on the side of over-approximation.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a straight-line sequence of statements with no internal
+// control transfer. Some entries are synthetic ExprStmt wrappers around
+// branch conditions, switch tags and case expressions, so that transfer
+// functions observe every expression evaluated on the path.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []Edge
+}
+
+// An Edge connects a block to a successor, optionally refined by the
+// branch condition that must hold along it.
+type Edge struct {
+	To   *Block
+	Cond *Cond
+}
+
+// A Cond states that, along its edge, Expr is equal to one of Vals
+// (Negated false) or none of them (Negated true).
+type Cond struct {
+	Expr    ast.Expr
+	Vals    []ast.Expr
+	Negated bool
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+
+	// Unanalyzable is set when the body uses control flow the builder
+	// does not model; Reason names the first offending construct.
+	Unanalyzable bool
+	Reason       string
+}
+
+// Build constructs the CFG of body. It never fails: unsupported control
+// flow yields a structurally valid graph flagged Unanalyzable.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	return b.g
+}
+
+type loopCtx struct {
+	brk  *Block // break target
+	cont *Block // continue target
+}
+
+type builder struct {
+	g     *Graph
+	cur   *Block // nil while the current point is unreachable
+	loops []loopCtx
+	brks  []*Block // innermost breakable targets (loops and switches)
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) unsupported(what string) {
+	if !b.g.Unanalyzable {
+		b.g.Unanalyzable = true
+		b.g.Reason = what
+	}
+}
+
+// edge links from → to (nil cond), unless from is nil (unreachable).
+func edge(from, to *Block, cond *Cond) {
+	if from != nil {
+		from.Succs = append(from.Succs, Edge{To: to, Cond: cond})
+	}
+}
+
+// emit appends a statement to the current block.
+func (b *builder) emit(s ast.Stmt) {
+	if b.cur != nil {
+		b.cur.Stmts = append(b.cur.Stmts, s)
+	}
+}
+
+// emitExpr records the evaluation of a condition or tag expression.
+func (b *builder) emitExpr(e ast.Expr) {
+	if e != nil {
+		b.emit(&ast.ExprStmt{X: e})
+	}
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.unsupported("type switch")
+		b.emit(s)
+	case *ast.SelectStmt:
+		b.unsupported("select")
+		b.emit(s)
+	case *ast.LabeledStmt:
+		// A label only matters as a goto / labeled-branch target, which
+		// the builder does not model.
+		b.unsupported("label")
+		b.stmt(s.Stmt)
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Assignments, declarations, expression statements, defer, go,
+		// inc/dec, empty: straight-line.
+		b.emit(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	if s.Label != nil {
+		b.unsupported("labeled " + s.Tok.String())
+		b.cur = nil
+		return
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if n := len(b.brks); n > 0 {
+			edge(b.cur, b.brks[n-1], nil)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if n := len(b.loops); n > 0 {
+			edge(b.cur, b.loops[n-1].cont, nil)
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.unsupported("goto")
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt; reaching here means a
+		// malformed tree — ignore.
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.emitExpr(s.Cond)
+	condBlk := b.cur
+	onTrue, onFalse := normalizeCond(s.Cond)
+
+	thenBlk := b.newBlock()
+	edge(condBlk, thenBlk, onTrue)
+	join := b.newBlock()
+
+	b.cur = thenBlk
+	b.stmts(s.Body.List)
+	edge(b.cur, join, nil)
+
+	if s.Else != nil {
+		elseBlk := b.newBlock()
+		edge(condBlk, elseBlk, onFalse)
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		edge(b.cur, join, nil)
+	} else {
+		edge(condBlk, join, onFalse)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	edge(b.cur, head, nil)
+	b.cur = head
+	b.emitExpr(s.Cond)
+	condBlk := b.cur
+
+	exit := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+
+	body := b.newBlock()
+	if s.Cond != nil {
+		onTrue, onFalse := normalizeCond(s.Cond)
+		edge(condBlk, body, onTrue)
+		edge(condBlk, exit, onFalse)
+	} else {
+		edge(condBlk, body, nil)
+	}
+
+	b.loops = append(b.loops, loopCtx{brk: exit, cont: post})
+	b.brks = append(b.brks, exit)
+	b.cur = body
+	b.stmts(s.Body.List)
+	edge(b.cur, post, nil)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.brks = b.brks[:len(b.brks)-1]
+
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		edge(b.cur, head, nil)
+	}
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	b.emitExpr(s.X)
+	head := b.newBlock()
+	edge(b.cur, head, nil)
+	exit := b.newBlock()
+	body := b.newBlock()
+	edge(head, body, nil)
+	edge(head, exit, nil)
+
+	b.loops = append(b.loops, loopCtx{brk: exit, cont: head})
+	b.brks = append(b.brks, exit)
+	b.cur = body
+	b.stmts(s.Body.List)
+	edge(b.cur, head, nil)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.brks = b.brks[:len(b.brks)-1]
+
+	b.cur = exit
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.emitExpr(s.Tag)
+	dispatch := b.cur
+	exit := b.newBlock()
+
+	// First pass: create the body block of every clause so fallthrough
+	// can link forward.
+	var clauses []*ast.CaseClause
+	var bodies []*Block
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		bodies = append(bodies, b.newBlock())
+	}
+
+	// Dispatch edges. With a tag, each case edge implies tag ∈ case
+	// values and the default edge implies tag ∉ all case values. Without
+	// a tag, a single-expression `case x == C:` is normalized like an if
+	// condition; anything else carries no Cond.
+	var allVals []ast.Expr
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+			_ = i
+			continue
+		}
+		allVals = append(allVals, cc.List...)
+	}
+	for i, cc := range clauses {
+		var cond *Cond
+		switch {
+		case cc.List == nil:
+			if s.Tag != nil && len(allVals) > 0 {
+				cond = &Cond{Expr: s.Tag, Vals: allVals, Negated: true}
+			}
+		case s.Tag != nil:
+			cond = &Cond{Expr: s.Tag, Vals: cc.List}
+		case len(cc.List) == 1:
+			cond, _ = normalizeCond(cc.List[0])
+		}
+		edge(dispatch, bodies[i], cond)
+	}
+	if !hasDefault {
+		var cond *Cond
+		if s.Tag != nil && len(allVals) > 0 {
+			cond = &Cond{Expr: s.Tag, Vals: allVals, Negated: true}
+		}
+		edge(dispatch, exit, cond)
+	}
+
+	// Second pass: clause bodies.
+	b.brks = append(b.brks, exit)
+	for i, cc := range clauses {
+		b.cur = bodies[i]
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && br.Label == nil {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmts(stmts)
+		if fallsThrough && i+1 < len(bodies) {
+			edge(b.cur, bodies[i+1], nil)
+		} else {
+			edge(b.cur, exit, nil)
+		}
+	}
+	b.brks = b.brks[:len(b.brks)-1]
+	b.cur = exit
+}
+
+// normalizeCond recognizes `x == C` and `x != C` and returns the Conds
+// implied on the true and false edges; unrecognized conditions yield nil
+// (no refinement).
+func normalizeCond(cond ast.Expr) (onTrue, onFalse *Cond) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	switch bin.Op {
+	case token.EQL:
+		eq := &Cond{Expr: bin.X, Vals: []ast.Expr{bin.Y}}
+		ne := &Cond{Expr: bin.X, Vals: []ast.Expr{bin.Y}, Negated: true}
+		return eq, ne
+	case token.NEQ:
+		eq := &Cond{Expr: bin.X, Vals: []ast.Expr{bin.Y}}
+		ne := &Cond{Expr: bin.X, Vals: []ast.Expr{bin.Y}, Negated: true}
+		return ne, eq
+	}
+	return nil, nil
+}

@@ -1,0 +1,309 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// universe for the toy analysis: the identifiers A, B, C as values 0..2.
+var universe = map[string]int{"A": 0, "B": 1, "C": 2}
+
+// buildFunc parses src as a file, returns the CFG of the function named
+// fn, plus a map from probe comments to nothing — probes are calls
+// probe(n) whose entry sets the test inspects.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f(x int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return Build(fd.Body)
+}
+
+// valueOf maps an expression to a universe index.
+func valueOf(e ast.Expr) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	i, ok := universe[id.Name]
+	return i, ok
+}
+
+// isTracked reports whether e is the tracked variable x.
+func isTracked(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "x"
+}
+
+// transfer interprets `x = <value>` assignments; any other assignment to
+// x clobbers to the full set.
+func transfer(s ast.Stmt, in Set) Set {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || !isTracked(as.Lhs[0]) {
+		return in
+	}
+	if i, ok := valueOf(as.Rhs[0]); ok {
+		return Only(i)
+	}
+	return Full(len(universe))
+}
+
+func refine(c *Cond, in Set) Set {
+	if !isTracked(c.Expr) {
+		return in
+	}
+	var vals Set
+	for _, v := range c.Vals {
+		i, ok := valueOf(v)
+		if !ok {
+			return in
+		}
+		vals = vals.With(i)
+	}
+	if c.Negated {
+		return in &^ vals
+	}
+	return in.Intersect(vals)
+}
+
+// probeSets runs the analysis and returns, for every `probe()` call
+// statement, the set in force at that point.
+func probeSets(t *testing.T, g *Graph) []Set {
+	t.Helper()
+	in := g.Solve(Full(len(universe)), transfer, refine)
+	type probe struct {
+		pos token.Pos
+		set Set
+	}
+	var ps []probe
+	for _, blk := range g.Blocks {
+		cur := in[blk]
+		for _, s := range blk.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+						ps = append(ps, probe{call.Pos(), cur})
+					}
+				}
+			}
+			cur = transfer(s, cur)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].pos < ps[j].pos })
+	out := make([]Set, len(ps))
+	for i, p := range ps {
+		out[i] = p.set
+	}
+	return out
+}
+
+func want(t *testing.T, got []Set, want ...Set) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("probes = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("probe %d: set %b, want %b", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `
+		probe()
+		x = A
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	want(t, probeSets(t, g), Full(3), Only(0))
+}
+
+func TestIfRefinement(t *testing.T) {
+	g := buildFunc(t, `
+		if x == A {
+			probe()
+		} else {
+			probe()
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Only(0), Full(3).Without(0), Full(3))
+}
+
+func TestIfNotEqual(t *testing.T) {
+	g := buildFunc(t, `
+		if x != B {
+			probe()
+			return
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Full(3).Without(1), Only(1))
+}
+
+func TestEarlyReturnNarrows(t *testing.T) {
+	// The join after `if x != A { return }` only receives the A path.
+	g := buildFunc(t, `
+		if x != A {
+			return
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Only(0))
+}
+
+func TestSwitchTag(t *testing.T) {
+	g := buildFunc(t, `
+		switch x {
+		case A, B:
+			probe()
+		case C:
+			probe()
+		default:
+			probe()
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Only(0).With(1), Only(2), Set(0), Full(3))
+}
+
+func TestSwitchReturnNarrows(t *testing.T) {
+	// tryDispatch's shape: a switch whose non-handled cases return, so
+	// after the switch the value is narrowed to the fallen-through cases.
+	g := buildFunc(t, `
+		switch x {
+		case B, C:
+			return
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Only(0))
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `
+		switch x {
+		case A:
+			fallthrough
+		case B:
+			probe()
+		}
+	`)
+	// The fallthrough path carries {A} into case B's body.
+	want(t, probeSets(t, g), Only(0).With(1))
+}
+
+func TestForLoopFixpoint(t *testing.T) {
+	// x narrows to A before the loop, may be reassigned to B inside;
+	// the loop head must converge to {A, B}.
+	g := buildFunc(t, `
+		x = A
+		for i := 0; i < 3; i++ {
+			probe()
+			x = B
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Only(0).With(1), Only(0).With(1))
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `
+		x = C
+		for range ys {
+			x = A
+		}
+		probe()
+	`)
+	want(t, probeSets(t, g), Only(0).With(2))
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	g := buildFunc(t, `
+		x = A
+		for {
+			if x == A {
+				x = B
+				continue
+			}
+			break
+		}
+		probe()
+	`)
+	// Break is only reachable with x != A; inside the loop x ∈ {A, B}.
+	want(t, probeSets(t, g), Only(1))
+}
+
+func TestUnanalyzableConstructs(t *testing.T) {
+	for name, body := range map[string]string{
+		"goto":           "goto done\ndone:\nprobe()",
+		"labeled break":  "L:\nfor {\nbreak L\n}",
+		"select":         "select {}",
+		"type switch":    "switch any(x).(type) {\ncase int:\n}",
+		"labeled branch": "L:\nfor {\ncontinue L\n}",
+	} {
+		t.Run(name, func(t *testing.T) {
+			g := buildFunc(t, body)
+			if !g.Unanalyzable {
+				t.Errorf("%s: graph not marked unanalyzable", name)
+			}
+		})
+	}
+}
+
+func TestCondEvaluationVisible(t *testing.T) {
+	// The if condition itself must appear as a synthetic statement so
+	// transfer functions observe calls inside it.
+	g := buildFunc(t, `
+		if mutate() == A {
+			probe()
+		}
+	`)
+	found := false
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if bin, ok := es.X.(*ast.BinaryExpr); ok && bin.Op == token.EQL {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("if condition not emitted into any block")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := Full(5)
+	if s.Len() != 5 || !s.Has(4) || s.Has(5) {
+		t.Errorf("Full(5) = %b", s)
+	}
+	s = s.Without(2).Without(0)
+	if s.Len() != 3 || s.Has(2) || s.Has(0) {
+		t.Errorf("after Without: %b", s)
+	}
+	var got []int
+	s.Each(func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Errorf("Each: %v", got)
+	}
+	if !Set(0).Empty() || s.Empty() {
+		t.Error("Empty misreports")
+	}
+	if Only(3).Union(Only(1)) != Set(0b1010) {
+		t.Error("Union misreports")
+	}
+}

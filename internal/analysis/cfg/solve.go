@@ -1,0 +1,96 @@
+package cfg
+
+import "go/ast"
+
+// A Set is a bitset over a value universe of at most 64 members — the
+// lattice element of the forward may-analysis: bit i set means "the
+// tracked expression may hold universe value i here".
+type Set uint64
+
+// Full returns the set containing universe values 0..n-1.
+func Full(n int) Set {
+	if n >= 64 {
+		return ^Set(0)
+	}
+	return Set(1)<<n - 1
+}
+
+// Only returns the singleton set {i}.
+func Only(i int) Set { return Set(1) << i }
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool { return s&Only(i) != 0 }
+
+// With returns s ∪ {i}.
+func (s Set) With(i int) Set { return s | Only(i) }
+
+// Without returns s ∖ {i}.
+func (s Set) Without(i int) Set { return s &^ Only(i) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool { return s == 0 }
+
+// Each calls fn for every member in ascending order.
+func (s Set) Each(fn func(i int)) {
+	for i := 0; s != 0; i, s = i+1, s>>1 {
+		if s&1 != 0 {
+			fn(i)
+		}
+	}
+}
+
+// Len returns the number of members.
+func (s Set) Len() int {
+	n := 0
+	for ; s != 0; s >>= 1 {
+		n += int(s & 1)
+	}
+	return n
+}
+
+// Solve runs the forward may-analysis to a fixpoint and returns each
+// block's entry set. The transfer function folds one statement over the
+// incoming set; refine narrows a set by an edge condition (it receives
+// the edge's Cond, never nil). Meet over paths is union, so the result
+// over-approximates every execution.
+func (g *Graph) Solve(entry Set, transfer func(s ast.Stmt, in Set) Set, refine func(c *Cond, in Set) Set) map[*Block]Set {
+	in := make(map[*Block]Set, len(g.Blocks))
+	seen := make(map[*Block]bool, len(g.Blocks))
+	in[g.Entry] = entry
+	seen[g.Entry] = true
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := in[blk]
+		for _, s := range blk.Stmts {
+			out = transfer(s, out)
+		}
+		for _, e := range blk.Succs {
+			v := out
+			if e.Cond != nil && refine != nil {
+				v = refine(e.Cond, v)
+			}
+			next := in[e.To].Union(v)
+			if !seen[e.To] || next != in[e.To] {
+				in[e.To] = next
+				seen[e.To] = true
+				if !queued[e.To] {
+					queued[e.To] = true
+					work = append(work, e.To)
+				}
+			}
+		}
+	}
+	return in
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -92,6 +93,20 @@ func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 // IsTestFile reports whether the file containing pos is a _test.go file.
 func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// IsFixturePath reports whether the file or directory path lies under a
+// testdata directory. Fixture packages deliberately violate the analyzers
+// that load them (`// want` expectations), so every driver must skip
+// them: go list-based enumeration (`./...`) never descends into testdata,
+// but explicit patterns and vet configs can still name fixtures.
+func IsFixturePath(path string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(path), "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 // EnclosingFunc returns the innermost function literal or declaration in

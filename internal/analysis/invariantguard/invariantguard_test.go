@@ -1,0 +1,14 @@
+package invariantguard_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/invariantguard"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", invariantguard.Analyzer,
+		"fix/guard",
+	)
+}

@@ -1,0 +1,26 @@
+// Package intervals is a fixture stub of the real interval-set package:
+// just enough surface for the invariantguard analyzer, which matches the
+// *Set type by package-path suffix and so treats this stub exactly like
+// the real thing.
+package intervals
+
+// Span is a half-open range.
+type Span struct{ Start, End int64 }
+
+// Set mimics the coalescing dirty-extent set.
+type Set struct{ spans []Span }
+
+// Add is a mutating method.
+func (s *Set) Add(start, end int64) { s.spans = append(s.spans, Span{start, end}) }
+
+// Remove is a mutating method.
+func (s *Set) Remove(start, end int64) {}
+
+// Clear is a mutating method.
+func (s *Set) Clear() { s.spans = s.spans[:0] }
+
+// Total is a read-only method; calling it is always legal.
+func (s *Set) Total() int64 { return 0 }
+
+// Spans is a read-only method; calling it is always legal.
+func (s *Set) Spans() []Span { return s.spans }

@@ -66,7 +66,7 @@ func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error
 	}
 	var all []Finding
 	for _, p := range targets {
-		if p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 || IsFixturePath(p.Dir) {
 			continue
 		}
 		fset := token.NewFileSet()

@@ -1,0 +1,372 @@
+package statetransition
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// fromKey addresses one //rolosan:from directive by file line.
+type fromKey struct {
+	file string
+	line int
+}
+
+// collectFromDirectives parses every `//rolosan:from A, B` comment into
+// the universe set it declares. Unknown constant names are reported at
+// the directive.
+func collectFromDirectives(pass *analysis.Pass, sp *spec) map[fromKey]cfg.Set {
+	byName := map[string]int{}
+	for i, n := range sp.names {
+		byName[n] = i
+	}
+	out := map[fromKey]cfg.Set{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if strings.HasPrefix(text, "//") {
+					text = text[2:]
+				} else {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), FromDirective)
+				if !ok {
+					continue
+				}
+				// Allow trailing prose after an embedded `//`.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				var set cfg.Set
+				valid := true
+				for _, name := range strings.Split(rest, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					i, ok := byName[name]
+					if !ok {
+						pass.Reportf(c.Pos(), "%s names unknown state constant %q", FromDirective, name)
+						valid = false
+						continue
+					}
+					set = set.With(i)
+				}
+				if !valid || set.Empty() {
+					continue
+				}
+				posn := pass.Fset.Position(c.Pos())
+				out[fromKey{posn.Filename, posn.Line}] = set
+			}
+		}
+	}
+	return out
+}
+
+// mutationSummaries computes, by fixpoint over the package's call graph,
+// which declared functions may mutate the tracked field: a direct
+// assignment, a call to the transition function, a call through a
+// function value, or a call to a function already known to mutate.
+// Function literals are skipped — they run when invoked, and invocation
+// through a value is already treated as mutating at the caller.
+func mutationSummaries(pass *analysis.Pass, sp *spec) map[*types.Func]bool {
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var fns []fnDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+				fns = append(fns, fnDecl{obj, fd})
+			}
+		}
+	}
+	mutates := map[*types.Func]bool{sp.fn: true}
+	calls := map[*types.Func][]*types.Func{}
+	for _, fn := range fns {
+		direct := false
+		inspectSkippingFuncLits(fn.decl.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sp.isTrackedSel(pass.TypesInfo, lhs, nil) {
+						direct = true
+					}
+				}
+			case *ast.CallExpr:
+				callee, dynamic := resolveCallee(pass.TypesInfo, n)
+				switch {
+				case dynamic:
+					direct = true
+				case callee != nil && callee.Pkg() == pass.Pkg:
+					calls[fn.obj] = append(calls[fn.obj], callee)
+				}
+			}
+		})
+		if direct {
+			mutates[fn.obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if mutates[fn.obj] {
+				continue
+			}
+			for _, callee := range calls[fn.obj] {
+				if mutates[callee] {
+					mutates[fn.obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return mutates
+}
+
+// resolveCallee classifies a call: a statically known function/method, or
+// a dynamic call through a function value. Builtins and conversions are
+// neither.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (callee *types.Func, dynamic bool) {
+	if tv, ok := info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return nil, false
+	}
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		return fn, false
+	}
+	return nil, true
+}
+
+// inspectSkippingFuncLits walks root without descending into function
+// literals.
+func inspectSkippingFuncLits(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// callSite is one transition-function call found in a function body.
+type callSite struct {
+	call    *ast.CallExpr
+	recvObj types.Object // object the method is called on (ident receivers only)
+	inLit   bool         // inside a function literal
+}
+
+// checkFunc verifies every transition call and direct field write in fd.
+func checkFunc(pass *analysis.Pass, sp *spec, fd *ast.FuncDecl, froms map[fromKey]cfg.Set, summaries map[*types.Func]bool) {
+	inTransition := pass.TypesInfo.Defs[fd.Name] == sp.fn
+
+	// Direct writes to the tracked field bypass the state machine.
+	if !inTransition {
+		analysis.WalkStack(fd.Body, func(n ast.Node, _ []ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if sp.isTrackedSel(pass.TypesInfo, lhs, nil) {
+						pass.Reportf(as.Pos(),
+							"direct write to %s.%s bypasses the state machine (no accrual, no hooks); call %s or annotate the intentional bypass",
+							sp.fn.Type().(*types.Signature).Recv().Type(), sp.field.Name(), sp.fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Collect transition call sites with their closure context.
+	var sites []callSite
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee, _ := resolveCallee(pass.TypesInfo, call); callee != sp.fn {
+			return true
+		}
+		site := callSite{call: call}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				site.recvObj = pass.TypesInfo.Uses[base]
+			}
+		}
+		if _, ok := analysis.EnclosingFunc(stack).(*ast.FuncLit); ok {
+			site.inLit = true
+		}
+		sites = append(sites, site)
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	full := cfg.Full(len(sp.vals))
+	var graph *cfg.Graph
+	flows := map[types.Object]map[ast.Stmt]cfg.Set{}
+
+	for _, site := range sites {
+		target, ok := sp.constIndex(pass.TypesInfo, site.call.Args[sp.argIdx])
+		if !ok {
+			pass.Reportf(site.call.Pos(),
+				"cannot prove transition: target state is not a constant of %s", sp.stateT)
+			continue
+		}
+		from := full
+		if set, ok := annotatedFrom(pass, froms, site.call); ok {
+			from = set
+		} else if !site.inLit {
+			if graph == nil {
+				graph = cfg.Build(fd.Body)
+			}
+			if !graph.Unanalyzable && site.recvObj != nil {
+				if flows[site.recvObj] == nil {
+					flows[site.recvObj] = solveFor(pass, sp, graph, site.recvObj, summaries, full)
+				}
+				from = siteSet(flows[site.recvObj], site, full)
+			}
+		}
+		var bad []string
+		from.Each(func(i int) {
+			if !sp.legal(i, target) {
+				bad = append(bad, sp.names[i])
+			}
+		})
+		if len(bad) > 0 {
+			hint := ""
+			if site.inLit {
+				hint = fmt.Sprintf("; declare the closure's entry states with //%s", FromDirective)
+			}
+			pass.Reportf(site.call.Pos(),
+				"possible illegal transition to %s: the state may be %s here, which the declared graph does not admit%s",
+				sp.names[target], strings.Join(bad, " or "), hint)
+		}
+	}
+}
+
+// annotatedFrom looks up a //rolosan:from directive on the call line or
+// the line above.
+func annotatedFrom(pass *analysis.Pass, froms map[fromKey]cfg.Set, call *ast.CallExpr) (cfg.Set, bool) {
+	posn := pass.Fset.Position(call.Pos())
+	if s, ok := froms[fromKey{posn.Filename, posn.Line}]; ok {
+		return s, true
+	}
+	s, ok := froms[fromKey{posn.Filename, posn.Line - 1}]
+	return s, ok
+}
+
+// solveFor runs the value analysis for the field of one receiver object.
+func solveFor(pass *analysis.Pass, sp *spec, g *cfg.Graph, obj types.Object, summaries map[*types.Func]bool, full cfg.Set) map[ast.Stmt]cfg.Set {
+	transfer := func(s ast.Stmt, in cfg.Set) cfg.Set {
+		return transferStmt(pass, sp, obj, summaries, s, in, full)
+	}
+	refine := func(c *cfg.Cond, in cfg.Set) cfg.Set {
+		return refineCond(pass, sp, obj, c, in)
+	}
+	blockIn := g.Solve(full, transfer, refine)
+
+	// Per-statement entry sets, so call sites can be located precisely.
+	out := map[ast.Stmt]cfg.Set{}
+	for _, blk := range g.Blocks {
+		cur := blockIn[blk]
+		for _, s := range blk.Stmts {
+			out[s] = cur
+			cur = transfer(s, cur)
+		}
+	}
+	return out
+}
+
+// siteSet finds the entry set of the statement containing the call.
+func siteSet(flow map[ast.Stmt]cfg.Set, site callSite, full cfg.Set) cfg.Set {
+	for s, set := range flow {
+		if s.Pos() <= site.call.Pos() && site.call.End() <= s.End() {
+			return set
+		}
+	}
+	return full
+}
+
+// transferStmt folds one statement's effect on the tracked field of obj.
+// Effects (assignments and calls) apply in syntactic order; function
+// literals are opaque values until called.
+func transferStmt(pass *analysis.Pass, sp *spec, obj types.Object, summaries map[*types.Func]bool, s ast.Stmt, in cfg.Set, full cfg.Set) cfg.Set {
+	cur := in
+	inspectSkippingFuncLits(s, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !sp.isTrackedSel(pass.TypesInfo, lhs, nil) {
+					continue
+				}
+				if sp.trackedBase(pass.TypesInfo, lhs) == obj && i < len(n.Rhs) {
+					if v, ok := sp.constIndex(pass.TypesInfo, n.Rhs[i]); ok {
+						cur = cfg.Only(v)
+						continue
+					}
+				}
+				// A write through another name may alias obj.
+				cur = full
+			}
+		case *ast.CallExpr:
+			callee, dynamic := resolveCallee(pass.TypesInfo, n)
+			switch {
+			case callee == sp.fn:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[base] == obj {
+						if v, ok := sp.constIndex(pass.TypesInfo, n.Args[sp.argIdx]); ok {
+							cur = cfg.Only(v)
+							return
+						}
+					}
+				}
+				cur = full
+			case dynamic:
+				cur = full
+			case callee != nil && callee.Pkg() == pass.Pkg && summaries[callee]:
+				cur = full
+			}
+		}
+	})
+	return cur
+}
+
+// refineCond narrows the set along a branch comparing the tracked field
+// of obj with state constants.
+func refineCond(pass *analysis.Pass, sp *spec, obj types.Object, c *cfg.Cond, in cfg.Set) cfg.Set {
+	vals := c.Vals
+	// `C == d.state` compares swapped; normalize.
+	if !sp.isTrackedSel(pass.TypesInfo, c.Expr, obj) {
+		if len(vals) == 1 && sp.isTrackedSel(pass.TypesInfo, vals[0], obj) {
+			vals = []ast.Expr{c.Expr}
+		} else {
+			return in
+		}
+	}
+	var set cfg.Set
+	for _, v := range vals {
+		i, ok := sp.constIndex(pass.TypesInfo, v)
+		if !ok {
+			return in // non-constant comparison: no refinement
+		}
+		set = set.With(i)
+	}
+	if c.Negated {
+		return in.Intersect(^set)
+	}
+	return in.Intersect(set)
+}

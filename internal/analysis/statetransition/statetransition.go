@@ -1,0 +1,259 @@
+// Package statetransition verifies, at compile time, that every call to a
+// package's declared state-transition function is legal under the same
+// power-state graph the runtime sanitizer enforces (disk.LegalTransition —
+// one shared spec table, two enforcement layers).
+//
+// The transition function is marked with a `rolosan:transition` line in
+// its doc comment; the analyzer derives the tracked field and the
+// target-state parameter from the function's own `recv.field = param`
+// assignment, and the value universe from the package's typed constants.
+// For each call site it computes the set of states the tracked field may
+// hold — by a CFG-based forward analysis over the enclosing function,
+// with branch and switch refinement on `recv.field` comparisons — and
+// reports any possible from-state the declared graph does not admit.
+//
+// Calls from function literals run at a later, unknowable time, so the
+// field's value cannot be tracked to them; a `//rolosan:from A, B`
+// comment on (or directly above) the call line declares the possible
+// from-states instead, and the analyzer checks those. An unannotated
+// closure site is checked against the full universe.
+//
+// Direct assignments to the tracked field outside the transition function
+// bypass the state machine (no duration accrual, no hooks) and are
+// flagged; the two intentional bypasses (Fail, ForceState) carry
+// `//lint:allow statetransition` directives.
+//
+// Soundness notes: calls into other packages are assumed not to mutate
+// the tracked field (it is unexported, so only reentrancy through a
+// stored closure could — the builder assumes scheduled closures do not
+// run synchronously); calls through function values and calls to
+// same-package functions whose fixpoint summary says they may mutate the
+// field clobber the tracked set to the full universe.
+package statetransition
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/disk"
+)
+
+// Analyzer is the statetransition check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statetransition",
+	Doc:  "check state-machine transition call sites against the declared power-state graph",
+	Run:  run,
+}
+
+// Marker is the doc-comment line identifying the transition function.
+const Marker = "rolosan:transition"
+
+// FromDirective declares a closure call site's possible from-states.
+const FromDirective = "rolosan:from"
+
+// spec describes the package's transition function and value universe.
+type spec struct {
+	fn     *types.Func // the transition method
+	decl   *ast.FuncDecl
+	field  *types.Var // tracked state field
+	argIdx int        // target-state parameter index
+	stateT types.Type
+
+	vals  []int64              // universe index -> constant value
+	names []string             // universe index -> constant name
+	index map[int64]int        // constant value -> universe index
+	objs  map[*types.Const]int // constant object -> universe index
+}
+
+func run(pass *analysis.Pass) error {
+	sp := findSpec(pass)
+	if sp == nil {
+		return nil // no transition function declared in this package
+	}
+	if len(sp.vals) == 0 || len(sp.vals) > 64 {
+		return fmt.Errorf("state universe has %d constants (want 1..64)", len(sp.vals))
+	}
+	froms := collectFromDirectives(pass, sp)
+	summaries := mutationSummaries(pass, sp)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, sp, fd, froms, summaries)
+		}
+	}
+	return nil
+}
+
+// findSpec locates the marked transition function and derives the tracked
+// field and parameter from its body.
+func findSpec(pass *analysis.Pass) *spec {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !docHasMarker(fd.Doc) {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sp := &spec{fn: obj, decl: fd}
+			if !deriveTracked(pass, sp) {
+				pass.Reportf(fd.Pos(),
+					"%s function has no `recv.field = param` assignment to derive the tracked state field", Marker)
+				return nil
+			}
+			buildUniverse(pass, sp)
+			return sp
+		}
+	}
+	return nil
+}
+
+func docHasMarker(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == Marker {
+			return true
+		}
+	}
+	return false
+}
+
+// deriveTracked finds the assignment `recv.F = param` in the transition
+// function's body, fixing the tracked field F and the parameter index.
+func deriveTracked(pass *analysis.Pass, sp *spec) bool {
+	params := map[types.Object]int{}
+	i := 0
+	for _, f := range sp.decl.Type.Params.List {
+		for _, name := range f.Names {
+			params[pass.TypesInfo.Defs[name]] = i
+			i++
+		}
+	}
+	found := false
+	ast.Inspect(sp.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if field == nil || !field.IsField() {
+			return true
+		}
+		rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		idx, ok := params[pass.TypesInfo.Uses[rhs]]
+		if !ok {
+			return true
+		}
+		sp.field = field
+		sp.argIdx = idx
+		sp.stateT = field.Type()
+		found = true
+		return false
+	})
+	return found
+}
+
+// buildUniverse collects the package-level constants of the state type,
+// ordered by value.
+func buildUniverse(pass *analysis.Pass, sp *spec) {
+	type entry struct {
+		c   *types.Const
+		val int64
+	}
+	var entries []entry
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), sp.stateT) {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry{c, v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].val < entries[j].val })
+	sp.index = make(map[int64]int, len(entries))
+	sp.objs = make(map[*types.Const]int, len(entries))
+	for i, e := range entries {
+		sp.vals = append(sp.vals, e.val)
+		sp.names = append(sp.names, e.c.Name())
+		sp.index[e.val] = i
+		sp.objs[e.c] = i
+	}
+}
+
+// legal checks one transition under the shared spec table. Universe values
+// are the same integers the runtime uses, so the analyzer asks the very
+// function the sanitizer asks.
+func (sp *spec) legal(from, to int) bool {
+	return disk.LegalTransition(disk.PowerState(sp.vals[from]), disk.PowerState(sp.vals[to]))
+}
+
+// constIndex resolves an expression to a universe index if it denotes a
+// constant of the state type.
+func (sp *spec) constIndex(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return 0, false
+	}
+	i, ok := sp.index[v]
+	return i, ok
+}
+
+// isTrackedSel reports whether e is `<base>.F` with base an identifier
+// denoting obj (nil obj matches any identifier base).
+func (sp *spec) isTrackedSel(info *types.Info, e ast.Expr, obj types.Object) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || info.Uses[sel.Sel] != sp.field {
+		return false
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return obj == nil || info.Uses[base] == obj
+}
+
+// trackedBase returns the identifier object e selects the field from, or
+// nil when e is not a simple `ident.F` selector.
+func (sp *spec) trackedBase(info *types.Info, e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || info.Uses[sel.Sel] != sp.field {
+		return nil
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[base]
+}

@@ -1,0 +1,14 @@
+package statetransition_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/statetransition"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", statetransition.Analyzer,
+		"fix/statemachine",
+	)
+}

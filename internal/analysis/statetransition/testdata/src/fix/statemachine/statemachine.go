@@ -1,0 +1,173 @@
+// Package statemachine exercises the statetransition analyzer. The State
+// constants carry the same underlying values as disk.PowerState, so the
+// shared transition graph reads: On(1)->Off(2), Off(2)->{On(1),
+// Halting(5)}, Halting(5)->Sleep(3), Sleep(3)->Waking(4),
+// Waking(4)->Off(2); self-loops are always legal.
+package statemachine
+
+// State mirrors disk.PowerState's value space.
+type State int
+
+// The five states, value-aligned with the disk package's graph.
+const (
+	On State = iota + 1
+	Off
+	Sleep
+	Waking
+	Halting
+)
+
+// M is a toy machine with one tracked state field.
+type M struct {
+	state State
+	log   []State
+}
+
+// setState is the audited transition point.
+//
+// rolosan:transition
+func (m *M) setState(to State, at int64) {
+	if m.state == to {
+		return
+	}
+	m.state = to
+	m.log = append(m.log, to)
+}
+
+// later models event scheduling: the callback runs at an unknown time.
+func (m *M) later(f func()) { f() }
+
+// refinedByIf narrows the state with an equality guard before the call.
+func (m *M) refinedByIf() {
+	if m.state == On {
+		m.setState(Off, 0) // On->Off is legal
+	}
+}
+
+// refinedByNotEqualReturn narrows via an early return, SpinDown-style.
+func (m *M) refinedByNotEqualReturn() {
+	if m.state != Off {
+		return
+	}
+	m.setState(Halting, 0) // Off->Halting is legal
+}
+
+// refinedBySwitchReturn narrows via a switch whose other cases return,
+// tryDispatch-style: after the switch the state is On or Off.
+func (m *M) refinedBySwitchReturn() {
+	switch m.state {
+	case Sleep, Waking, Halting:
+		return
+	}
+	m.setState(On, 0) // from {On, Off}: legal
+}
+
+// sequentialKnowledge uses the set established by a preceding transition.
+func (m *M) sequentialKnowledge() {
+	if m.state != Off {
+		return
+	}
+	m.setState(Halting, 0)
+	m.setState(Sleep, 0) // Halting->Sleep is legal
+}
+
+// unconstrained calls with no narrowing at all: every state is possible,
+// and Sleep is only reachable from Halting (or itself).
+func (m *M) unconstrained() {
+	m.setState(Sleep, 0) // want `possible illegal transition to Sleep: the state may be On or Off or Waking here`
+}
+
+// swapped compares with the constant on the left.
+func (m *M) swapped() {
+	if Waking == m.state {
+		m.setState(Off, 0) // Waking->Off is legal
+	}
+}
+
+// clobberedByHelper loses its narrowing to a helper that may transition.
+func (m *M) clobberedByHelper() {
+	if m.state != Off {
+		return
+	}
+	m.kick()
+	m.setState(Halting, 0) // want `possible illegal transition to Halting: the state may be On or Sleep or Waking here`
+}
+
+// kick transitions indirectly, so the fixpoint summary marks it mutating.
+func (m *M) kick() {
+	m.refinedByIf()
+}
+
+// annotatedClosure declares its entry states, deferred-callback-style.
+func (m *M) annotatedClosure() {
+	if m.state != Off {
+		return
+	}
+	m.setState(Halting, 0)
+	m.later(func() {
+		//rolosan:from Halting
+		m.setState(Sleep, 0) // Halting->Sleep is legal
+	})
+}
+
+// unannotatedClosure gives the analyzer nothing to work with: a closure
+// runs at an unknown time, so every from-state is possible.
+func (m *M) unannotatedClosure() {
+	m.later(func() {
+		m.setState(On, 0) // want `possible illegal transition to On: the state may be Sleep or Waking or Halting here.*rolosan:from`
+	})
+}
+
+// badAnnotation names a constant that does not exist.
+func (m *M) badAnnotation() {
+	m.later(func() {
+		/*rolosan:from Bogus*/ // want `rolosan:from names unknown state constant "Bogus"`
+		m.setState(On, 0) // want `possible illegal transition to On`
+	})
+}
+
+// nonConstTarget cannot be proven at all.
+func (m *M) nonConstTarget(s State) {
+	m.setState(s, 0) // want `cannot prove transition: target state is not a constant`
+}
+
+// directWrite bypasses the transition point.
+func (m *M) directWrite() {
+	m.state = On // want `direct write to .*state bypasses the state machine`
+}
+
+// allowedWrite is a documented bypass.
+func (m *M) allowedWrite() {
+	//lint:allow statetransition test models the Fail/ForceState bypass
+	m.state = Sleep
+}
+
+// aliasClobber writes through another name, which may alias m.
+func (m *M) aliasClobber(other *M) {
+	if m.state != Off {
+		return
+	}
+	other.state = Sleep // want `direct write to .*state bypasses the state machine`
+	m.setState(On, 0)   // want `possible illegal transition to On: the state may be Sleep or Waking or Halting here`
+}
+
+// dynamicCallClobber invokes a stored function value, which may reenter.
+func (m *M) dynamicCallClobber(f func()) {
+	if m.state != Off {
+		return
+	}
+	f()
+	m.setState(Halting, 0) // want `possible illegal transition to Halting: the state may be On or Sleep or Waking here`
+}
+
+// loopConverges: the loop body may transition to Off then On; the
+// fixpoint must include both, and On->Halting is illegal.
+func (m *M) loopConverges(n int) {
+	if m.state != Off {
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.setState(On, 0)
+	}
+	m.setState(Halting, 0) // want `possible illegal transition to Halting: the state may be On here`
+}

@@ -72,6 +72,10 @@ func analyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
 		// Dependency-only visit: facts written (none), nothing to report.
 		return nil, nil
 	}
+	if IsFixturePath(cfg.Dir) {
+		// Analyzer fixture package (deliberate violations); skip.
+		return nil, nil
+	}
 
 	fset := token.NewFileSet()
 	compiler := cfg.Compiler

@@ -6,6 +6,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/array"
 	"github.com/rolo-storage/rolo/internal/disk"
 	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/invariant"
 	"github.com/rolo-storage/rolo/internal/logspace"
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
@@ -62,6 +63,8 @@ type GRAID struct {
 	logOverflows int
 	logFailed    bool
 	closed       bool
+
+	san *invariant.Audit // nil unless a sanitizer is attached (audit.go)
 }
 
 var (
@@ -201,7 +204,7 @@ func (g *GRAID) ReplaceLogDisk() error {
 		return err
 	}
 	g.logFailed = false
-	g.logSpace.Reset()
+	g.resetLog()
 	g.gen++
 	return nil
 }
@@ -219,11 +222,11 @@ func (g *GRAID) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 			if err := g.writePair(e, join); err != nil {
 				return err
 			}
-			g.dirty[e.Pair].Remove(e.Offset, e.Offset+e.Length)
+			g.cleanDirty(e.Pair, e.Offset, e.Offset+e.Length)
 		}
 		return nil
 	}
-	alloc, ok := g.logSpace.Alloc(rec.Size, g.gen)
+	alloc, ok := g.logAlloc(rec.Size)
 	if !ok {
 		// Log completely full (can only happen if writes outrun the
 		// in-progress destage): fall back to direct mirrored writes.
@@ -245,7 +248,7 @@ func (g *GRAID) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 		if err := g.arr.Primaries[e.Pair].Submit(io); err != nil {
 			return fmt.Errorf("graid: primary write: %w", err)
 		}
-		g.dirty[e.Pair].Add(e.Offset, e.Offset+e.Length)
+		g.markDirty(e.Pair, e.Offset, e.Offset+e.Length)
 	}
 	// The dedicated log disk is log-only: its whole LBA space is the log,
 	// addressed sequentially from LBA 0.
@@ -309,7 +312,7 @@ func (g *GRAID) startDestage(now sim.Time) {
 		for _, sp := range g.dirty[p].Spans() {
 			work.Add(sp.Start, sp.End)
 		}
-		g.dirty[p].Clear()
+		g.clearDirty(p)
 		cp := array.NewCopier(g.arr.Eng, g.arr.Primaries[p], []*disk.Disk{g.arr.Mirrors[p]},
 			work, g.cfg.DestageChunkBytes,
 			func(sp intervals.Span) *disk.IO { return g.arr.DataIO(sp.Start, sp.Len(), false, true) },
@@ -331,7 +334,7 @@ func (g *GRAID) endDestage(now sim.Time, destagedGen int) {
 	if g.tel != nil {
 		g.tel.DestageDone(now, -1)
 	}
-	freed := g.logSpace.ReleaseTag(destagedGen)
+	freed := g.releaseGen(destagedGen)
 	if g.tel != nil && freed > 0 {
 		g.tel.LogInvalidate(now, -1, freed)
 	}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/array"
+	"github.com/rolo-storage/rolo/internal/invariant"
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// These are RoloSan's mutation tests: each test seeds one deliberate
+// corruption of the bookkeeping — the kind of bug the sanitizer exists to
+// catch — and asserts that it is detected with the right invariant family
+// in the diagnostic. The clean-run tests at the bottom are the flip side:
+// legitimate fault injection (disk failures, rebuilds, mid-destage
+// traffic) must NOT trip the sanitizer.
+
+// attachSanitizer wires a sanitizer to a controller the same way rolo.Run
+// does for Config.Check.
+func attachSanitizer(scheme string, eng *sim.Engine, a *array.Array, src invariant.Source, at invariant.Attachable) *invariant.Sanitizer {
+	san := invariant.New(scheme, eng)
+	san.SetSweepEvery(64)
+	san.SetSource(src)
+	at.SetSanitizer(san.Audit())
+	san.WatchDisks(a.AllDisks(), false)
+	san.Install()
+	return san
+}
+
+// wantViolation asserts that the sanitizer tripped, with the expected
+// invariant family and a diagnostic mentioning frag.
+func wantViolation(t *testing.T, san *invariant.Sanitizer, check, frag string) {
+	t.Helper()
+	if san.Err() == nil {
+		t.Fatalf("corruption went undetected (want %s violation)", check)
+	}
+	v := san.Violations()[0]
+	if v.Check != check {
+		t.Fatalf("violation family = %q, want %q (%v)", v.Check, check, v)
+	}
+	if !strings.Contains(v.Error(), frag) {
+		t.Fatalf("diagnostic %q does not mention %q", v.Error(), frag)
+	}
+}
+
+// TestMutationUnauditedAlloc allocates log space behind the audited
+// helpers' back; the conservation sweep must notice ledger divergence.
+func TestMutationUnauditedAlloc(t *testing.T) {
+	a, eng := testArray(t, 4)
+	r, err := New(a, FlavorP, scaledConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	san := attachSanitizer("RoLo-P", eng, a, r, r)
+
+	if _, ok := r.spaces[0].Alloc(8192, 3); !ok { // bypasses r.logAlloc
+		t.Fatal("direct alloc failed")
+	}
+	san.Final(eng.Now())
+	wantViolation(t, san, "conservation", "bypassed the audited helpers")
+}
+
+// TestMutationEarlyRelease reclaims a pair's log extents while the pair
+// still has dirty bytes — the reclamation-safety rule (paper §III-E: only
+// a drained destage may release).
+func TestMutationEarlyRelease(t *testing.T) {
+	a, eng := testArray(t, 4)
+	r, err := New(a, FlavorP, scaledConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	san := attachSanitizer("RoLo-P", eng, a, r, r)
+
+	sp := r.spaces[0]
+	if _, ok := r.logAlloc(sp, 8192, 2); !ok {
+		t.Fatal("log alloc failed")
+	}
+	r.markDirty(2, 0, 8192)
+	r.releaseTag(sp, 2) // destage never drained: live log copies reclaimed
+	wantViolation(t, san, "recoverability", "dirty bytes outstanding")
+}
+
+// TestMutationMidDestageReset resets a RoLo-E log that still covers dirty
+// spans — under RoLo-E the log holds the only current copy, so this is
+// data loss (the exact bug class the centralized-destage write path must
+// avoid).
+func TestMutationMidDestageReset(t *testing.T) {
+	a, eng := testArray(t, 4)
+	e, err := NewE(a, DefaultEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	san := attachSanitizer("RoLo-E", eng, a, e, e)
+
+	e.markDirty(0, 0, 4096)
+	e.resetSpace(e.spaces[0])
+	wantViolation(t, san, "recoverability", "only copy was logged")
+}
+
+// TestMutationPhantomDirty marks a span dirty with no log backing, then
+// fails the pair's primary: no valid source remains for the span and the
+// recoverability sweep must report the double exposure.
+func TestMutationPhantomDirty(t *testing.T) {
+	a, eng := testArray(t, 4)
+	r, err := New(a, FlavorP, scaledConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	san := attachSanitizer("RoLo-P", eng, a, r, r)
+
+	r.markDirty(1, 0, 1<<20)
+	a.Primaries[1].Fail()
+	san.Final(eng.Now())
+	wantViolation(t, san, "recoverability", "failed primary")
+}
+
+// TestMutationForbiddenSpinDown watches disks under the RAID10 policy
+// (power-unmanaged: no spin-downs, ever) and spins one down anyway.
+func TestMutationForbiddenSpinDown(t *testing.T) {
+	a, eng := testArray(t, 4)
+	san := invariant.New("RAID10", eng)
+	san.WatchDisks(a.AllDisks(), true)
+	san.Install()
+
+	if err := a.Primaries[2].SpinDown(); err != nil {
+		t.Fatal(err)
+	}
+	wantViolation(t, san, "state-machine", "no spin-downs")
+}
+
+// TestSanitizerCleanUnderFailureInjection re-runs the failure-injection
+// scenario — random traffic interleaved with disk failures and rebuilds,
+// destages and rotations mid-flight — with the sanitizer attached. All of
+// that is legitimate; any violation is a sanitizer false positive (or a
+// real controller bug).
+func TestSanitizerCleanUnderFailureInjection(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			a, eng := testArray(t, 4)
+			r, err := New(a, FlavorP, scaledConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			san := attachSanitizer("RoLo-P", eng, a, r, r)
+
+			rng := rand.New(rand.NewSource(seed))
+			volume := a.Geom.VolumeBytes()
+			at := sim.Time(0)
+			for i := 0; i < 1200; i++ {
+				at += sim.Time(rng.Intn(int(25 * sim.Millisecond)))
+				rec := trace.Record{
+					At:     at,
+					Op:     trace.Write,
+					Offset: rng.Int63n(volume/8192-16) * 8192,
+					Size:   int64(rng.Intn(16)+1) * 8192,
+				}
+				if _, err := eng.Schedule(rec.At, func(sim.Time) {
+					if err := r.Submit(rec); err != nil {
+						t.Errorf("submit: %v", err)
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			failed := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				failAt := sim.Time(rng.Int63n(int64(at)))
+				if _, err := eng.Schedule(failAt, func(now sim.Time) {
+					p := rng.Intn(a.Geom.Pairs)
+					if failed[p] {
+						return
+					}
+					mirror := rng.Intn(2) == 0
+					var ferr error
+					if mirror {
+						_, ferr = r.FailMirror(p)
+					} else {
+						_, ferr = r.FailPrimary(p)
+					}
+					if ferr == nil {
+						failed[p] = true
+						eng.After(15*sim.Second, func(sim.Time) {
+							if err := r.Rebuild(p, mirror, nil); err == nil {
+								failed[p] = false
+							}
+						})
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eng.Run()
+			san.Final(eng.Now())
+			if err := san.Err(); err != nil {
+				t.Fatalf("sanitizer tripped on a legitimate faulty run: %v", err)
+			}
+			if san.Events() == 0 || san.Sweeps() == 0 {
+				t.Fatalf("sanitizer saw %d events, %d sweeps: not wired", san.Events(), san.Sweeps())
+			}
+		})
+	}
+}
+
+// TestSanitizerCleanRoLoEDestage drives RoLo-E hard enough to force
+// centralized destages with writes continuing to arrive mid-destage, all
+// under the sanitizer.
+func TestSanitizerCleanRoLoEDestage(t *testing.T) {
+	a, eng := testArray(t, 4)
+	e, err := NewE(a, DefaultEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	san := attachSanitizer("RoLo-E", eng, a, e, e)
+
+	recs := writeRecs(3200, 64<<10, 20*sim.Millisecond)
+	replay(t, eng, a, e, recs)
+	san.Final(eng.Now())
+	if err := san.Err(); err != nil {
+		t.Fatalf("sanitizer tripped on a clean destaging run: %v", err)
+	}
+	if e.Destages() == 0 {
+		t.Fatal("workload never triggered a centralized destage; the test proves nothing")
+	}
+	if san.Events() == 0 || san.Sweeps() == 0 {
+		t.Fatalf("sanitizer saw %d events, %d sweeps: not wired", san.Events(), san.Sweeps())
+	}
+}

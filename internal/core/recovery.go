@@ -57,7 +57,7 @@ func (r *RoLo) FailMirror(m int) (RecoveryPlan, error) {
 		// Log extents on the failed mirror are gone; the data they
 		// protected is still safe on the primaries, so the corresponding
 		// pairs simply stay dirty until their next destage.
-		r.spaces[m].Reset()
+		r.resetSpace(r.spaces[m])
 		slot := 0
 		for i, d := range r.onDuty {
 			if d == m {
@@ -169,9 +169,9 @@ func (r *RoLo) Rebuild(p int, mirrorFailed bool, done func(now sim.Time)) error 
 		// The rebuilt mirror is current: its pair is clean and any log
 		// extents for it are stale.
 		if mirrorFailed {
-			r.dirty[p].Clear()
+			r.clearDirty(p)
 			for _, sp := range r.spaces {
-				sp.ReleaseTag(p)
+				r.releaseTag(sp, p)
 			}
 		}
 		if done != nil {

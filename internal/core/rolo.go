@@ -17,6 +17,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/array"
 	"github.com/rolo-storage/rolo/internal/disk"
 	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/invariant"
 	"github.com/rolo-storage/rolo/internal/logspace"
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
@@ -136,6 +137,8 @@ type RoLo struct {
 	rotations    int
 	directWrites int // writes that bypassed logging (deactivation fallback)
 	closed       bool
+
+	san *invariant.Audit // nil unless a sanitizer is attached (audit.go)
 }
 
 var (
@@ -338,7 +341,7 @@ func (r *RoLo) Submit(rec trace.Record) error {
 				disk: r.arr.Mirrors[e.Pair],
 				io:   r.arr.DataIO(e.Offset, e.Length, true, false),
 			})
-			r.dirty[e.Pair].Remove(e.Offset, e.Offset+e.Length)
+			r.cleanDirty(e.Pair, e.Offset, e.Offset+e.Length)
 		} else {
 			targets = append(targets, targetIO{
 				disk: prim,
@@ -385,7 +388,7 @@ func (r *RoLo) allocOnDuty(n int64, tag int) (logger int, a logspace.Alloc, ok b
 		}
 	}
 	for _, lg := range order {
-		if a, ok := r.spaces[lg].Alloc(n, tag); ok {
+		if a, ok := r.logAlloc(r.spaces[lg], n, tag); ok {
 			return lg, a, true
 		}
 	}
@@ -412,6 +415,8 @@ func (r *RoLo) reactivate() {
 
 // markDirty records staleness and feeds the live destager if pair p is
 // currently being destaged.
+//
+// rolosan:audited
 func (r *RoLo) markDirty(p int, start, end int64) {
 	r.dirty[p].Add(start, end)
 	if r.destageLive[p] && r.destagers[p] != nil {
@@ -437,7 +442,7 @@ func (r *RoLo) directWrite(exts []raid.Extent, record func(sim.Time)) error {
 		}
 		// The surviving mirror copy is now current for this span.
 		if !r.arr.Mirrors[e.Pair].Failed() {
-			r.dirty[e.Pair].Remove(e.Offset, e.Offset+e.Length)
+			r.cleanDirty(e.Pair, e.Offset, e.Offset+e.Length)
 		}
 	}
 	return r.submitSurviving(targets, record)
@@ -558,7 +563,7 @@ func (r *RoLo) destageDrained(p int, at sim.Time) {
 	}
 	var freed int64
 	for _, sp := range r.spaces {
-		freed += sp.ReleaseTag(p)
+		freed += r.releaseTag(sp, p)
 	}
 	if r.tel != nil && freed > 0 {
 		r.tel.LogInvalidate(at, p, freed)

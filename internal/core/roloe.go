@@ -7,6 +7,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/cache"
 	"github.com/rolo-storage/rolo/internal/disk"
 	"github.com/rolo-storage/rolo/internal/intervals"
+	"github.com/rolo-storage/rolo/internal/invariant"
 	"github.com/rolo-storage/rolo/internal/logspace"
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
@@ -110,6 +111,8 @@ type RoLoE struct {
 	readMiss  int64
 	overflow  int64 // writes bypassing the log during destage
 	closed    bool
+
+	san *invariant.Audit // nil unless a sanitizer is attached (audit.go)
 }
 
 var (
@@ -255,7 +258,7 @@ func (e *RoLoE) allocSlot(n int64, tag int) (int, logspace.Alloc, bool) {
 	}
 	for off := 0; off < len(e.spaces); off++ {
 		i := (best + off) % len(e.spaces)
-		if a, ok := e.spaces[i].Alloc(n, tag); ok {
+		if a, ok := e.logAlloc(e.spaces[i], n, tag); ok {
 			return i, a, true
 		}
 	}
@@ -311,8 +314,16 @@ func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 		slot  int
 	}
 	allocs := make([]placed, 0, len(exts))
-	allOK := true
+	// While the centralized destage is reclaiming the log, nothing may be
+	// logged: a copy logged now would be destroyed by the reset at the end
+	// of the destage while its dirty span persisted — the log would no
+	// longer cover every dirty byte. The array is fully awake during a
+	// destage anyway, so these writes take the in-place path below.
+	allOK := !e.destaging
 	for _, ext := range exts {
+		if !allOK {
+			break
+		}
 		slot, a, ok := e.allocSlot(ext.Length, ext.Pair)
 		if !ok {
 			allOK = false
@@ -321,8 +332,8 @@ func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 		allocs = append(allocs, placed{alloc: a, slot: slot})
 	}
 	if !allOK {
-		// Log full: during (or right before) the centralized destage the
-		// whole array is awake, so write both copies in place.
+		// Log full or mid-destage: the whole array is awake (or waking),
+		// so write both copies in place.
 		e.overflow++
 		join := array.NewJoin(2*len(exts), record)
 		for _, ext := range exts {
@@ -339,7 +350,7 @@ func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 				e.touchFG(target)
 			}
 			// In-place writes supersede whatever the log held.
-			e.dirty[ext.Pair].Remove(ext.Offset, ext.Offset+ext.Length)
+			e.cleanDirty(ext.Pair, ext.Offset, ext.Offset+ext.Length)
 		}
 		e.maybeDestage()
 		return nil
@@ -355,7 +366,7 @@ func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 				return fmt.Errorf("RoLo-E: log write: %w", err)
 			}
 		}
-		e.dirty[ext.Pair].Add(ext.Offset, ext.Offset+ext.Length)
+		e.markDirty(ext.Pair, ext.Offset, ext.Offset+ext.Length)
 	}
 	e.maybeDestage()
 	return nil
@@ -535,7 +546,7 @@ func (e *RoLoE) startDestage(now sim.Time) {
 		for _, sp := range e.dirty[p].Spans() {
 			work.Add(sp.Start, sp.End)
 		}
-		e.dirty[p].Clear()
+		e.clearDirty(p)
 		src := srcs[p%len(srcs)]
 		cp := array.NewCopier(e.arr.Eng, src,
 			[]*disk.Disk{e.arr.Primaries[p], e.arr.Mirrors[p]},
@@ -568,7 +579,7 @@ func (e *RoLoE) endDestage(now sim.Time) {
 	var freed int64
 	for _, sp := range e.spaces {
 		freed += sp.UsedBytes()
-		sp.Reset()
+		e.resetSpace(sp)
 	}
 	if e.tel != nil && freed > 0 {
 		e.tel.LogInvalidate(now, -1, freed)

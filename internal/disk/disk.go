@@ -200,6 +200,7 @@ type Disk struct {
 
 	state      PowerState
 	stateSince sim.Time
+	born       sim.Time // creation time: stateDur accrues from here
 	stateDur   [numPowerStates]sim.Time
 	energyJ    float64
 
@@ -212,11 +213,17 @@ type Disk struct {
 	bg      fifo
 
 	spinUps, spinDowns int
-	iosCompleted       int64
-	bytesRead          int64
-	bytesWritten       int64
-	busyTime           sim.Time
-	fgIOs, bgIOs       int64
+
+	// spinSeq invalidates in-flight spin transitions: each spin-up or
+	// spin-down completion closure captures the sequence at scheduling
+	// time and no-ops if it has moved on (a failure aborted the
+	// transition, or a replacement drive started its own spin-up).
+	spinSeq      int
+	iosCompleted int64
+	bytesRead    int64
+	bytesWritten int64
+	busyTime     sim.Time
+	fgIOs, bgIOs int64
 
 	// wakeOnArrival makes a Standby drive spin up automatically when an IO
 	// is submitted. All schemes in the paper behave this way.
@@ -232,7 +239,7 @@ type Disk struct {
 	bgRecheck     bool
 	failed        bool
 
-	onStateChange func(d *Disk, from, to PowerState, now sim.Time)
+	onStateChange []func(d *Disk, from, to PowerState, now sim.Time)
 }
 
 // fifo is a simple FIFO queue of IOs.
@@ -286,6 +293,7 @@ func New(id int, cfg Config, eng *sim.Engine) (*Disk, error) {
 		eng:           eng,
 		state:         Idle,
 		stateSince:    eng.Now(),
+		born:          eng.Now(),
 		seqNext:       -1,
 		wakeOnArrival: true,
 	}, nil
@@ -308,11 +316,25 @@ func (d *Disk) ForegroundPending() bool {
 	return d.fg.len() > 0 || (d.busy && d.current != nil && !d.current.Background)
 }
 
-// SetStateChangeHook registers a callback observing power-state transitions.
-func (d *Disk) SetStateChangeHook(fn func(d *Disk, from, to PowerState, now sim.Time)) {
-	d.onStateChange = fn
+// Born returns the simulation time the drive was created; state durations
+// accrue from this instant, so the durations in Stats always sum to
+// Now()-Born().
+func (d *Disk) Born() sim.Time { return d.born }
+
+// AddStateChangeHook registers a callback observing power-state
+// transitions. Hooks run in registration order, after the state has
+// changed. Transitions forced by Fail or ForceState bypass the state
+// machine and do not fire hooks.
+func (d *Disk) AddStateChangeHook(fn func(d *Disk, from, to PowerState, now sim.Time)) {
+	d.onStateChange = append(d.onStateChange, fn)
 }
 
+// setState is the audited transition point of the power-state machine:
+// every legal transition goes through here (Fail and ForceState are the
+// two documented bypasses). The statetransition analyzer checks each call
+// site's possible from-states against the declared graph in powerGraph.
+//
+// rolosan:transition
 func (d *Disk) setState(to PowerState, now sim.Time) {
 	from := d.state
 	if from == to {
@@ -320,8 +342,8 @@ func (d *Disk) setState(to PowerState, now sim.Time) {
 	}
 	d.accrue(now)
 	d.state = to
-	if d.onStateChange != nil {
-		d.onStateChange(d, from, to, now)
+	for _, fn := range d.onStateChange {
+		fn(d, from, to, now)
 	}
 }
 
@@ -406,7 +428,11 @@ func (d *Disk) Fail() {
 	now := d.eng.Now()
 	d.accrue(now)
 	d.failed = true
-	d.state = Standby // a dead drive draws (approximately) nothing
+	// Abort any in-flight spin transition: its completion closure must
+	// not fire a state change on a dead (or later replaced) drive.
+	d.spinSeq++
+	//lint:allow statetransition failure bypasses the state machine; a dead drive draws (approximately) nothing and hooks do not fire
+	d.state = Standby
 	for {
 		io := d.fg.pop()
 		if io == nil {
@@ -572,6 +598,7 @@ func (d *Disk) ForceState(s PowerState) error {
 		return fmt.Errorf("%w: ForceState to %v", ErrBadState, s)
 	}
 	d.accrue(d.eng.Now())
+	//lint:allow statetransition initial-state setup bypasses the state machine by design (no latency, energy, or hooks)
 	d.state = s
 	return nil
 }
@@ -592,7 +619,13 @@ func (d *Disk) SpinDown() error {
 	d.setState(SpinningDown, now)
 	d.spinDowns++
 	d.energyJ += d.cfg.SpinDownEnergy
+	d.spinSeq++
+	seq := d.spinSeq
 	d.eng.After(d.cfg.SpinDownTime, func(at sim.Time) {
+		if d.spinSeq != seq {
+			return // aborted by a failure mid-transition
+		}
+		//rolosan:from SpinningDown
 		d.setState(Standby, at)
 		// Work may have arrived during the transition; wake for it.
 		if d.QueueLen() > 0 && d.wakeOnArrival {
@@ -621,10 +654,17 @@ func (d *Disk) SpinUp() error {
 }
 
 func (d *Disk) beginSpinUp(now sim.Time) {
+	//rolosan:from Standby
 	d.setState(SpinningUp, now)
 	d.spinUps++
 	d.energyJ += d.cfg.SpinUpEnergy
+	d.spinSeq++
+	seq := d.spinSeq
 	d.eng.After(d.cfg.SpinUpTime, func(at sim.Time) {
+		if d.spinSeq != seq {
+			return // aborted by a failure mid-transition
+		}
+		//rolosan:from SpinningUp
 		d.setState(Idle, at)
 		d.tryDispatch(at)
 	})

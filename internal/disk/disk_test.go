@@ -386,7 +386,7 @@ func TestStatsCounts(t *testing.T) {
 func TestStateChangeHook(t *testing.T) {
 	d, eng := newTestDisk(t)
 	var transitions []PowerState
-	d.SetStateChangeHook(func(_ *Disk, _, to PowerState, _ sim.Time) {
+	d.AddStateChangeHook(func(_ *Disk, _, to PowerState, _ sim.Time) {
 		transitions = append(transitions, to)
 	})
 	if err := d.Submit(&IO{LBA: 0, Sectors: 8}); err != nil {

@@ -43,6 +43,9 @@ type Options struct {
 	JournalDir string
 	// ProbeInterval enables periodic telemetry probes in every run.
 	ProbeInterval sim.Time
+	// Check enables the RoloSan invariant sanitizer in every run; the
+	// first violation fails the experiment.
+	Check bool
 }
 
 // DefaultOptions returns the default experiment options.
@@ -137,6 +140,7 @@ func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, 
 		return rolo.Report{}, err
 	}
 	cfg.Telemetry.ProbeInterval = o.ProbeInterval
+	cfg.Check = o.Check
 	if o.JournalDir != "" {
 		name := fmt.Sprintf("%s_%s.jsonl", scheme, profile)
 		f, ferr := os.Create(filepath.Join(o.JournalDir, name))

@@ -20,6 +20,7 @@ func (s Span) Len() int64 { return s.End - s.Start }
 // value is an empty set ready for use.
 type Set struct {
 	spans []Span
+	total int64 // cached sum of span lengths, maintained by every mutator
 }
 
 // Add inserts [start, end), merging with any overlapping or adjacent spans.
@@ -30,7 +31,9 @@ func (s *Set) Add(start, end int64) {
 	}
 	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].End >= start })
 	j := i
+	var absorbed int64
 	for j < len(s.spans) && s.spans[j].Start <= end {
+		absorbed += s.spans[j].Len()
 		if s.spans[j].Start < start {
 			start = s.spans[j].Start
 		}
@@ -40,6 +43,7 @@ func (s *Set) Add(start, end int64) {
 		j++
 	}
 	merged := Span{Start: start, End: end}
+	s.total += merged.Len() - absorbed
 	s.spans = append(s.spans[:i], append([]Span{merged}, s.spans[j:]...)...)
 }
 
@@ -54,6 +58,8 @@ func (s *Set) Remove(start, end int64) {
 			out = append(out, sp)
 			continue
 		}
+		lo, hi := max(sp.Start, start), min(sp.End, end)
+		s.total -= hi - lo
 		if sp.Start < start {
 			out = append(out, Span{Start: sp.Start, End: start})
 		}
@@ -82,14 +88,9 @@ func (s *Set) Overlaps(start, end int64) bool {
 	return i < len(s.spans) && s.spans[i].Start < end
 }
 
-// Total returns the number of bytes covered.
-func (s *Set) Total() int64 {
-	var t int64
-	for _, sp := range s.spans {
-		t += sp.Len()
-	}
-	return t
-}
+// Total returns the number of bytes covered. It is O(1): controllers and
+// the sanitizer read it on hot paths (per-event dirty-byte counters).
+func (s *Set) Total() int64 { return s.total }
 
 // Empty reports whether the set covers nothing.
 func (s *Set) Empty() bool { return len(s.spans) == 0 }
@@ -105,7 +106,10 @@ func (s *Set) Spans() []Span {
 }
 
 // Clear removes all spans.
-func (s *Set) Clear() { s.spans = s.spans[:0] }
+func (s *Set) Clear() {
+	s.spans = s.spans[:0]
+	s.total = 0
+}
 
 // PopFirst removes and returns up to max bytes from the lowest span,
 // which is how destagers chunk sequential work. It reports false when the
@@ -117,16 +121,19 @@ func (s *Set) PopFirst(max int64) (Span, bool) {
 	sp := s.spans[0]
 	if sp.Len() <= max {
 		s.spans = s.spans[1:]
+		s.total -= sp.Len()
 		return sp, true
 	}
 	taken := Span{Start: sp.Start, End: sp.Start + max}
 	s.spans[0].Start = taken.End
+	s.total -= taken.Len()
 	return taken, true
 }
 
 // CheckInvariants verifies internal ordering and coalescing; it is used by
 // property tests.
 func (s *Set) CheckInvariants() error {
+	var sum int64
 	for i, sp := range s.spans {
 		if sp.End <= sp.Start {
 			return fmt.Errorf("intervals: span %d degenerate: %+v", i, sp)
@@ -135,6 +142,10 @@ func (s *Set) CheckInvariants() error {
 			return fmt.Errorf("intervals: spans %d,%d not coalesced: %+v %+v",
 				i-1, i, s.spans[i-1], sp)
 		}
+		sum += sp.Len()
+	}
+	if sum != s.total {
+		return fmt.Errorf("intervals: cached total %d != span sum %d", s.total, sum)
 	}
 	return nil
 }

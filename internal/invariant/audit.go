@@ -1,0 +1,164 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rolo-storage/rolo/internal/logspace"
+)
+
+// Audit is the notification sink for the controllers' audited mutation
+// helpers. It maintains a shadow ledger of expected per-tag log bytes per
+// space; sweeps compare the ledger against the allocator's own accounting,
+// so both an allocator bug and a mutation that bypassed the audited
+// helpers show up as a divergence. Release and reset notifications are
+// additionally checked on the spot for the paper's reclamation-safety
+// rule: a reclaimed tag must not hold live (still-dirty) blocks.
+//
+// All methods are safe on a nil receiver, so controllers call their
+// audit handle unconditionally and pay nothing when the sanitizer is off.
+type Audit struct {
+	san    *Sanitizer
+	ledger map[*logspace.Space]map[int]int64
+}
+
+func newAudit(s *Sanitizer) *Audit {
+	return &Audit{san: s, ledger: make(map[*logspace.Space]map[int]int64)}
+}
+
+// Alloc records that n bytes were allocated under tag on sp.
+func (a *Audit) Alloc(sp *logspace.Space, tag int, n int64) {
+	if a == nil {
+		return
+	}
+	tags := a.ledger[sp]
+	if tags == nil {
+		tags = make(map[int]int64)
+		a.ledger[sp] = tags
+	}
+	tags[tag] += n
+}
+
+// Release records that ReleaseTag(tag) on sp reclaimed freed bytes, and
+// checks reclamation safety: the ledger must have expected exactly freed
+// bytes under the tag, and — for pair-tagged schemes — the pair must have
+// no dirty bytes left (a destage completion is the only legal trigger;
+// releasing earlier would reclaim live log copies).
+func (a *Audit) Release(sp *logspace.Space, tag int, freed int64) {
+	if a == nil {
+		return
+	}
+	expect := a.ledger[sp][tag]
+	if expect != freed {
+		a.san.Report(Violation{
+			Check:    "conservation",
+			At:       a.san.eng.Now(),
+			Object:   fmt.Sprintf("logspace release tag %d", tag),
+			Expected: fmt.Sprintf("%d ledgered bytes reclaimed", expect),
+			Actual:   fmt.Sprintf("%d bytes reclaimed", freed),
+		})
+	}
+	delete(a.ledger[sp], tag)
+	if a.san.src == nil {
+		return
+	}
+	st := a.san.src.SanitizerState()
+	if st.LogByPair != nil && tag >= 0 && tag < len(st.DirtyBytes) && st.DirtyBytes[tag] != 0 {
+		a.san.Report(Violation{
+			Check:    "recoverability",
+			At:       a.san.eng.Now(),
+			Object:   fmt.Sprintf("pair %d", tag),
+			Expected: "log extents reclaimed only after the pair's destage drained",
+			Actual:   fmt.Sprintf("tag %d released with %d dirty bytes outstanding", tag, st.DirtyBytes[tag]),
+		})
+	}
+}
+
+// Reset records that sp was reset (all tags reclaimed at once) and checks
+// reset safety. For schemes where the log holds the only current copy
+// (RoLo-E), a reset with any dirty bytes outstanding destroys live data.
+// For primary-backed schemes a reset is the logger-failure path and is
+// survivable as long as the primaries live; the recoverability sweep
+// covers the double-failure case.
+func (a *Audit) Reset(sp *logspace.Space) {
+	if a == nil {
+		return
+	}
+	delete(a.ledger, sp)
+	if a.san.src == nil {
+		return
+	}
+	st := a.san.src.SanitizerState()
+	if st.LogPrimaryBacked {
+		return
+	}
+	for p, dirty := range st.DirtyBytes {
+		if dirty != 0 {
+			a.san.Report(Violation{
+				Check:    "recoverability",
+				At:       a.san.eng.Now(),
+				Object:   fmt.Sprintf("pair %d", p),
+				Expected: "log reset only after every dirty span destaged",
+				Actual:   fmt.Sprintf("%d dirty bytes whose only copy was logged", dirty),
+			})
+			return
+		}
+	}
+}
+
+// sweepSpace compares one space's accounting against the ledger and its
+// own internal invariants.
+func (a *Audit) sweepSpace(sp *logspace.Space) []Violation {
+	if a == nil || sp == nil {
+		return nil
+	}
+	var out []Violation
+	if err := sp.CheckInvariants(); err != nil {
+		out = append(out, Violation{
+			Check:    "conservation",
+			Object:   "logspace",
+			Expected: "internally consistent allocator",
+			Actual:   err.Error(),
+		})
+	}
+	tags := a.ledger[sp]
+	var total int64
+	seen := make(map[int]bool, len(tags))
+	order := make([]int, 0, len(tags))
+	for tag := range tags {
+		order = append(order, tag)
+	}
+	sort.Ints(order)
+	for _, tag := range order {
+		expect := tags[tag]
+		seen[tag] = true
+		total += expect
+		if got := sp.TagBytes(tag); got != expect {
+			out = append(out, Violation{
+				Check:    "conservation",
+				Object:   fmt.Sprintf("logspace tag %d", tag),
+				Expected: fmt.Sprintf("%d audited bytes", expect),
+				Actual:   fmt.Sprintf("%d allocated bytes", got),
+			})
+		}
+	}
+	for _, tag := range sp.Tags() {
+		if !seen[tag] {
+			out = append(out, Violation{
+				Check:    "conservation",
+				Object:   fmt.Sprintf("logspace tag %d", tag),
+				Expected: "no bytes (never audited)",
+				Actual:   fmt.Sprintf("%d allocated bytes bypassed the audited helpers", sp.TagBytes(tag)),
+			})
+		}
+	}
+	if got := sp.UsedBytes(); got != total {
+		out = append(out, Violation{
+			Check:    "conservation",
+			Object:   "logspace occupancy",
+			Expected: fmt.Sprintf("%d audited bytes", total),
+			Actual:   fmt.Sprintf("%d used bytes", got),
+		})
+	}
+	return out
+}

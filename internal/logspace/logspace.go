@@ -223,18 +223,30 @@ func (s *Space) CheckInvariants() error {
 	if err := s.free.CheckInvariants(); err != nil {
 		return err
 	}
-	var usedTotal int64
-	var all intervals.Set
+	// Gather every live span (free plus per-tag used) and verify mutual
+	// disjointness with one sort and a linear scan. Building an
+	// intervals.Set span by span would cost a quadratic memmove on
+	// fragmented spaces, which matters because the sanitizer sweeps call
+	// this on every log region periodically during checked runs.
+	type owned struct {
+		sp  intervals.Span
+		tag int // -1 marks a free span
+	}
+	all := make([]owned, 0, len(s.free.Spans())+len(s.used))
 	for _, sp := range s.free.Spans() {
 		if sp.Start < 0 || sp.End > s.addrSpace {
 			return fmt.Errorf("logspace: free span %+v out of bounds", sp)
 		}
-		if all.Overlaps(sp.Start, sp.End) {
-			return fmt.Errorf("logspace: free span %+v overlaps", sp)
-		}
-		all.Add(sp.Start, sp.End)
+		all = append(all, owned{sp, -1})
 	}
-	for tag, set := range s.used {
+	tags := make([]int, 0, len(s.used))
+	for tag := range s.used {
+		tags = append(tags, tag)
+	}
+	sort.Ints(tags)
+	var usedTotal int64
+	for _, tag := range tags {
+		set := s.used[tag]
 		if err := set.CheckInvariants(); err != nil {
 			return fmt.Errorf("logspace: tag %d: %w", tag, err)
 		}
@@ -242,17 +254,25 @@ func (s *Space) CheckInvariants() error {
 			if sp.Start < 0 || sp.End > s.addrSpace {
 				return fmt.Errorf("logspace: tag %d span %+v out of bounds", tag, sp)
 			}
-			if all.Overlaps(sp.Start, sp.End) {
-				return fmt.Errorf("logspace: tag %d span %+v overlaps", tag, sp)
-			}
-			all.Add(sp.Start, sp.End)
+			all = append(all, owned{sp, tag})
 			usedTotal += sp.Len()
 		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].sp.Start < all[j].sp.Start })
+	var total int64
+	for i, o := range all {
+		if i > 0 && o.sp.Start < all[i-1].sp.End {
+			if o.tag < 0 {
+				return fmt.Errorf("logspace: free span %+v overlaps", o.sp)
+			}
+			return fmt.Errorf("logspace: tag %d span %+v overlaps", o.tag, o.sp)
+		}
+		total += o.sp.Len()
 	}
 	if usedTotal != s.usedBy {
 		return fmt.Errorf("logspace: used accounting %d != tracked %d", usedTotal, s.usedBy)
 	}
-	if got, want := all.Total(), s.addrSpace-s.donated; got != want {
+	if got, want := total, s.addrSpace-s.donated; got != want {
 		return fmt.Errorf("logspace: accounted %d of %d live bytes", got, want)
 	}
 	return nil

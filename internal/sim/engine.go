@@ -107,6 +107,10 @@ type Engine struct {
 	byID    map[EventID]*event
 	stopped bool
 	fired   uint64
+
+	// onEvent, if set, runs after each executed event with the clock at
+	// that event's due time (see SetEventHook).
+	onEvent func(now Time)
 }
 
 // New returns an initialized Engine starting at time zero.
@@ -175,6 +179,13 @@ func (e *Engine) Cancel(id EventID) bool {
 // Stop halts the run loop after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetEventHook registers fn to run after every executed event, with the
+// clock at that event's due time. Observers such as the invariant
+// sanitizer use this to interleave checks with the simulation without
+// scheduling events of their own, which would keep a run-to-drain loop
+// alive forever. Passing nil removes the hook.
+func (e *Engine) SetEventHook(fn func(now Time)) { e.onEvent = fn }
+
 // Step executes the next pending event, advancing the clock to its due time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
@@ -187,6 +198,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.fired++
 		ev.fn(e.now)
+		if e.onEvent != nil {
+			e.onEvent(e.now)
+		}
 		return true
 	}
 	return false

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// ParseSyntheticSpec parses a compact one-line workload description into a
+// Synthetic. The spec is a list of key=value fields separated by commas
+// and/or whitespace:
+//
+//	iops=200 write=0.9 duration=10m size=64K random=0.7 seed=3
+//
+// Durations take Go duration syntax (10m, 1h30m); byte quantities take an
+// optional K/M/G suffix (binary). The flag-like keys `fixed` and
+// `disjoint` need no value. Keys:
+//
+//	duration  workload length              (Synthetic.Duration)
+//	iops      average arrival rate         (Synthetic.IOPS)
+//	write     write fraction in [0,1]      (Synthetic.WriteRatio)
+//	size      mean request bytes           (Synthetic.AvgReqBytes)
+//	fixed     all requests exactly `size`  (Synthetic.FixedSize)
+//	random    random-write fraction        (Synthetic.RandomFrac)
+//	burst     burstiness in [0,1)          (Synthetic.Burstiness)
+//	duty      ON fraction in (0,1]         (Synthetic.DutyCycle)
+//	on        ON-phase length              (Synthetic.OnPeriod)
+//	wws       write working-set bytes      (Synthetic.WriteWorkingSetBytes)
+//	rws       read working-set bytes       (Synthetic.ReadWorkingSetBytes)
+//	disjoint  reads after the write set    (Synthetic.ReadWSDisjoint)
+//	zipf      read popularity skew (>1)    (Synthetic.ReadZipfS)
+//	hot       hot-read fraction            (Synthetic.ReadHotFrac)
+//	recent    recent-read fraction         (Synthetic.RecentReadFrac)
+//	seed      random seed                  (Synthetic.Seed)
+//
+// Unspecified fields default to the paper's Section II micro-benchmark
+// shape: 100 IOPS of all-write 64 KiB requests, 70% random, for one
+// minute. A successful parse always returns a configuration that passes
+// Validate — the parser's contract is "parsed implies runnable".
+func ParseSyntheticSpec(spec string) (Synthetic, error) {
+	c := Synthetic{
+		Duration:    60 * sim.Second,
+		IOPS:        100,
+		WriteRatio:  1,
+		AvgReqBytes: 64 << 10,
+		RandomFrac:  0.7,
+		Seed:        1,
+	}
+	fields := strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	seen := map[string]bool{}
+	for _, f := range fields {
+		key, val, hasVal := strings.Cut(f, "=")
+		if seen[key] {
+			return Synthetic{}, fmt.Errorf("trace: spec: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "fixed", "disjoint":
+			if hasVal {
+				err = fmt.Errorf("flag key takes no value")
+			} else if key == "fixed" {
+				c.FixedSize = true
+			} else {
+				c.ReadWSDisjoint = true
+			}
+		case "duration":
+			c.Duration, err = parseSpecDuration(val, hasVal)
+		case "on":
+			c.OnPeriod, err = parseSpecDuration(val, hasVal)
+		case "iops":
+			c.IOPS, err = parseSpecFloat(val, hasVal)
+		case "write":
+			c.WriteRatio, err = parseSpecFloat(val, hasVal)
+		case "random":
+			c.RandomFrac, err = parseSpecFloat(val, hasVal)
+		case "burst":
+			c.Burstiness, err = parseSpecFloat(val, hasVal)
+		case "duty":
+			c.DutyCycle, err = parseSpecFloat(val, hasVal)
+		case "zipf":
+			c.ReadZipfS, err = parseSpecFloat(val, hasVal)
+		case "hot":
+			c.ReadHotFrac, err = parseSpecFloat(val, hasVal)
+		case "recent":
+			c.RecentReadFrac, err = parseSpecFloat(val, hasVal)
+		case "size":
+			c.AvgReqBytes, err = parseSpecBytes(val, hasVal)
+		case "wws":
+			c.WriteWorkingSetBytes, err = parseSpecBytes(val, hasVal)
+		case "rws":
+			c.ReadWorkingSetBytes, err = parseSpecBytes(val, hasVal)
+		case "seed":
+			if !hasVal {
+				err = fmt.Errorf("missing value")
+			} else {
+				c.Seed, err = strconv.ParseInt(val, 10, 64)
+			}
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return Synthetic{}, fmt.Errorf("trace: spec field %q: %v", f, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Synthetic{}, err
+	}
+	return c, nil
+}
+
+// SpecString renders c in the ParseSyntheticSpec format, field order
+// fixed, defaults included: ParseSyntheticSpec(c.SpecString()) == c for
+// every c that Validate accepts.
+func (c Synthetic) SpecString() string {
+	var b strings.Builder
+	f := func(key string, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(key)
+		if val != "" {
+			b.WriteByte('=')
+			b.WriteString(val)
+		}
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	f("duration", fmt.Sprintf("%dus", int64(c.Duration)))
+	f("iops", g(c.IOPS))
+	f("write", g(c.WriteRatio))
+	f("size", strconv.FormatInt(c.AvgReqBytes, 10))
+	if c.FixedSize {
+		f("fixed", "")
+	}
+	f("random", g(c.RandomFrac))
+	f("burst", g(c.Burstiness))
+	f("duty", g(c.DutyCycle))
+	f("on", fmt.Sprintf("%dus", int64(c.OnPeriod)))
+	f("wws", strconv.FormatInt(c.WriteWorkingSetBytes, 10))
+	f("rws", strconv.FormatInt(c.ReadWorkingSetBytes, 10))
+	if c.ReadWSDisjoint {
+		f("disjoint", "")
+	}
+	f("zipf", g(c.ReadZipfS))
+	f("hot", g(c.ReadHotFrac))
+	f("recent", g(c.RecentReadFrac))
+	f("seed", strconv.FormatInt(c.Seed, 10))
+	return b.String()
+}
+
+// parseSpecDuration accepts Go duration syntax and truncates to the
+// simulator's microsecond tick.
+func parseSpecDuration(val string, hasVal bool) (sim.Time, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("missing value")
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(d / time.Microsecond), nil
+}
+
+func parseSpecFloat(val string, hasVal bool) (float64, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("missing value")
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// parseSpecBytes accepts a non-negative integer with an optional binary
+// K/M/G suffix.
+func parseSpecBytes(val string, hasVal bool) (int64, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("missing value")
+	}
+	shift := 0
+	switch {
+	case strings.HasSuffix(val, "K"), strings.HasSuffix(val, "k"):
+		shift, val = 10, val[:len(val)-1]
+	case strings.HasSuffix(val, "M"), strings.HasSuffix(val, "m"):
+		shift, val = 20, val[:len(val)-1]
+	case strings.HasSuffix(val, "G"), strings.HasSuffix(val, "g"):
+		shift, val = 30, val[:len(val)-1]
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative byte count")
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("byte count overflows")
+	}
+	return n << shift, nil
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/baseline"
 	"github.com/rolo-storage/rolo/internal/core"
 	"github.com/rolo-storage/rolo/internal/disk"
+	"github.com/rolo-storage/rolo/internal/invariant"
 	"github.com/rolo-storage/rolo/internal/metrics"
 	"github.com/rolo-storage/rolo/internal/raid"
 	"github.com/rolo-storage/rolo/internal/sim"
@@ -123,6 +124,15 @@ type Config struct {
 	// Telemetry optionally attaches an event journal sink and periodic
 	// probes to the run. The zero value disables both, at zero cost.
 	Telemetry telemetry.Config
+	// Check enables RoloSan, the runtime invariant sanitizer: recover-
+	// ability, log-space conservation, disk state-machine legality and
+	// accounting monotonicity are validated during the run, and the first
+	// violation stops the simulation and fails Run with a structured
+	// diagnostic. Expect a modest constant-factor slowdown.
+	Check bool
+	// CheckSweepEvery overrides the sanitizer's full-sweep period in
+	// events (0 keeps the default; only meaningful with Check set).
+	CheckSweepEvery uint64
 }
 
 // DefaultConfig returns the paper's default configuration for the scheme:
@@ -258,6 +268,11 @@ type Report struct {
 	// background work completed.
 	Horizon   sim.Time
 	DrainedAt sim.Time
+
+	// SanitizerEvents and SanitizerSweeps report RoloSan coverage when
+	// Config.Check is set: events observed and full invariant sweeps run.
+	SanitizerEvents uint64
+	SanitizerSweeps uint64
 }
 
 // Run simulates the configuration against the trace records (which must be
@@ -334,6 +349,24 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 		}
 	}
 
+	// RoloSan attaches to the raw scheme controller, before any cache
+	// wrapper, so its snapshots see the real bookkeeping.
+	var san *invariant.Sanitizer
+	if cfg.Check {
+		san = invariant.New(cfg.Scheme.String(), eng)
+		if cfg.CheckSweepEvery > 0 {
+			san.SetSweepEvery(cfg.CheckSweepEvery)
+		}
+		if src, ok := ctrl.(invariant.Source); ok {
+			san.SetSource(src)
+		}
+		if at, ok := ctrl.(invariant.Attachable); ok {
+			at.SetSanitizer(san.Audit())
+		}
+		san.WatchDisks(arr.AllDisks(), cfg.Scheme == SchemeRAID10)
+		san.Install()
+	}
+
 	// The RAM cache wrapper has no logging space of its own, so gauges
 	// come from the inner scheme controller.
 	gauges, _ := ctrl.(telemetry.GaugeSource)
@@ -357,7 +390,7 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 	}
 	if tel.Enabled() {
 		for _, d := range arr.AllDisks() {
-			d.SetStateChangeHook(func(d *disk.Disk, _, to disk.PowerState, now sim.Time) {
+			d.AddStateChangeHook(func(d *disk.Disk, _, to disk.PowerState, now sim.Time) {
 				switch to {
 				case disk.SpinningUp:
 					tel.SpinUp(now, d.ID())
@@ -376,6 +409,14 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 	res, err := array.Replay(eng, arr, ctrl, recs)
 	if err != nil {
 		return rep, err
+	}
+	if san != nil {
+		san.Final(eng.Now())
+		rep.SanitizerEvents = san.Events()
+		rep.SanitizerSweeps = san.Sweeps()
+		if err := san.Err(); err != nil {
+			return rep, fmt.Errorf("rolo: sanitizer: %w", err)
+		}
 	}
 	if ram != nil {
 		rep.RAMHitRate = ram.HitRate()

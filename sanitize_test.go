@@ -1,0 +1,64 @@
+package rolo
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+// TestRunAllSchemesChecked replays a rotation/destage-heavy workload
+// through every scheme with RoloSan enabled and a short sweep period, so
+// the recoverability, conservation, state-machine and accounting checks
+// all run many times over live controller state. Any violation fails Run.
+func TestRunAllSchemesChecked(t *testing.T) {
+	for _, s := range Schemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := smallConfig(s)
+			cfg.Check = true
+			cfg.CheckSweepEvery = 512
+			recs := writeHeavy(t, cfg, 100, sim.Minute, 0.95)
+			rep, err := Run(cfg, recs)
+			if err != nil {
+				t.Fatalf("Run with sanitizer: %v", err)
+			}
+			if rep.SanitizerEvents == 0 {
+				t.Error("sanitizer observed no events")
+			}
+			if rep.SanitizerSweeps == 0 {
+				t.Error("sanitizer ran no sweeps")
+			}
+			t.Logf("%-7s clean: %d events, %d sweeps (rot=%d dest=%d spins=%d)",
+				s, rep.SanitizerEvents, rep.SanitizerSweeps,
+				rep.Rotations, rep.Destages, rep.SpinCycles)
+		})
+	}
+}
+
+// TestCheckedMatchesUnchecked verifies the sanitizer is a pure observer:
+// enabling it must not change a run's outcome. Energy is compared with a
+// relative tolerance because disk sweeps accrue energy at finer time
+// granularity, which reorders the floating-point summation by an ulp.
+func TestCheckedMatchesUnchecked(t *testing.T) {
+	cfg := smallConfig(SchemeRoLoP)
+	recs := writeHeavy(t, cfg, 80, sim.Minute, 0.9)
+	base, err := Run(cfg, recs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.Check = true
+	cfg.CheckSweepEvery = 256
+	checked, err := Run(cfg, recs)
+	if err != nil {
+		t.Fatalf("Run with sanitizer: %v", err)
+	}
+	if base.Requests != checked.Requests || base.Rotations != checked.Rotations ||
+		base.SpinCycles != checked.SpinCycles || base.DrainedAt != checked.DrainedAt {
+		t.Errorf("sanitizer perturbed the run:\nunchecked: reqs=%d rot=%d spins=%d drained=%v\nchecked:   reqs=%d rot=%d spins=%d drained=%v",
+			base.Requests, base.Rotations, base.SpinCycles, base.DrainedAt,
+			checked.Requests, checked.Rotations, checked.SpinCycles, checked.DrainedAt)
+	}
+	if diff := checked.EnergyJ - base.EnergyJ; diff > 1e-9*base.EnergyJ || diff < -1e-9*base.EnergyJ {
+		t.Errorf("sanitizer perturbed energy: %g J vs %g J", checked.EnergyJ, base.EnergyJ)
+	}
+}

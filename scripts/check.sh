@@ -1,6 +1,10 @@
 #!/bin/sh
-# Full verification gate: build, vet, rololint, and race-enabled tests.
-# Run from the repository root (or via `make check`).
+# Full verification gate: build, vet, rololint, race-enabled tests, and a
+# short fuzz smoke. Run from the repository root (or via `make check`).
+# Every stage enumerates packages with `./...` patterns, which never
+# descend into testdata: analyzer fixture packages (deliberate
+# violations) are skipped here and — for explicit patterns and vet
+# configs — by the drivers themselves (analysis.IsFixturePath).
 set -u
 
 cd "$(dirname "$0")/.."
@@ -29,5 +33,13 @@ stage "go vet ./..." go vet ./...
 stage "build rololint" go build -o bin/rololint ./cmd/rololint
 stage "go vet -vettool=bin/rololint ./..." go vet -vettool=bin/rololint ./...
 stage "go test -race ./..." go test -race ./...
+
+# Fuzz smoke: a few seconds per target catches parser regressions on the
+# seed corpus plus whatever the engine reaches quickly; `make fuzz` runs
+# the long version.
+stage "fuzz smoke: FuzzParseMSR" \
+	go test -run '^$' -fuzz 'FuzzParseMSR$' -fuzztime 3s ./internal/trace/
+stage "fuzz smoke: FuzzParseSyntheticSpec" \
+	go test -run '^$' -fuzz 'FuzzParseSyntheticSpec$' -fuzztime 3s ./internal/trace/
 
 echo "OK"
