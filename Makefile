@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz check
+.PHONY: all build vet lint test race fuzz check nightly
 
 all: check
 
@@ -30,5 +30,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSyntheticSpec$$' -fuzztime $(FUZZTIME) ./internal/trace/
 
 # check is the full gate: everything CI (and a pre-commit) should run.
+# check.sh also accepts stage-group arguments (build lint test race-smoke
+# fuzz) so CI reports each group as its own step.
 check:
 	./scripts/check.sh
+
+# nightly regenerates every experiment with the RoloSan sanitizer on, in
+# parallel across the machine's cores, at a larger scale than the CI
+# smoke. The .github/workflows/nightly.yml schedule runs exactly this.
+NIGHTLY_SCALE ?= 0.2
+NIGHTLY_PAIRS ?= 20
+NIGHTLY_JOBS ?= 0
+nightly: build
+	$(GO) build -o bin/roloexp ./cmd/roloexp
+	./bin/roloexp -run all -check -scale $(NIGHTLY_SCALE) -pairs $(NIGHTLY_PAIRS) -jobs $(NIGHTLY_JOBS)

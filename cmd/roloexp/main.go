@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	roloexp -run fig10 [-scale 0.1] [-pairs 20]
+//	roloexp -run fig10 [-scale 0.1] [-pairs 20] [-jobs 4]
 //	roloexp -run all
 //	roloexp -list
+//
+// Independent simulations fan out across a worker pool of -jobs slots
+// (default GOMAXPROCS); with -run all, whole experiments also run
+// concurrently, each buffering its output so the bytes printed to stdout
+// are identical for every job count. Per-experiment timing goes to
+// stderr, keeping stdout deterministic.
 package main
 
 import (
@@ -31,6 +37,7 @@ func run() error {
 		list       = flag.Bool("list", false, "list available experiments")
 		scale      = flag.Float64("scale", 0.1, "geometry+trace scale factor in (0,1]")
 		pairs      = flag.Int("pairs", 20, "number of mirrored pairs (disks = 2*pairs)")
+		jobs       = flag.Int("jobs", 0, "max simulations in flight (0 = GOMAXPROCS)")
 		journalDir = flag.String("journal", "", "write one JSONL telemetry journal per run into this directory")
 		probeIv    = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
 		check      = flag.Bool("check", false, "enable RoloSan: validate simulation invariants in every run and fail on the first violation")
@@ -42,7 +49,7 @@ func run() error {
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
 		}
-		fmt.Println("\nRun one with: roloexp -run <id> [-scale 0.1] [-pairs 20]")
+		fmt.Println("\nRun one with: roloexp -run <id> [-scale 0.1] [-pairs 20] [-jobs 4]")
 		return nil
 	}
 
@@ -52,6 +59,7 @@ func run() error {
 		JournalDir:    *journalDir,
 		ProbeInterval: sim.Time((*probeIv) / time.Microsecond),
 		Check:         *check,
+		Jobs:          *jobs,
 	}
 	if err := opts.Validate(); err != nil {
 		return err
@@ -61,29 +69,26 @@ func run() error {
 			return err
 		}
 	}
+	opts = opts.Pool(0)
 
-	var todo []experiments.Experiment
+	start := time.Now() //lint:allow simdeterminism wall-clock runtime of the harness itself, not simulated time
 	if *id == "all" {
-		todo = experiments.All()
-	} else {
-		e, err := experiments.Lookup(*id)
-		if err != nil {
+		if err := experiments.RunAll(opts, os.Stdout, experiments.All()); err != nil {
 			return err
 		}
-		todo = []experiments.Experiment{e}
+		fmt.Fprintf(os.Stderr, "[all experiments completed in %v, jobs=%d]\n",
+			time.Since(start).Round(time.Millisecond), opts.Jobs) //lint:allow simdeterminism pairs with the wall-clock timer above
+		return nil
 	}
 
-	for i, e := range todo {
-		if i > 0 {
-			fmt.Println()
-			fmt.Println("========================================================================")
-			fmt.Println()
-		}
-		start := time.Now() //lint:allow simdeterminism wall-clock runtime of the harness itself, not simulated time
-		if err := e.Run(opts, os.Stdout); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		fmt.Printf("\n[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond)) //lint:allow simdeterminism pairs with the wall-clock timer above
+	e, err := experiments.Lookup(*id)
+	if err != nil {
+		return err
 	}
+	if err := e.Run(opts, os.Stdout); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n",
+		e.ID, time.Since(start).Round(time.Millisecond)) //lint:allow simdeterminism pairs with the wall-clock timer above
 	return nil
 }

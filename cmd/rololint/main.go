@@ -2,8 +2,10 @@
 // multichecker for the analyzers under internal/analysis that enforce
 // simulation determinism, telemetry discipline, sim-time hygiene, error
 // propagation, phase-log pairing, power-state-machine legality
-// (statetransition), and the sanitizer's audited-mutation-helper
-// discipline (invariantguard).
+// (statetransition), the sanitizer's audited-mutation-helper discipline
+// (invariantguard), and the concurrency discipline of the parallel
+// experiment runner: mutex-guarded field access (guardedby), goroutine
+// capture hygiene (gocapture) and goroutine join pairing (waitpairing).
 //
 // It speaks the `go vet -vettool` protocol, so the canonical invocation —
 // the one scripts/check.sh and CI run — is:
@@ -40,6 +42,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/analysis/errpropagation"
 	"github.com/rolo-storage/rolo/internal/analysis/invariantguard"
 	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
+	"github.com/rolo-storage/rolo/internal/analysis/raceguard"
 	"github.com/rolo-storage/rolo/internal/analysis/simdeterminism"
 	"github.com/rolo-storage/rolo/internal/analysis/simtimeunits"
 	"github.com/rolo-storage/rolo/internal/analysis/statetransition"
@@ -55,6 +58,9 @@ var suite = []*analysis.Analyzer{
 	phasepairing.Analyzer,
 	statetransition.Analyzer,
 	invariantguard.Analyzer,
+	raceguard.GuardedBy,
+	raceguard.GoCapture,
+	raceguard.WaitPairing,
 }
 
 func main() {

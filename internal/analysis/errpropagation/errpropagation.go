@@ -18,10 +18,18 @@
 //     never to return a non-nil error;
 //   - Write/WriteString/WriteByte/WriteRune on bufio.Writer, whose write
 //     errors are sticky and surface from Flush (Flush itself is checked).
+//
+// Goroutine bodies get one extra rule: assigning an error to a variable
+// captured from the spawning function (`go func() { err = f() }()`) drops
+// it just as surely as a bare call — the spawner cannot observe the write
+// without synchronization, and by the time it could, a second goroutine
+// may have overwritten it. Deliver goroutine errors over a channel or
+// into a distinct index of a caller-owned slice instead.
 package errpropagation
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -57,6 +65,9 @@ func run(pass *analysis.Pass) error {
 			case *ast.GoStmt:
 				call = n.Call
 				how = "go call"
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkGoroutineErrs(pass, lit)
+				}
 			default:
 				return true
 			}
@@ -69,6 +80,36 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkGoroutineErrs flags assignments, inside a goroutine literal, to
+// error-typed variables declared outside it. Such a write reaches the
+// spawner only through separate synchronization and is overwritten by
+// whichever goroutine assigns last — the concurrent flavour of a dropped
+// error.
+func checkGoroutineErrs(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || v.IsField() || !isErrorType(v.Type()) {
+				continue
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				continue // the goroutine's own local
+			}
+			pass.Reportf(id.Pos(),
+				"goroutine assigns error to captured variable %s, invisible to the spawner; deliver it over a channel or an indexed slice", id.Name)
+		}
+		return true
+	})
 }
 
 // returnsError reports whether the call's results include an error.

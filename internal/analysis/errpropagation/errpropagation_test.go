@@ -9,7 +9,8 @@ import (
 
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata", errpropagation.Analyzer,
-		"fix/internal/errs", // flagged and exempted patterns in scope
-		"fix/nonscope",      // out of scope: no internal/cmd path segment
+		"fix/internal/errs",      // flagged and exempted patterns in scope
+		"fix/internal/goroutine", // errors assigned to captured variables in goroutines
+		"fix/nonscope",           // out of scope: no internal/cmd path segment
 	)
 }

@@ -1,0 +1,58 @@
+// Package goroutine exercises the errpropagation goroutine extension:
+// an error assigned to a variable captured from the spawning function is
+// dropped as surely as a bare call's — the spawner cannot observe it.
+package goroutine
+
+import "sync"
+
+func mayFail() error { return nil }
+
+func capturedErr() error {
+	var err error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err = mayFail() // want `goroutine assigns error to captured variable err, invisible to the spawner`
+	}()
+	wg.Wait()
+	return err
+}
+
+func goroutineLocalErr() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := mayFail() // the goroutine's own local: fine here
+		_ = err
+	}()
+	wg.Wait()
+}
+
+func channelDelivery() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- mayFail()
+	}()
+	return <-errc
+}
+
+func indexedDelivery(n int) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = mayFail() // a distinct index per goroutine, published by Wait: fine
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package raceguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// GoCapture is the goroutine-capture check.
+var GoCapture = &analysis.Analyzer{
+	Name: "gocapture",
+	Doc:  "flag go statements whose literals capture loop variables or assign to captured variables without a lock",
+	Run:  runGoCapture,
+}
+
+func runGoCapture(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // waitpairing owns non-literal go statements
+			}
+			checkLoopCapture(pass, lit, stack)
+			checkCapturedWrites(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoopCapture reports uses, inside the goroutine literal, of
+// variables bound by an enclosing for or range statement. Go 1.22 gives
+// every iteration its own variable, so this is no longer the classic
+// shared-index bug — but goroutine inputs belong in the literal's
+// parameter list, where the reader can see exactly what state the
+// goroutine starts from.
+func checkLoopCapture(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
+	loopVars := map[types.Object]bool{}
+	for _, anc := range stack {
+		switch s := anc.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && loopVars[obj] {
+			pass.Reportf(id.Pos(),
+				"go function literal captures loop variable %s; pass it as a parameter", id.Name)
+		}
+		return true
+	})
+}
+
+// checkCapturedWrites reports assignments, inside the goroutine literal,
+// whose target is rooted at a variable declared outside the literal —
+// state the goroutine shares with its spawner — unless some mutex is
+// held on every path to the write (guardedby then checks that it is the
+// right one).
+func checkCapturedWrites(pass *analysis.Pass, lit *ast.FuncLit) {
+	type write struct {
+		stmt ast.Stmt
+		root *ast.Ident
+	}
+	var writes []write
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if s.Tok == token.DEFINE {
+					continue
+				}
+				if root := rootIdent(lhs); root != nil && capturedVar(pass, root, lit) {
+					writes = append(writes, write{s, root})
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(s.X); root != nil && capturedVar(pass, root, lit) {
+				writes = append(writes, write{s, root})
+			}
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return
+	}
+
+	graph := cfg.Build(lit.Body)
+	var states map[*cfg.Block]cfg.Set
+	if !graph.Unanalyzable {
+		states = lockStates(pass.TypesInfo, graph, "") // any mutex counts
+	}
+	for _, w := range writes {
+		if states != nil && lockedAt(pass.TypesInfo, graph, states, w.stmt) {
+			continue
+		}
+		pass.Reportf(w.stmt.Pos(),
+			"goroutine assigns to captured variable %s without holding a lock; spawner and goroutine race", w.root.Name)
+	}
+}
+
+// lockedAt reports whether every path reaching stmt holds some mutex.
+func lockedAt(info *types.Info, graph *cfg.Graph, states map[*cfg.Block]cfg.Set, stmt ast.Stmt) bool {
+	for _, blk := range graph.Blocks {
+		st, reached := states[blk]
+		if !reached {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			if s == stmt || stmtContains(s, stmt) {
+				return !st.Has(stUnheld) && !st.Empty()
+			}
+			st = lockTransfer(info, "", s, st)
+		}
+	}
+	// The write sits in a nested literal or unreachable code; its lock
+	// state is unknown — assume unlocked.
+	return false
+}
+
+// rootIdent unwinds an assignment target to its base identifier:
+// x, x.f, x[i], *x, x.f[i].g … all root at x. Blank targets yield nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				return nil
+			}
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capturedVar reports whether id resolves to a variable declared outside
+// the literal (captured from the spawning function or package scope).
+func capturedVar(pass *analysis.Pass, id *ast.Ident, lit *ast.FuncLit) bool {
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}

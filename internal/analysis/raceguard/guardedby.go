@@ -1,0 +1,252 @@
+package raceguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// GuardedBy is the lock-discipline check for annotated struct fields.
+var GuardedBy = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "flag access to a `//rolosan:guardedby mu` field on paths where mu may not be held",
+	Run:  runGuardedBy,
+}
+
+// guardDirective is the annotation prefix naming a field's guarding mutex.
+const guardDirective = "rolosan:guardedby"
+
+// guard describes one annotated field: the sibling mutex field that must
+// be held to touch it, and whether that mutex is an RWMutex (whose read
+// lock suffices for reads).
+type guard struct {
+	mu string
+	rw bool
+}
+
+func runGuardedBy(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkGuardedBody(pass, guards, body)
+		})
+	}
+	return nil
+}
+
+// collectGuards gathers the annotated fields of every struct in the
+// package, validating that each annotation names a sibling mutex field.
+func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+	guards := map[types.Object]guard{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				muName, ok := guardAnnotation(f)
+				if !ok {
+					continue
+				}
+				g, found := siblingMutex(pass, st, muName)
+				if !found {
+					pass.Reportf(f.Pos(),
+						"%s names %q, which is not a sync.Mutex or sync.RWMutex field of the same struct", guardDirective, muName)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = g
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, if the field carries a guardedby directive.
+func guardAnnotation(f *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, guardDirective)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				return fields[0], true
+			}
+		}
+	}
+	return "", false
+}
+
+// siblingMutex finds the struct field named muName and classifies it.
+func siblingMutex(pass *analysis.Pass, st *ast.StructType, muName string) (guard, bool) {
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name != muName {
+				continue
+			}
+			if t := pass.TypesInfo.TypeOf(f.Type); t != nil {
+				if m, rw := isMutex(t); m {
+					return guard{mu: muName, rw: rw}, true
+				}
+			}
+			return guard{}, false
+		}
+	}
+	return guard{}, false
+}
+
+// access is one read or write of a guarded field within a function body.
+type access struct {
+	sel   *ast.SelectorExpr
+	write bool
+	g     guard
+	chain string // rendered mutex chain, e.g. "m.mu"
+}
+
+// checkGuardedBody verifies every guarded-field access in one function
+// body (nested literals excluded — they are visited on their own, with
+// the lock assumed released, because they run at another time).
+func checkGuardedBody(pass *analysis.Pass, guards map[types.Object]guard, body *ast.BlockStmt) {
+	var accesses []access
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[pass.TypesInfo.Uses[sel.Sel]]
+		if !guarded {
+			return true
+		}
+		accesses = append(accesses, access{
+			sel:   sel,
+			write: isWrite(sel, stack),
+			g:     g,
+			chain: types.ExprString(ast.Unparen(sel.X)) + "." + g.mu,
+		})
+		return true
+	})
+	if len(accesses) == 0 {
+		return
+	}
+
+	graph := cfg.Build(body)
+	if graph.Unanalyzable {
+		for _, a := range accesses {
+			pass.Reportf(a.sel.Pos(),
+				"%s of guarded field %s cannot be verified: control flow is unanalyzable (%s); may not hold %s",
+				rw(a.write), fieldDisp(a.sel), graph.Reason, a.chain)
+		}
+		return
+	}
+
+	// One dataflow per distinct mutex chain; fold each block's statements
+	// to reach every access's program point.
+	byChain := map[string][]access{}
+	for _, a := range accesses {
+		byChain[a.chain] = append(byChain[a.chain], a)
+	}
+	for chain, list := range byChain {
+		states := lockStates(pass.TypesInfo, graph, chain)
+		for _, blk := range graph.Blocks {
+			st, reached := states[blk]
+			if !reached {
+				continue
+			}
+			for _, s := range blk.Stmts {
+				for _, a := range list {
+					if !stmtContains(s, a.sel) {
+						continue
+					}
+					switch {
+					case st.Has(stUnheld):
+						pass.Reportf(a.sel.Pos(),
+							"%s of guarded field %s on a path where %s may not be held",
+							rw(a.write), fieldDisp(a.sel), chain)
+					case a.write && st.Has(stRLocked):
+						pass.Reportf(a.sel.Pos(),
+							"write of guarded field %s on a path where %s may be held only for reading",
+							fieldDisp(a.sel), chain)
+					}
+				}
+				st = lockTransfer(pass.TypesInfo, chain, s, st)
+			}
+		}
+	}
+}
+
+// isWrite classifies a guarded-field selector by its ancestors: the
+// assignment target (including element and sub-field stores through it),
+// an inc/dec target, or an address-taken operand counts as a write.
+func isWrite(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	cur := ast.Node(sel)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false // the access is the index expression: a read
+			}
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		case *ast.UnaryExpr:
+			// Taking the address lets the pointee escape the lock's
+			// scope; treat it as a write.
+			return p.Op == token.AND && p.X == cur
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func fieldDisp(sel *ast.SelectorExpr) string {
+	return types.ExprString(sel)
+}

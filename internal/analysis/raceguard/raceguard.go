@@ -1,0 +1,170 @@
+// Package raceguard is rololint's concurrency-discipline analyzer family:
+// three CFG-powered checks that make the data-race patterns the parallel
+// experiment runner must avoid into lint failures, so the discipline is
+// enforced at the first `go` statement rather than discovered under
+// `go test -race` (which only sees the schedules the test happens to run).
+//
+//   - guardedby: struct fields annotated `//rolosan:guardedby <mu>` may
+//     only be read or written on paths where the named sibling mutex is
+//     held. Lock state is tracked by a forward dataflow over the
+//     function's CFG (Lock/RLock/Unlock/RUnlock, with deferred unlocks
+//     treated as end-of-function). `//lint:allow guardedby <reason>`
+//     covers init-before-share construction.
+//
+//   - gocapture: `go` statements whose function literals capture an
+//     enclosing loop variable (goroutine inputs belong in parameters,
+//     where review can see them) or assign to captured variables without
+//     holding a lock — the classic shared-results-slice race.
+//
+//   - waitpairing: every `go` statement must be joinable: its function
+//     literal signals completion on all paths (sync.WaitGroup.Done, a
+//     channel send, or close), and a Done-signalling goroutine must be
+//     preceded by the matching WaitGroup.Add on every path to the `go`
+//     statement, mirroring phasepairing's Begin/End shape.
+//
+// Like the rest of the suite the analyses are intraprocedural and
+// over-approximate: unrecognized control flow assumes the full value set
+// (guardedby and waitpairing then err toward reporting, with the
+// mandatory-reason escape hatch for intentional exceptions). Lock
+// identity is textual — the rendered receiver chain (`m.mu`, `p.inner.mu`)
+// scoped to one function — which is exactly the per-instance discipline
+// the runner uses and cheap enough to run under `go vet` on every build.
+package raceguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// isMutex reports whether t (after one pointer indirection) is
+// sync.Mutex or sync.RWMutex, and which.
+func isMutex(t types.Type) (mutex, rw bool) {
+	if analysis.IsNamed(t, "sync", "Mutex") {
+		return true, false
+	}
+	if analysis.IsNamed(t, "sync", "RWMutex") {
+		return true, true
+	}
+	return false, false
+}
+
+// lockMethod classifies a statically-resolved call as a lock-state
+// operation on a sync.Mutex or sync.RWMutex receiver, returning the
+// rendered receiver chain ("m.mu") and the method name.
+func lockMethod(info *types.Info, call *ast.CallExpr) (chain, method string, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	if m, _ := isMutex(sig.Recv().Type()); !m {
+		return "", "", false
+	}
+	return types.ExprString(ast.Unparen(sel.X)), fn.Name(), true
+}
+
+// Lock-state universe shared by the analyzers: a forward may-analysis
+// over the lattice {unheld, rlocked, locked}. The meet is union, so a
+// state set containing unheld means "some path reaches here without the
+// lock".
+const (
+	stUnheld = iota
+	stRLocked
+	stLocked
+	stCount
+)
+
+// lockTransfer folds one statement over the lock-state set for the mutex
+// identified by chain (empty chain matches any mutex — gocapture's "some
+// lock is held" mode). Deferred unlocks run at function exit and leave
+// the path state alone; deferred locks are nonsensical and ignored.
+func lockTransfer(info *types.Info, chain string, s ast.Stmt, in cfg.Set) cfg.Set {
+	out := in
+	// Walk the statement, skipping nested function literals: their bodies
+	// execute at another time, under their own analysis.
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			c, method, ok := lockMethod(info, n)
+			if !ok || (chain != "" && c != chain) {
+				return true
+			}
+			switch method {
+			case "Lock":
+				out = cfg.Only(stLocked)
+			case "RLock":
+				out = cfg.Only(stRLocked)
+			case "Unlock", "RUnlock":
+				out = cfg.Only(stUnheld)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockStates solves the lock-state analysis for one mutex chain over a
+// built graph, returning the entry set of every block. Callers fold
+// lockTransfer themselves to reach a statement's program point.
+func lockStates(info *types.Info, g *cfg.Graph, chain string) map[*cfg.Block]cfg.Set {
+	return g.Solve(cfg.Only(stUnheld), func(s ast.Stmt, in cfg.Set) cfg.Set {
+		return lockTransfer(info, chain, s, in)
+	}, nil)
+}
+
+// stmtContains reports whether the AST node lies within stmt, excluding
+// nested function literal bodies (which belong to another analysis).
+func stmtContains(s ast.Stmt, target ast.Node) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcBodies yields every function body in the file — declarations and
+// function literals — paired with the node whose position names it.
+// Literal bodies are visited separately from their enclosing functions
+// because they run at another time: lock state never flows into them.
+func funcBodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+package raceguard_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/raceguard"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", raceguard.GuardedBy, "fix/guarded")
+}
+
+func TestGoCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", raceguard.GoCapture, "fix/capture")
+}
+
+func TestWaitPairing(t *testing.T) {
+	analysistest.Run(t, "testdata", raceguard.WaitPairing, "fix/waitpair")
+}

@@ -1,0 +1,108 @@
+// Package capture exercises the gocapture analyzer: loop variables
+// captured by goroutine literals, and goroutine writes to captured state
+// with and without a lock.
+package capture
+
+import "sync"
+
+func work(int) {}
+
+func loopCapture(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i) // want `go function literal captures loop variable i; pass it as a parameter`
+		}()
+	}
+	wg.Wait()
+}
+
+func loopParam(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i) // a parameter, not a capture: fine
+		}(i)
+	}
+	wg.Wait()
+}
+
+func capturedWrite() int {
+	total := 0
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			total += j // want `goroutine assigns to captured variable total without holding a lock`
+		}(j)
+	}
+	wg.Wait()
+	return total
+}
+
+func guardedWrite() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			mu.Lock()
+			total += j // the lock is held on every path: fine
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return total
+}
+
+func lockedOnSomePaths(cond bool) int {
+	total := 0
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		if cond {
+			mu.Lock()
+		}
+		total++ // want `goroutine assigns to captured variable total without holding a lock`
+		if cond {
+			mu.Unlock()
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+func indexedAllowed(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = items[i] * 2 //lint:allow gocapture each goroutine owns index i; wg.Wait publishes the slice
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func goroutineLocals() {
+	done := make(chan struct{})
+	go func() {
+		sum := 0
+		for k := 0; k < 8; k++ {
+			sum += k // the goroutine's own locals: fine
+		}
+		work(sum)
+		close(done)
+	}()
+	<-done
+}

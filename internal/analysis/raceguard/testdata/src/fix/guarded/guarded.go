@@ -1,0 +1,86 @@
+// Package guarded exercises the guardedby analyzer: annotated fields
+// accessed with and without their mutex, across branches, goroutine
+// literals and RWMutex read/write modes.
+package guarded
+
+import "sync"
+
+type memo struct {
+	mu sync.Mutex
+	//rolosan:guardedby mu
+	entries map[string]int
+
+	rw sync.RWMutex
+	//rolosan:guardedby rw
+	hits int
+
+	//rolosan:guardedby missing
+	bad int // want `rolosan:guardedby names "missing", which is not a sync\.Mutex or sync\.RWMutex field of the same struct`
+}
+
+func (m *memo) locked(k string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = map[string]int{}
+	}
+	return m.entries[k]
+}
+
+func (m *memo) unlockedRead(k string) int {
+	return m.entries[k] // want `read of guarded field m\.entries on a path where m\.mu may not be held`
+}
+
+func (m *memo) lockedOnSomePaths(k string, cond bool) int {
+	if cond {
+		m.mu.Lock()
+	}
+	v := m.entries[k] // want `read of guarded field m\.entries on a path where m\.mu may not be held`
+	if cond {
+		m.mu.Unlock()
+	}
+	return v
+}
+
+func (m *memo) useAfterUnlock(k string) {
+	m.mu.Lock()
+	m.mu.Unlock()
+	m.entries[k] = 1 // want `write of guarded field m\.entries on a path where m\.mu may not be held`
+}
+
+func (m *memo) lockDoesNotReachLiteral(done chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		// The spawner's lock does not protect the goroutine.
+		m.entries["k"] = 1 // want `write of guarded field m\.entries on a path where m\.mu may not be held`
+		close(done)
+	}()
+	<-done
+}
+
+func (m *memo) readUnderRLock() int {
+	m.rw.RLock()
+	defer m.rw.RUnlock()
+	return m.hits // the read lock suffices for reads
+}
+
+func (m *memo) writeUnderRLock() {
+	m.rw.RLock()
+	m.hits++ // want `write of guarded field m\.hits on a path where m\.rw may be held only for reading`
+	m.rw.RUnlock()
+}
+
+func (m *memo) writeUnderLock() {
+	m.rw.Lock()
+	m.hits++
+	m.rw.Unlock()
+}
+
+func newMemo() *memo {
+	m := &memo{}
+	m.entries = map[string]int{} //lint:allow guardedby m is not shared until newMemo returns
+	return m
+}
+
+var _ = newMemo

@@ -1,0 +1,93 @@
+// Package waitpair exercises the waitpairing analyzer: goroutines with
+// and without completion signals, and WaitGroup Add/Done pairing across
+// the spawning function's paths.
+package waitpair
+
+import "sync"
+
+func work(int) {}
+func helper()  {}
+
+func paired(n int) {
+	var wg sync.WaitGroup
+	results := make(chan int)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- i
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for v := range results {
+		work(v)
+	}
+}
+
+func noSignal() {
+	go func() { // want `goroutine never signals completion`
+		helper()
+	}()
+}
+
+func nonLiteral() {
+	go helper() // want `go statement calls a non-literal function`
+}
+
+func missingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine calls wg\.Done but the spawning function never calls wg\.Add`
+		defer wg.Done()
+		helper()
+	}()
+	wg.Wait()
+}
+
+func addNotOnAllPaths(cond bool) {
+	var wg sync.WaitGroup
+	if cond {
+		wg.Add(1)
+	}
+	go func() { // want `goroutine calls wg\.Done but wg\.Add does not precede the go statement on every path`
+		defer wg.Done()
+		helper()
+	}()
+	wg.Wait()
+}
+
+func addBeforeLoop(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func signalNotOnAllPaths(ch chan int, cond bool) {
+	go func() { // want `goroutine may return without signaling completion on some path`
+		if cond {
+			return
+		}
+		ch <- 1
+	}()
+}
+
+func deferredSendInWrapper(ch chan struct{}) {
+	go func() {
+		defer func() { ch <- struct{}{} }()
+		helper()
+	}()
+}
+
+func allowedFireAndForget() {
+	go func() { //lint:allow waitpairing best-effort warmup; process lifetime outlives it
+		helper()
+	}()
+}

@@ -1,0 +1,266 @@
+package raceguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// WaitPairing is the goroutine-join check.
+var WaitPairing = &analysis.Analyzer{
+	Name: "waitpairing",
+	Doc:  "flag go statements whose goroutines cannot be joined: no completion signal on every path, or Done without a paired Add",
+	Run:  runWaitPairing,
+}
+
+// Signal universe for the "does every path signal completion" dataflow.
+const (
+	sigPending = iota
+	sigDone
+)
+
+func runWaitPairing(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(),
+					"go statement calls a non-literal function; its completion cannot be checked — wrap it in a literal that signals completion (WaitGroup.Done, channel send, or close)")
+				return true
+			}
+			doneChains := checkSignals(pass, g, lit)
+			for chain := range doneChains {
+				checkAddPairing(pass, g, stack, chain)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignals verifies the goroutine literal signals completion on every
+// exit path, and returns the WaitGroup chains it signals through Done.
+func checkSignals(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) map[string]bool {
+	doneChains := map[string]bool{}
+	deferred := false
+	any := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred signal runs on every exit, panics included.
+			if signalInNode(pass.TypesInfo, n, doneChains) {
+				deferred = true
+				any = true
+			}
+			return false
+		case *ast.SendStmt:
+			any = true
+		case *ast.CallExpr:
+			if isClose(pass.TypesInfo, n) {
+				any = true
+			} else if chain, ok := waitGroupCall(pass.TypesInfo, n, "Done"); ok {
+				doneChains[chain] = true
+				any = true
+			}
+		}
+		return true
+	})
+	if !any {
+		pass.Reportf(g.Pos(),
+			"goroutine never signals completion (no WaitGroup.Done, channel send, or close); it cannot be joined")
+		return doneChains
+	}
+	if deferred {
+		return doneChains
+	}
+
+	// No deferred signal: every exit path must pass a direct signal.
+	graph := cfg.Build(lit.Body)
+	if graph.Unanalyzable {
+		return doneChains // a signal exists; give unmodelled flow the benefit of the doubt
+	}
+	states := graph.Solve(cfg.Only(sigPending), func(s ast.Stmt, in cfg.Set) cfg.Set {
+		if directSignal(pass.TypesInfo, s) {
+			return cfg.Only(sigDone)
+		}
+		return in
+	}, nil)
+	for _, blk := range graph.Blocks {
+		st, reached := states[blk]
+		if !reached || len(blk.Succs) > 0 {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			if directSignal(pass.TypesInfo, s) {
+				st = cfg.Only(sigDone)
+			}
+		}
+		if st.Has(sigPending) {
+			pass.Reportf(g.Pos(),
+				"goroutine may return without signaling completion on some path; defer the WaitGroup.Done (or send/close) instead")
+			return doneChains
+		}
+	}
+	return doneChains
+}
+
+// checkAddPairing verifies that, in the function spawning the goroutine,
+// chain.Add is called on every path leading to the go statement.
+func checkAddPairing(pass *analysis.Pass, g *ast.GoStmt, stack []ast.Node, chain string) {
+	var body *ast.BlockStmt
+	switch fn := analysis.EnclosingFunc(stack).(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+
+	hasAdd := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c, ok := waitGroupCall(pass.TypesInfo, call, "Add"); ok && c == chain {
+				hasAdd = true
+			}
+		}
+		return !hasAdd
+	})
+	if !hasAdd {
+		pass.Reportf(g.Pos(),
+			"goroutine calls %s.Done but the spawning function never calls %s.Add", chain, chain)
+		return
+	}
+
+	graph := cfg.Build(body)
+	if graph.Unanalyzable {
+		return // an Add exists; unmodelled flow gets the benefit of the doubt
+	}
+	transfer := func(s ast.Stmt, in cfg.Set) cfg.Set {
+		if stmtCallsAdd(pass.TypesInfo, s, chain) {
+			return cfg.Only(sigDone)
+		}
+		return in
+	}
+	states := graph.Solve(cfg.Only(sigPending), transfer, nil)
+	for _, blk := range graph.Blocks {
+		st, reached := states[blk]
+		if !reached {
+			continue
+		}
+		for _, s := range blk.Stmts {
+			if stmtContains(s, g) {
+				if st.Has(sigPending) {
+					pass.Reportf(g.Pos(),
+						"goroutine calls %s.Done but %s.Add does not precede the go statement on every path", chain, chain)
+				}
+				return
+			}
+			st = transfer(s, st)
+		}
+	}
+}
+
+// directSignal reports whether the statement itself (nested literals
+// excluded — they run at another time) sends, closes, or calls Done.
+func directSignal(info *types.Info, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isClose(info, n) {
+				found = true
+			} else if _, ok := waitGroupCall(info, n, "Done"); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtCallsAdd reports whether the statement (nested literals excluded)
+// calls chain.Add.
+func stmtCallsAdd(info *types.Info, s ast.Stmt, chain string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c, ok := waitGroupCall(info, call, "Add"); ok && c == chain {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// signalInNode scans an arbitrary subtree (nested literals included —
+// a `defer func() { ... }()` wrapper still runs at exit) for completion
+// signals, accumulating Done receiver chains.
+func signalInNode(info *types.Info, root ast.Node, doneChains map[string]bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isClose(info, n) {
+				found = true
+			} else if chain, ok := waitGroupCall(info, n, "Done"); ok {
+				doneChains[chain] = true
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupCall matches a statically-resolved call to sync.WaitGroup's
+// method named name, returning the rendered receiver chain ("wg", "p.wg").
+func waitGroupCall(info *types.Info, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil ||
+		!analysis.IsNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+		return "", false
+	}
+	return types.ExprString(ast.Unparen(sel.X)), true
+}
+
+// isClose matches the close builtin.
+func isClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}

@@ -46,6 +46,17 @@ type Options struct {
 	// Check enables the RoloSan invariant sanitizer in every run; the
 	// first violation fails the experiment.
 	Check bool
+	// Jobs bounds how many simulations run concurrently (0 selects
+	// GOMAXPROCS). It takes effect once a pool is attached with Pool;
+	// options without a pool run serially regardless of Jobs.
+	Jobs int
+
+	// sem is the shared simulation-slot semaphore attached by Pool.
+	// Copies of the options share the channel, so every experiment run
+	// under one RunAll draws from the same slot budget. A nil sem means
+	// "no pool": acquire is a no-op and runPar degenerates to a serial
+	// loop.
+	sem chan struct{}
 }
 
 // DefaultOptions returns the default experiment options.
@@ -63,6 +74,9 @@ func (o Options) Validate() error {
 	}
 	if o.ProbeInterval < 0 {
 		return fmt.Errorf("experiments: negative probe interval %v", o.ProbeInterval)
+	}
+	if o.Jobs < 0 {
+		return fmt.Errorf("experiments: negative job count %d", o.Jobs)
 	}
 	return nil
 }
@@ -97,11 +111,11 @@ func All() []Experiment {
 func Lookup(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
-		ids := make([]string, 0, len(registry))
-		for k := range registry {
-			ids = append(ids, k)
+		all := All()
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
 		}
-		sort.Strings(ids)
 		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
 	}
 	return e, nil
@@ -134,6 +148,7 @@ func scaleBytes(b float64, scale float64) int64 {
 // the option scale. When o.JournalDir is set, the run's telemetry journal
 // is written alongside; probes follow o.ProbeInterval either way.
 func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, stripe int64) (rep rolo.Report, err error) {
+	defer o.acquire()() // one pool slot per leaf simulation
 	cfg := scaledConfig(scheme, o, freeGiB, stripe)
 	recs, err := rolo.GenerateProfile(profile, cfg, o.Scale)
 	if err != nil {

@@ -25,6 +25,31 @@ func init() {
 	})
 }
 
+// profileCell is one (trace, scheme, free-space, stripe) simulation of a
+// sweep, fanned out with runPar and formatted afterwards in sweep order.
+type profileCell struct {
+	tr     string
+	scheme rolo.Scheme
+	free   float64
+	stripe int64
+}
+
+// runCells simulates every cell across the option pool and returns the
+// reports in cell order.
+func runCells(o Options, cells []profileCell) ([]rolo.Report, error) {
+	reps := make([]rolo.Report, len(cells))
+	err := runPar(o, len(cells), func(i int) error {
+		c := cells[i]
+		rep, err := runProfile(c.scheme, o, c.tr, c.free, c.stripe)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
 func runFig13(o Options, w io.Writer) error {
 	if err := o.Validate(); err != nil {
 		return err
@@ -32,21 +57,30 @@ func runFig13(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "Figure 13: energy saved over GRAID vs free storage space (scale=%.2f)\n", o.Scale)
 	freeGiBs := []float64{8, 6, 4}
 	roloSchemes := []rolo.Scheme{rolo.SchemeRoLoP, rolo.SchemeRoLoR, rolo.SchemeRoLoE}
+	var cells []profileCell
+	for _, tr := range mainTraces {
+		cells = append(cells, profileCell{tr, rolo.SchemeGRAID, 8, 64 << 10})
+		for _, s := range roloSchemes {
+			for _, free := range freeGiBs {
+				cells = append(cells, profileCell{tr, s, free, 64 << 10})
+			}
+		}
+	}
+	reps, err := runCells(o, cells)
+	if err != nil {
+		return err
+	}
+	k := 0
 	for _, tr := range mainTraces {
 		fmt.Fprintf(w, "\nunder %s:\n", tr)
-		graid, err := runProfile(rolo.SchemeGRAID, o, tr, 8, 64<<10)
-		if err != nil {
-			return err
-		}
+		graid := reps[k]
+		k++
 		t := &table{header: []string{"scheme", "8GB", "6GB", "4GB"}}
 		for _, s := range roloSchemes {
 			row := []string{s.String()}
-			for _, free := range freeGiBs {
-				rep, err := runProfile(s, o, tr, free, 64<<10)
-				if err != nil {
-					return err
-				}
-				row = append(row, pct(1-rep.EnergyJ/graid.EnergyJ))
+			for range freeGiBs {
+				row = append(row, pct(1-reps[k].EnergyJ/graid.EnergyJ))
+				k++
 			}
 			t.add(row...)
 		}
@@ -67,14 +101,23 @@ func runStripe(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "Stripe-unit sensitivity: energy saved over RAID10 under src2_2 (scale=%.2f)\n", o.Scale)
 	t := &table{header: []string{"scheme", "16KB", "32KB", "64KB"}}
 	stripes := []int64{16 << 10, 32 << 10, 64 << 10}
-	rows := map[rolo.Scheme][]string{}
+	var cells []profileCell
 	for _, su := range stripes {
+		for _, s := range rolo.Schemes {
+			cells = append(cells, profileCell{"src2_2", s, 8, su})
+		}
+	}
+	reps, err := runCells(o, cells)
+	if err != nil {
+		return err
+	}
+	rows := map[rolo.Scheme][]string{}
+	k := 0
+	for range stripes {
 		var base rolo.Report
 		for _, s := range rolo.Schemes {
-			rep, err := runProfile(s, o, "src2_2", 8, su)
-			if err != nil {
-				return err
-			}
+			rep := reps[k]
+			k++
 			if s == rolo.SchemeRAID10 {
 				base = rep
 				continue
@@ -113,33 +156,52 @@ func runDiskSize(o Options, w io.Writer) error {
 		{"4GB log", 4.6, 2, 4},
 	}
 	roloSchemes := []rolo.Scheme{rolo.SchemeRoLoP, rolo.SchemeRoLoR, rolo.SchemeRoLoE}
+	run := func(s rolo.Scheme, tr string, sz size) (rolo.Report, error) {
+		defer o.acquire()() // one pool slot per leaf simulation
+		cfg := rolo.DefaultConfig(s)
+		cfg.Pairs = o.Pairs
+		cfg.Disk.CapacityBytes = scaleBytes(sz.diskGiB*(1<<30), o.Scale)
+		cfg.FreeBytesPerDisk = scaleBytes(sz.freeGiB*(1<<30), o.Scale)
+		cfg.GRAID.LogCapacityBytes = scaleBytes(sz.graidGiB*(1<<30), o.Scale)
+		recs, err := rolo.GenerateProfile(tr, cfg, o.Scale)
+		if err != nil {
+			return rolo.Report{}, err
+		}
+		return rolo.Run(cfg, recs)
+	}
+	type cell struct {
+		tr     string
+		scheme rolo.Scheme
+		sz     size
+	}
+	var cells []cell
+	for _, tr := range mainTraces {
+		for _, sz := range sizes {
+			cells = append(cells, cell{tr, rolo.SchemeGRAID, sz})
+			for _, s := range roloSchemes {
+				cells = append(cells, cell{tr, s, sz})
+			}
+		}
+	}
+	reps := make([]rolo.Report, len(cells))
+	if err := runPar(o, len(cells), func(i int) error {
+		rep, err := run(cells[i].scheme, cells[i].tr, cells[i].sz)
+		reps[i] = rep
+		return err
+	}); err != nil {
+		return err
+	}
+	k := 0
 	for _, tr := range mainTraces {
 		fmt.Fprintf(w, "\nunder %s:\n", tr)
 		t := &table{header: []string{"scheme", sizes[0].label, sizes[1].label, sizes[2].label}}
 		rows := map[rolo.Scheme][]string{}
-		for _, sz := range sizes {
-			run := func(s rolo.Scheme) (rolo.Report, error) {
-				cfg := rolo.DefaultConfig(s)
-				cfg.Pairs = o.Pairs
-				cfg.Disk.CapacityBytes = scaleBytes(sz.diskGiB*(1<<30), o.Scale)
-				cfg.FreeBytesPerDisk = scaleBytes(sz.freeGiB*(1<<30), o.Scale)
-				cfg.GRAID.LogCapacityBytes = scaleBytes(sz.graidGiB*(1<<30), o.Scale)
-				recs, err := rolo.GenerateProfile(tr, cfg, o.Scale)
-				if err != nil {
-					return rolo.Report{}, err
-				}
-				return rolo.Run(cfg, recs)
-			}
-			graid, err := run(rolo.SchemeGRAID)
-			if err != nil {
-				return err
-			}
+		for range sizes {
+			graid := reps[k]
+			k++
 			for _, s := range roloSchemes {
-				rep, err := run(s)
-				if err != nil {
-					return err
-				}
-				rows[s] = append(rows[s], pct(1-rep.EnergyJ/graid.EnergyJ))
+				rows[s] = append(rows[s], pct(1-reps[k].EnergyJ/graid.EnergyJ))
+				k++
 			}
 		}
 		for _, s := range roloSchemes {

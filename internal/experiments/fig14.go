@@ -23,16 +23,22 @@ func runFig14(o Options, w io.Writer) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
-	results := make(map[string]map[rolo.Scheme]rolo.Report, len(lightTraces))
+	var cells []profileCell
 	for _, tr := range lightTraces {
-		results[tr] = make(map[rolo.Scheme]rolo.Report, len(rolo.Schemes))
 		for _, s := range rolo.Schemes {
-			rep, err := runProfile(s, o, tr, 8, 64<<10)
-			if err != nil {
-				return err
-			}
-			results[tr][s] = rep
+			cells = append(cells, profileCell{tr, s, 8, 64 << 10})
 		}
+	}
+	reps, err := runCells(o, cells)
+	if err != nil {
+		return err
+	}
+	results := make(map[string]map[rolo.Scheme]rolo.Report, len(lightTraces))
+	for i, c := range cells {
+		if results[c.tr] == nil {
+			results[c.tr] = make(map[rolo.Scheme]rolo.Report, len(rolo.Schemes))
+		}
+		results[c.tr][c.scheme] = reps[i]
 	}
 
 	fmt.Fprintf(w, "Figure 14(a): energy consumption normalized to RAID10 (scale=%.2f)\n", o.Scale)

@@ -37,6 +37,7 @@ type fig2Result struct {
 }
 
 func fig2Run(o Options, logCapBytes int64, iops float64) (*fig2Result, error) {
+	defer o.acquire()() // one pool slot per leaf simulation
 	eng := sim.New()
 	diskCap := scaleBytes(18.4*(1<<30), o.Scale)
 	dataBytes := diskCap - diskCap/4 // plenty of data region; log disk is dedicated
@@ -87,11 +88,17 @@ func runFig2(o Options, w io.Writer) error {
 
 	fmt.Fprintf(w, "Figure 2(a,b): per-phase mean interval and energy at 100 IOPS (scale=%.2f)\n", o.Scale)
 	tab := &table{header: []string{"logger", "log int(s)", "dest int(s)", "log E(J)", "dest E(J)"}}
-	for _, gib := range []float64{8, 16} {
-		r, err := fig2Run(o, scaleBytes(gib*(1<<30), o.Scale), 100)
-		if err != nil {
-			return err
-		}
+	abGiBs := []float64{8, 16}
+	abRes := make([]*fig2Result, len(abGiBs))
+	if err := runPar(o, len(abGiBs), func(i int) error {
+		r, err := fig2Run(o, scaleBytes(abGiBs[i]*(1<<30), o.Scale), 100)
+		abRes[i] = r
+		return err
+	}); err != nil {
+		return err
+	}
+	for i, gib := range abGiBs {
+		r := abRes[i]
 		dur, energy := r.phase.Totals()
 		ivs := r.phase.Intervals()
 		nLog, nDest := 0, 0
@@ -120,14 +127,20 @@ func runFig2(o Options, w io.Writer) error {
 	tc := &table{header: []string{"logger\\iops", "10", "50", "100", "200"}}
 	fmt.Fprintln(w)
 	td := &table{header: []string{"logger\\iops", "10", "50", "100", "200"}}
-	for _, gib := range caps {
+	grid := make([]*fig2Result, len(caps)*len(rates))
+	if err := runPar(o, len(grid), func(k int) error {
+		gib, iops := caps[k/len(rates)], rates[k%len(rates)]
+		r, err := fig2Run(o, scaleBytes(gib*(1<<30), o.Scale), iops)
+		grid[k] = r
+		return err
+	}); err != nil {
+		return err
+	}
+	for ci, gib := range caps {
 		rowC := []string{fmt.Sprintf("%.0fGB", gib)}
 		rowD := []string{fmt.Sprintf("%.0fGB", gib)}
-		for _, iops := range rates {
-			r, err := fig2Run(o, scaleBytes(gib*(1<<30), o.Scale), iops)
-			if err != nil {
-				return err
-			}
+		for ri := range rates {
+			r := grid[ci*len(rates)+ri]
 			rowC = append(rowC, f3(r.phase.DestagingIntervalRatio()))
 			rowD = append(rowD, f3(r.phase.DestagingEnergyRatio()))
 		}
@@ -157,11 +170,17 @@ func runFig3(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "Figure 3: fraction of time in IDLE vs ACTIVE+STANDBY (scale=%.2f)\n", o.Scale)
 	t := &table{header: []string{"iops", "primary idle", "primary act/stby", "log idle", "log act/stby"}}
 	logCap := scaleBytes(16*(1<<30), o.Scale)
-	for _, iops := range []float64{10, 50, 100, 200} {
-		r, err := fig2Run(o, logCap, iops)
-		if err != nil {
-			return err
-		}
+	fig3Rates := []float64{10, 50, 100, 200}
+	fig3Res := make([]*fig2Result, len(fig3Rates))
+	if err := runPar(o, len(fig3Rates), func(i int) error {
+		r, err := fig2Run(o, logCap, fig3Rates[i])
+		fig3Res[i] = r
+		return err
+	}); err != nil {
+		return err
+	}
+	for i, iops := range fig3Rates {
+		r := fig3Res[i]
 		pi, pa := stateSplit(array.StateDurations(r.primaries))
 		li, la := stateSplit(array.StateDurations([]*disk.Disk{r.logDisk}))
 		t.add(fmt.Sprintf("%.0f", iops), pct(pi), pct(pa), pct(li), pct(la))

@@ -34,65 +34,17 @@ func runParity(o Options, w io.Writer) error {
 		"iops", "RAID5 mean(ms)", "RoLo5 mean(ms)", "speedup",
 		"logged", "rmw-fallback", "stale@end",
 	}}
-	for _, iops := range []float64{20, 60, 120} {
-		eng := sim.New()
-		diskCap := scaleBytes(18.4*(1<<30), o.Scale)
-		free := scaleBytes(8*(1<<30), o.Scale)
-		data := diskCap - free
-		data -= data % (64 << 10)
-		geom := parity.Geometry{Disks: disks, StripUnitBytes: 64 << 10, DataBytesPerDisk: data}
-		syn := trace.Uniform70Random64K(iops, 3*sim.Minute, 17)
-
-		runOne := func(useRoLo bool) (mean float64, logged, rmw, stale int64, err error) {
-			eng = sim.New()
-			arr, err := parity.NewArray(eng, geom, disk.Ultrastar36Z15().WithCapacity(diskCap))
-			if err != nil {
-				return 0, 0, 0, 0, err
-			}
-			recs, err := syn.Generate(geom.VolumeBytes())
-			if err != nil {
-				return 0, 0, 0, 0, err
-			}
-			var submit func(trace.Record) error
-			var finish func() (float64, int64, int64, int64)
-			if useRoLo {
-				c, err := parity.NewRoLo5(arr, parity.DefaultRoLo5Config())
-				if err != nil {
-					return 0, 0, 0, 0, err
-				}
-				submit = c.Submit
-				finish = func() (float64, int64, int64, int64) {
-					return c.Responses().Mean(), c.LoggedWrites(), c.DirectRMW(), c.StaleParityStripes()
-				}
-			} else {
-				c := parity.NewRAID5(arr)
-				submit = c.Submit
-				finish = func() (float64, int64, int64, int64) {
-					return c.Responses().Mean(), 0, c.RMWWrites(), 0
-				}
-			}
-			for i := range recs {
-				rec := recs[i]
-				if _, err := eng.Schedule(rec.At, func(sim.Time) { _ = submit(rec) }); err != nil {
-					return 0, 0, 0, 0, err
-				}
-			}
-			eng.Run()
-			m, l, r, s := finish()
-			return m, l, r, s, nil
-		}
-
-		raidMean, _, _, _, err := runOne(false)
-		if err != nil {
-			return err
-		}
-		roloMean, logged, rmw, stale, err := runOne(true)
-		if err != nil {
-			return err
-		}
-		t.add(fmt.Sprintf("%.0f", iops), f2(raidMean), f2(roloMean),
-			fmt.Sprintf("%.2fx", raidMean/roloMean),
-			fmt.Sprintf("%d", logged), fmt.Sprintf("%d", rmw), fmt.Sprintf("%d", stale))
+	rates := []float64{20, 60, 120}
+	rows := make([][]string, len(rates))
+	if err := runPar(o, len(rates), func(ri int) error {
+		row, err := parityPoint(o, disks, rates[ri])
+		rows[ri] = row
+		return err
+	}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.add(row...)
 	}
 	if err := t.write(w); err != nil {
 		return err
@@ -102,4 +54,68 @@ func runParity(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "reconstructed by an idle-slot sweeper and log extents are reclaimed per")
 	fmt.Fprintln(w, "stripe — rotated logging and decentralized destaging on parity storage.")
 	return nil
+}
+
+// parityPoint simulates RAID5 and RoLo5 at one request rate and returns
+// the formatted table row. Both runs share one pool slot: the pair is a
+// single leaf because the speedup column relates the two runs.
+func parityPoint(o Options, disks int, iops float64) ([]string, error) {
+	defer o.acquire()() // one pool slot per leaf simulation
+	diskCap := scaleBytes(18.4*(1<<30), o.Scale)
+	free := scaleBytes(8*(1<<30), o.Scale)
+	data := diskCap - free
+	data -= data % (64 << 10)
+	geom := parity.Geometry{Disks: disks, StripUnitBytes: 64 << 10, DataBytesPerDisk: data}
+	syn := trace.Uniform70Random64K(iops, 3*sim.Minute, 17)
+
+	runOne := func(useRoLo bool) (mean float64, logged, rmw, stale int64, err error) {
+		eng := sim.New()
+		arr, err := parity.NewArray(eng, geom, disk.Ultrastar36Z15().WithCapacity(diskCap))
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		recs, err := syn.Generate(geom.VolumeBytes())
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		var submit func(trace.Record) error
+		var finish func() (float64, int64, int64, int64)
+		if useRoLo {
+			c, err := parity.NewRoLo5(arr, parity.DefaultRoLo5Config())
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			submit = c.Submit
+			finish = func() (float64, int64, int64, int64) {
+				return c.Responses().Mean(), c.LoggedWrites(), c.DirectRMW(), c.StaleParityStripes()
+			}
+		} else {
+			c := parity.NewRAID5(arr)
+			submit = c.Submit
+			finish = func() (float64, int64, int64, int64) {
+				return c.Responses().Mean(), 0, c.RMWWrites(), 0
+			}
+		}
+		for i := range recs {
+			rec := recs[i]
+			if _, err := eng.Schedule(rec.At, func(sim.Time) { _ = submit(rec) }); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		eng.Run()
+		m, l, r, s := finish()
+		return m, l, r, s, nil
+	}
+
+	raidMean, _, _, _, err := runOne(false)
+	if err != nil {
+		return nil, err
+	}
+	roloMean, logged, rmw, stale, err := runOne(true)
+	if err != nil {
+		return nil, err
+	}
+	return []string{fmt.Sprintf("%.0f", iops), f2(raidMean), f2(roloMean),
+		fmt.Sprintf("%.2fx", raidMean/roloMean),
+		fmt.Sprintf("%d", logged), fmt.Sprintf("%d", rmw), fmt.Sprintf("%d", stale)}, nil
 }

@@ -1,6 +1,16 @@
 #!/bin/sh
-# Full verification gate: build, vet, rololint, race-enabled tests, and a
-# short fuzz smoke. Run from the repository root (or via `make check`).
+# Full verification gate: build, vet, rololint, race-enabled tests, a
+# race-enabled parallel experiment smoke, and a short fuzz smoke. Run from
+# the repository root (or via `make check`).
+#
+# With no arguments every stage group runs in order. Arguments select
+# groups, so CI can run them as separately-reported steps:
+#
+#	./scripts/check.sh build lint        # compile + analyzer gates only
+#	./scripts/check.sh race-smoke        # the parallel runner under -race
+#
+# Groups: build, lint, test, race-smoke, fuzz.
+#
 # Every stage enumerates packages with `./...` patterns, which never
 # descend into testdata: analyzer fixture packages (deliberate
 # violations) are skipped here and — for explicit patterns and vet
@@ -13,6 +23,24 @@ if ! command -v go >/dev/null 2>&1; then
 	echo "check.sh: go toolchain not found in PATH; install Go to run the gate" >&2
 	exit 1
 fi
+
+groups="${*:-build lint test race-smoke fuzz}"
+for g in $groups; do
+	case "$g" in
+	build | lint | test | race-smoke | fuzz) ;;
+	*)
+		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke fuzz)" >&2
+		exit 2
+		;;
+	esac
+done
+
+want() {
+	case " $groups " in
+	*" $1 "*) return 0 ;;
+	*) return 1 ;;
+	esac
+}
 
 # stage <name> <cmd...> runs one gate stage, naming the stage that failed
 # and propagating its exit status.
@@ -28,18 +56,38 @@ stage() {
 	fi
 }
 
-stage "go build ./..." go build ./...
-stage "go vet ./..." go vet ./...
-stage "build rololint" go build -o bin/rololint ./cmd/rololint
-stage "go vet -vettool=bin/rololint ./..." go vet -vettool=bin/rololint ./...
-stage "go test -race ./..." go test -race ./...
+if want build; then
+	stage "go build ./..." go build ./...
+	stage "go vet ./..." go vet ./...
+fi
+
+if want lint; then
+	stage "build rololint" go build -o bin/rololint ./cmd/rololint
+	stage "go vet -vettool=bin/rololint ./..." go vet -vettool=bin/rololint ./...
+fi
+
+if want test; then
+	stage "go test -race ./..." go test -race ./...
+fi
+
+# The parallel experiment runner under the race detector: every experiment
+# at toy scale, four simulations in flight, sanitizer on. This exercises
+# the pool, the result memo and the output streaming under real
+# interleavings — the schedules `go test -race` alone would not produce.
+if want race-smoke; then
+	stage "build roloexp (-race)" go build -race -o bin/roloexp.race ./cmd/roloexp
+	stage "roloexp -run all -jobs 4 -check (race smoke)" \
+		sh -c './bin/roloexp.race -run all -jobs 4 -check -scale 0.01 -pairs 4 >/dev/null'
+fi
 
 # Fuzz smoke: a few seconds per target catches parser regressions on the
 # seed corpus plus whatever the engine reaches quickly; `make fuzz` runs
 # the long version.
-stage "fuzz smoke: FuzzParseMSR" \
-	go test -run '^$' -fuzz 'FuzzParseMSR$' -fuzztime 3s ./internal/trace/
-stage "fuzz smoke: FuzzParseSyntheticSpec" \
-	go test -run '^$' -fuzz 'FuzzParseSyntheticSpec$' -fuzztime 3s ./internal/trace/
+if want fuzz; then
+	stage "fuzz smoke: FuzzParseMSR" \
+		go test -run '^$' -fuzz 'FuzzParseMSR$' -fuzztime 3s ./internal/trace/
+	stage "fuzz smoke: FuzzParseSyntheticSpec" \
+		go test -run '^$' -fuzz 'FuzzParseSyntheticSpec$' -fuzztime 3s ./internal/trace/
+fi
 
 echo "OK"
