@@ -35,16 +35,31 @@ type Copier struct {
 	running     bool
 	bytesCopied int64
 	err         error
+
+	// Per-chunk completion plumbing, bound once at construction: the
+	// copier keeps a single chunk in flight, so cur, the write-phase join
+	// and the two closures can be reused for every chunk (DESIGN §11).
+	cur        intervals.Span
+	join       Join
+	readDoneFn func(now sim.Time)
+	joinDoneFn func(now sim.Time)
 }
 
 // NewCopier constructs a copier. The interval set is owned by the caller
 // and may be extended between chunks.
 func NewCopier(eng *sim.Engine, src *disk.Disk, dsts []*disk.Disk, work *intervals.Set,
 	chunk int64, srcIO, dstIO func(sp intervals.Span) *disk.IO) *Copier {
-	return &Copier{
+	c := &Copier{
 		eng: eng, src: src, dsts: dsts, work: work, chunk: chunk,
 		srcIO: srcIO, dstIO: dstIO,
 	}
+	c.readDoneFn = func(at sim.Time) { c.writePhase(at) }
+	c.join.fn = func(at sim.Time) {
+		c.bytesCopied += c.cur.Len()
+		c.step(at)
+	}
+	c.joinDoneFn = c.join.Done
+	return c
 }
 
 // Running reports whether a chunk is in flight.
@@ -76,10 +91,11 @@ func (c *Copier) step(now sim.Time) {
 		return
 	}
 	c.running = true
+	c.cur = sp
 	read := c.srcIO(sp)
 	read.Background = true
 	read.Write = false
-	read.OnDone = func(at sim.Time) { c.writePhase(sp, at) }
+	read.OnDone = c.readDoneFn
 	if err := c.src.Submit(read); err != nil {
 		// Submission only fails on malformed addressing — a bug in the
 		// caller's translators. Halt and expose via Err.
@@ -88,16 +104,14 @@ func (c *Copier) step(now sim.Time) {
 	}
 }
 
-func (c *Copier) writePhase(sp intervals.Span, now sim.Time) {
-	join := NewJoin(len(c.dsts), func(at sim.Time) {
-		c.bytesCopied += sp.Len()
-		c.step(at)
-	})
+func (c *Copier) writePhase(now sim.Time) {
+	sp := c.cur
+	c.join.remaining = len(c.dsts)
 	for _, dst := range c.dsts {
 		w := c.dstIO(sp)
 		w.Background = true
 		w.Write = true
-		w.OnDone = join.Done
+		w.OnDone = c.joinDoneFn
 		if err := dst.Submit(w); err != nil {
 			c.running = false
 			c.err = err

@@ -39,18 +39,29 @@ func Replay(eng *sim.Engine, a *Array, ctrl Controller, recs []trace.Record) (Re
 	if len(recs) == 0 {
 		return res, fmt.Errorf("array: empty trace")
 	}
+	// One arrival handler serves every record: arrival events fire in
+	// scheduling order (time-ordered records, FIFO among equal times), so a
+	// cursor visits the records exactly as per-record closures would, for N
+	// fewer closure allocations on the replay setup path.
 	var submitErr error
+	next := 0
+	arrival := func(sim.Time) {
+		rec := recs[next]
+		next++
+		if submitErr != nil {
+			return
+		}
+		if err := ctrl.Submit(rec); err != nil {
+			submitErr = fmt.Errorf("array: submit record at %v: %w", rec.At, err)
+			eng.Stop()
+		}
+	}
 	for i := range recs {
-		rec := recs[i]
-		if _, err := eng.Schedule(rec.At, func(sim.Time) {
-			if submitErr != nil {
-				return
-			}
-			if err := ctrl.Submit(rec); err != nil {
-				submitErr = fmt.Errorf("array: submit record at %v: %w", rec.At, err)
-				eng.Stop()
-			}
-		}); err != nil {
+		if i > 0 && recs[i].At < recs[i-1].At {
+			return res, fmt.Errorf("array: trace not time-ordered at record %d (%v after %v)",
+				i, recs[i].At, recs[i-1].At)
+		}
+		if _, err := eng.Schedule(recs[i].At, arrival); err != nil {
 			return res, err
 		}
 	}

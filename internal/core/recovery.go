@@ -186,17 +186,22 @@ func (r *RoLo) Rebuild(p int, mirrorFailed bool, done func(now sim.Time)) error 
 // failed: surviving copies are still written. Used by Submit when the
 // normal path hits ErrFailed.
 func (r *RoLo) submitSurviving(ios []targetIO, record func(sim.Time)) error {
-	live := make([]targetIO, 0, len(ios))
+	// Two passes instead of building a filtered copy: count survivors for
+	// the join, then submit them.
+	live := 0
 	for _, t := range ios {
 		if !t.disk.Failed() {
-			live = append(live, t)
+			live++
 		}
 	}
-	if len(live) == 0 {
+	if live == 0 {
 		return fmt.Errorf("%v: no surviving copy target", r.flavor)
 	}
-	join := array.NewJoin(len(live), record)
-	for _, t := range live {
+	join := array.NewJoin(live, record)
+	for _, t := range ios {
+		if t.disk.Failed() {
+			continue
+		}
 		t.io.OnDone = join.Done
 		if err := t.disk.Submit(t.io); err != nil {
 			return fmt.Errorf("%v: degraded submit: %w", r.flavor, err)

@@ -138,7 +138,21 @@ type RoLo struct {
 	directWrites int // writes that bypassed logging (deactivation fallback)
 	closed       bool
 
+	// Per-Submit scratch buffers. Submit builds its placement and target
+	// lists, hands them to synchronous consumers and returns, so the
+	// backing arrays are reused across requests (DESIGN §11). The
+	// simulation is single-threaded per engine, so no locking is needed.
+	orderScratch  []int
+	allocScratch  []placedAlloc
+	targetScratch []targetIO
+
 	san *invariant.Audit // nil unless a sanitizer is attached (audit.go)
+}
+
+// placedAlloc records where one extent's log copy was placed.
+type placedAlloc struct {
+	alloc  logspace.Alloc
+	logger int
 }
 
 var (
@@ -307,11 +321,7 @@ func (r *RoLo) Submit(rec trace.Record) error {
 	if r.flavor == FlavorR {
 		logCopies = 2
 	}
-	type placed struct {
-		alloc  logspace.Alloc
-		logger int
-	}
-	allocs := make([]placed, 0, len(exts))
+	allocs := r.allocScratch[:0]
 	allOK := true
 	for _, e := range exts {
 		lg, a, ok := r.allocOnDuty(e.Length, e.Pair)
@@ -319,8 +329,9 @@ func (r *RoLo) Submit(rec trace.Record) error {
 			allOK = false
 			break
 		}
-		allocs = append(allocs, placed{alloc: a, logger: lg})
+		allocs = append(allocs, placedAlloc{alloc: a, logger: lg})
 	}
+	r.allocScratch = allocs[:0]
 	if !allOK {
 		// Partial allocations stay tagged and are reclaimed with their
 		// pair's next destage; they only waste a little space. Fall back
@@ -331,7 +342,7 @@ func (r *RoLo) Submit(rec trace.Record) error {
 		return err
 	}
 
-	targets := make([]targetIO, 0, len(exts)*(1+logCopies))
+	targets := r.targetScratch[:0]
 	for i, e := range exts {
 		prim := r.arr.Primaries[e.Pair]
 		if prim.Failed() {
@@ -369,6 +380,7 @@ func (r *RoLo) Submit(rec trace.Record) error {
 			})
 		}
 	}
+	r.targetScratch = targets[:0]
 	if err := r.submitSurviving(targets, record); err != nil {
 		return err
 	}
@@ -379,8 +391,8 @@ func (r *RoLo) Submit(rec trace.Record) error {
 // allocOnDuty places a log extent on the emptiest on-duty logger, falling
 // back through the rest of the set.
 func (r *RoLo) allocOnDuty(n int64, tag int) (logger int, a logspace.Alloc, ok bool) {
-	order := make([]int, len(r.onDuty))
-	copy(order, r.onDuty)
+	order := append(r.orderScratch[:0], r.onDuty...)
+	r.orderScratch = order[:0]
 	// Emptiest first: balances fill level so rotations stagger.
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0 && r.spaces[order[j]].FreeBytes() > r.spaces[order[j-1]].FreeBytes(); j-- {
@@ -428,7 +440,7 @@ func (r *RoLo) markDirty(p int, start, end int64) {
 // waking the target mirrors if needed (Section III-E).
 func (r *RoLo) directWrite(exts []raid.Extent, record func(sim.Time)) error {
 	r.directWrites++
-	targets := make([]targetIO, 0, 2*len(exts))
+	targets := r.targetScratch[:0]
 	for _, e := range exts {
 		for _, mirror := range [...]bool{false, true} {
 			target := r.arr.Primaries[e.Pair]
@@ -445,6 +457,7 @@ func (r *RoLo) directWrite(exts []raid.Extent, record func(sim.Time)) error {
 			r.cleanDirty(e.Pair, e.Offset, e.Offset+e.Length)
 		}
 	}
+	r.targetScratch = targets[:0]
 	return r.submitSurviving(targets, record)
 }
 

@@ -112,7 +112,18 @@ type RoLoE struct {
 	overflow  int64 // writes bypassing the log during destage
 	closed    bool
 
+	// allocScratch backs submitWrite's placement list; the list is fully
+	// consumed before Submit returns, so the array is reused per request
+	// (DESIGN §11).
+	allocScratch []placedSlot
+
 	san *invariant.Audit // nil unless a sanitizer is attached (audit.go)
+}
+
+// placedSlot records where one extent's log copy was placed.
+type placedSlot struct {
+	alloc logspace.Alloc
+	slot  int
 }
 
 var (
@@ -309,11 +320,7 @@ func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 		e.readCache.Remove(b)
 	}
 
-	type placed struct {
-		alloc logspace.Alloc
-		slot  int
-	}
-	allocs := make([]placed, 0, len(exts))
+	allocs := e.allocScratch[:0]
 	// While the centralized destage is reclaiming the log, nothing may be
 	// logged: a copy logged now would be destroyed by the reset at the end
 	// of the destage while its dirty span persisted — the log would no
@@ -329,8 +336,9 @@ func (e *RoLoE) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 			allOK = false
 			break
 		}
-		allocs = append(allocs, placed{alloc: a, slot: slot})
+		allocs = append(allocs, placedSlot{alloc: a, slot: slot})
 	}
+	e.allocScratch = allocs[:0]
 	if !allOK {
 		// Log full or mid-destage: the whole array is awake (or waking),
 		// so write both copies in place.

@@ -239,6 +239,13 @@ type Disk struct {
 	bgRecheck     bool
 	failed        bool
 
+	// completeFn and bgRecheckFn are the two per-IO-rate completion
+	// closures, bound once at construction so the dispatch hot path
+	// schedules events without allocating (DESIGN §11). completeFn reads
+	// d.current, which is safe because at most one request is in flight.
+	completeFn  sim.Handler
+	bgRecheckFn sim.Handler
+
 	onStateChange []func(d *Disk, from, to PowerState, now sim.Time)
 }
 
@@ -287,7 +294,7 @@ func New(id int, cfg Config, eng *sim.Engine) (*Disk, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Disk{
+	d := &Disk{
 		id:            id,
 		cfg:           cfg,
 		eng:           eng,
@@ -296,7 +303,13 @@ func New(id int, cfg Config, eng *sim.Engine) (*Disk, error) {
 		born:          eng.Now(),
 		seqNext:       -1,
 		wakeOnArrival: true,
-	}, nil
+	}
+	d.completeFn = func(at sim.Time) { d.complete(d.current, at) }
+	d.bgRecheckFn = func(at sim.Time) {
+		d.bgRecheck = false
+		d.tryDispatch(at)
+	}
+	return d, nil
 }
 
 // ID returns the drive's identifier within its array.
@@ -517,7 +530,7 @@ func (d *Disk) tryDispatch(now sim.Time) {
 	d.headPos = io.LBA + io.Sectors
 	d.seqNext = io.LBA + io.Sectors
 	d.busyTime += svc
-	d.eng.After(svc, func(at sim.Time) { d.complete(io, at) })
+	d.eng.After(svc, d.completeFn)
 }
 
 // maxHeadOfLineWait bounds how long the oldest queued request may be
@@ -559,10 +572,7 @@ func (d *Disk) scheduleBgRecheck(wait sim.Time) {
 		return
 	}
 	d.bgRecheck = true
-	d.eng.After(wait, func(at sim.Time) {
-		d.bgRecheck = false
-		d.tryDispatch(at)
-	})
+	d.eng.After(wait, d.bgRecheckFn)
 }
 
 func (d *Disk) complete(io *IO, now sim.Time) {

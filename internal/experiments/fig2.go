@@ -100,10 +100,9 @@ func runFig2(o Options, w io.Writer) error {
 	for i, gib := range abGiBs {
 		r := abRes[i]
 		dur, energy := r.phase.Totals()
-		ivs := r.phase.Intervals()
 		nLog, nDest := 0, 0
-		for _, iv := range ivs {
-			if iv.Phase == metrics.Logging {
+		for k := 0; k < r.phase.Len(); k++ {
+			if r.phase.At(k).Phase == metrics.Logging {
 				nLog++
 			} else {
 				nDest++

@@ -1,6 +1,11 @@
 // Package intervals provides a coalescing set of half-open byte ranges.
 // Controllers use it to track inconsistent (dirty) extents per mirrored
 // pair and to chunk destaging work.
+//
+// All mutators work in place on the set's backing array (see DESIGN §11):
+// Add, Remove and PopFirst shift spans with memmove-style copies instead of
+// rebuilding the slice, so steady-state mutation performs no allocations
+// once the backing array has reached the set's high-water span count.
 package intervals
 
 import (
@@ -44,30 +49,62 @@ func (s *Set) Add(start, end int64) {
 	}
 	merged := Span{Start: start, End: end}
 	s.total += merged.Len() - absorbed
-	s.spans = append(s.spans[:i], append([]Span{merged}, s.spans[j:]...)...)
-}
-
-// Remove deletes [start, end) from the set, splitting spans as needed.
-func (s *Set) Remove(start, end int64) {
-	if end <= start {
+	if i == j {
+		// Pure insertion: open a hole at i.
+		s.spans = append(s.spans, Span{})
+		copy(s.spans[i+1:], s.spans[i:])
+		s.spans[i] = merged
 		return
 	}
-	var out []Span
-	for _, sp := range s.spans {
-		if sp.End <= start || sp.Start >= end {
-			out = append(out, sp)
-			continue
-		}
-		lo, hi := max(sp.Start, start), min(sp.End, end)
-		s.total -= hi - lo
-		if sp.Start < start {
-			out = append(out, Span{Start: sp.Start, End: start})
-		}
-		if sp.End > end {
-			out = append(out, Span{Start: end, End: sp.End})
-		}
+	// spans[i:j] collapse into one; close the leftover hole in place.
+	s.spans[i] = merged
+	if j > i+1 {
+		n := copy(s.spans[i+1:], s.spans[j:])
+		s.spans = s.spans[:i+1+n]
 	}
-	s.spans = out
+}
+
+// Remove deletes [start, end) from the set, splitting spans as needed. When
+// the range does not overlap the set it returns without touching anything.
+func (s *Set) Remove(start, end int64) {
+	if end <= start || len(s.spans) == 0 {
+		return
+	}
+	i := sort.Search(len(s.spans), func(i int) bool { return s.spans[i].End > start })
+	if i == len(s.spans) || s.spans[i].Start >= end {
+		return // no overlap
+	}
+	j := i
+	for j < len(s.spans) && s.spans[j].Start < end {
+		lo, hi := max(s.spans[j].Start, start), min(s.spans[j].End, end)
+		s.total -= hi - lo
+		j++
+	}
+	// spans[i:j] overlap the removed range; at most the first leaves a left
+	// remainder and the last a right remainder.
+	var rem [2]Span
+	keep := 0
+	if first := s.spans[i]; first.Start < start {
+		rem[keep] = Span{Start: first.Start, End: start}
+		keep++
+	}
+	if last := s.spans[j-1]; last.End > end {
+		rem[keep] = Span{Start: end, End: last.End}
+		keep++
+	}
+	switch delta := keep - (j - i); {
+	case delta < 0:
+		copy(s.spans[i+keep:], s.spans[j:])
+		s.spans = s.spans[:len(s.spans)+delta]
+	case delta > 0:
+		// A removal strictly inside one span splits it: grow by one and
+		// shift the suffix up.
+		s.spans = append(s.spans, Span{})
+		copy(s.spans[j+1:], s.spans[j:len(s.spans)-1])
+	}
+	for k := 0; k < keep; k++ {
+		s.spans[i+k] = rem[k]
+	}
 }
 
 // Contains reports whether [start, end) is fully covered by the set.
@@ -98,7 +135,12 @@ func (s *Set) Empty() bool { return len(s.spans) == 0 }
 // Count returns the number of disjoint spans.
 func (s *Set) Count() int { return len(s.spans) }
 
-// Spans returns a copy of the coalesced spans in ascending order.
+// At returns the i-th span in ascending order, 0 <= i < Count(). Together
+// with Count it lets hot paths iterate without the copy Spans() makes.
+func (s *Set) At(i int) Span { return s.spans[i] }
+
+// Spans returns a copy of the coalesced spans in ascending order. Hot paths
+// should iterate with Count/At instead.
 func (s *Set) Spans() []Span {
 	out := make([]Span, len(s.spans))
 	copy(out, s.spans)
@@ -113,14 +155,16 @@ func (s *Set) Clear() {
 
 // PopFirst removes and returns up to max bytes from the lowest span,
 // which is how destagers chunk sequential work. It reports false when the
-// set is empty.
+// set is empty. Whole-span pops shift the remainder down so the backing
+// array's capacity is recycled rather than leaked behind a re-slice.
 func (s *Set) PopFirst(max int64) (Span, bool) {
 	if len(s.spans) == 0 || max <= 0 {
 		return Span{}, false
 	}
 	sp := s.spans[0]
 	if sp.Len() <= max {
-		s.spans = s.spans[1:]
+		copy(s.spans, s.spans[1:])
+		s.spans = s.spans[:len(s.spans)-1]
 		s.total -= sp.Len()
 		return sp, true
 	}

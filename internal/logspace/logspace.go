@@ -10,7 +10,7 @@ package logspace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/rolo-storage/rolo/internal/intervals"
 )
@@ -34,6 +34,19 @@ type Space struct {
 	// after reclamation has opened holes behind the head (the region
 	// behaves as the circular log of Section III-A).
 	cursor int64
+
+	// Scratch buffers reused by CheckInvariants: the sanitizer sweeps call
+	// it on every log region periodically during checked runs, and the
+	// ownership sort would otherwise allocate on each sweep (DESIGN §11).
+	chkScratch []ownedSpan
+	tagScratch []int
+}
+
+// ownedSpan attributes a span to its owner for the disjointness check; tag
+// -1 marks a free span.
+type ownedSpan struct {
+	sp  intervals.Span
+	tag int
 }
 
 // New returns a Space over a region of the given size.
@@ -67,9 +80,9 @@ func (s *Space) FreeFraction() float64 {
 // LargestFree returns the size of the largest contiguous free extent.
 func (s *Space) LargestFree() int64 {
 	var max int64
-	for _, sp := range s.free.Spans() {
-		if sp.Len() > max {
-			max = sp.Len()
+	for i := 0; i < s.free.Count(); i++ {
+		if n := s.free.At(i).Len(); n > max {
+			max = n
 		}
 	}
 	return max
@@ -83,10 +96,12 @@ func (s *Space) Alloc(n int64, tag int) (Alloc, bool) {
 	if n <= 0 {
 		return Alloc{}, false
 	}
-	spans := s.free.Spans()
 	// First pass: at or after the cursor (a true append when the cursor
-	// sits inside a free span).
-	for _, sp := range spans {
+	// sits inside a free span). Indexed iteration (Count/At) avoids the
+	// snapshot copy Spans() would make on this per-write path; take is
+	// only called once a span is chosen, after iteration ends.
+	for i := 0; i < s.free.Count(); i++ {
+		sp := s.free.At(i)
 		if sp.End <= s.cursor {
 			continue
 		}
@@ -99,8 +114,8 @@ func (s *Space) Alloc(n int64, tag int) (Alloc, bool) {
 		}
 	}
 	// Wrap around: restart from the lowest free extent that fits.
-	for _, sp := range spans {
-		if sp.Len() >= n {
+	for i := 0; i < s.free.Count(); i++ {
+		if sp := s.free.At(i); sp.Len() >= n {
 			return s.take(sp.Start, n, tag), true
 		}
 	}
@@ -130,7 +145,8 @@ func (s *Space) ReleaseTag(tag int) int64 {
 		return 0
 	}
 	var freed int64
-	for _, sp := range set.Spans() {
+	for i := 0; i < set.Count(); i++ {
+		sp := set.At(i)
 		s.free.Add(sp.Start, sp.End)
 		freed += sp.Len()
 	}
@@ -155,7 +171,7 @@ func (s *Space) Tags() []int {
 	for t := range s.used {
 		out = append(out, t)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -227,38 +243,48 @@ func (s *Space) CheckInvariants() error {
 	// disjointness with one sort and a linear scan. Building an
 	// intervals.Set span by span would cost a quadratic memmove on
 	// fragmented spaces, which matters because the sanitizer sweeps call
-	// this on every log region periodically during checked runs.
-	type owned struct {
-		sp  intervals.Span
-		tag int // -1 marks a free span
-	}
-	all := make([]owned, 0, len(s.free.Spans())+len(s.used))
-	for _, sp := range s.free.Spans() {
+	// this on every log region periodically during checked runs. Both
+	// scratch slices are kept on the Space and reused across sweeps.
+	all := s.chkScratch[:0]
+	for i := 0; i < s.free.Count(); i++ {
+		sp := s.free.At(i)
 		if sp.Start < 0 || sp.End > s.addrSpace {
 			return fmt.Errorf("logspace: free span %+v out of bounds", sp)
 		}
-		all = append(all, owned{sp, -1})
+		all = append(all, ownedSpan{sp, -1})
 	}
-	tags := make([]int, 0, len(s.used))
+	tags := s.tagScratch[:0]
 	for tag := range s.used {
 		tags = append(tags, tag)
 	}
-	sort.Ints(tags)
+	slices.Sort(tags)
+	s.tagScratch = tags[:0]
 	var usedTotal int64
 	for _, tag := range tags {
 		set := s.used[tag]
 		if err := set.CheckInvariants(); err != nil {
 			return fmt.Errorf("logspace: tag %d: %w", tag, err)
 		}
-		for _, sp := range set.Spans() {
+		for i := 0; i < set.Count(); i++ {
+			sp := set.At(i)
 			if sp.Start < 0 || sp.End > s.addrSpace {
 				return fmt.Errorf("logspace: tag %d span %+v out of bounds", tag, sp)
 			}
-			all = append(all, owned{sp, tag})
+			all = append(all, ownedSpan{sp, tag})
 			usedTotal += sp.Len()
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].sp.Start < all[j].sp.Start })
+	s.chkScratch = all[:0]
+	// slices.SortFunc, unlike sort.Slice, sorts without allocating.
+	slices.SortFunc(all, func(a, b ownedSpan) int {
+		switch {
+		case a.sp.Start < b.sp.Start:
+			return -1
+		case a.sp.Start > b.sp.Start:
+			return 1
+		}
+		return 0
+	})
 	var total int64
 	for i, o := range all {
 		if i > 0 && o.sp.Start < all[i-1].sp.End {

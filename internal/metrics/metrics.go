@@ -160,7 +160,16 @@ func (l *PhaseLog) End(now sim.Time, energyJ float64) {
 	l.open = false
 }
 
-// Intervals returns a copy of the completed intervals.
+// Len returns the number of completed intervals.
+func (l *PhaseLog) Len() int { return len(l.intervals) }
+
+// At returns the i-th completed interval, 0 <= i < Len(). Together with Len
+// it lets callers scan the log without the copy Intervals() makes.
+func (l *PhaseLog) At(i int) Interval { return l.intervals[i] }
+
+// Intervals returns a copy of the completed intervals. It allocates; report
+// generators may use it freely, but anything called per event should scan
+// with Len/At instead.
 func (l *PhaseLog) Intervals() []Interval {
 	out := make([]Interval, len(l.intervals))
 	copy(out, l.intervals)

@@ -5,10 +5,14 @@
 // order they were scheduled, which makes every simulation in this repository
 // fully deterministic: the same configuration and seed always produce the
 // same trajectory.
+//
+// The implementation is allocation-free in steady state (see DESIGN §11):
+// events live in a slab of reusable slots addressed by a value-based 4-ary
+// heap, EventIDs carry a (slot, generation) pair so Cancel is an O(1)
+// generation check with no map, and Pending is a maintained counter.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -53,58 +57,60 @@ var ErrTimeTravel = errors.New("sim: event scheduled in the past")
 // current simulation time (the event's due time).
 type Handler func(now Time)
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. It packs the
+// event's slab slot (low 32 bits) and the slot's generation at scheduling
+// time (high 32 bits); generations start at 1, so the zero EventID is never
+// a live event.
 type EventID uint64
 
-type event struct {
-	at    Time
-	seq   uint64 // tie-break: FIFO among same-time events
-	id    EventID
-	fn    Handler
-	index int // heap index; -1 when popped
-	dead  bool
+func makeEventID(slot, gen uint32) EventID { return EventID(gen)<<32 | EventID(slot) }
+
+func (id EventID) slot() uint32 { return uint32(id) }
+func (id EventID) gen() uint32  { return uint32(id >> 32) }
+
+// slotState is one slab entry. A slot is live from Schedule until the event
+// fires or is cancelled; freeing bumps the generation, so stale EventIDs and
+// stale heap entries are recognized in O(1) without any lookup structure.
+// The handler is cleared on free so the slab never pins dead closures.
+type slotState struct {
+	gen  uint32
+	live bool
+	fn   Handler
 }
 
-type eventHeap []*event
+// heapEntry is one element of the event queue. Due time and sequence are
+// copied inline so heap sifting never dereferences the slab; slot+gen tie
+// the entry back to its slab slot. An entry whose generation no longer
+// matches its slot is dead (cancelled) and is dropped lazily when popped.
+type heapEntry struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among same-time events
+	slot uint32
+	gen  uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders entries by due time, then scheduling order.
+func (a heapEntry) before(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// heapArity is the fan-out of the event queue. A 4-ary heap halves the tree
+// depth of a binary heap; sift-down compares up to four children per level,
+// but those live in one or two cache lines, so fire-heavy workloads win.
+const heapArity = 4
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     Time
 	seq     uint64
-	nextID  EventID
-	queue   eventHeap
-	byID    map[EventID]*event
+	slots   []slotState
+	free    []uint32 // freed slot indices, reused LIFO
+	queue   []heapEntry
+	live    int // scheduled and not yet fired or cancelled
+	dead    int // cancelled entries still sitting in the queue
 	stopped bool
 	fired   uint64
 
@@ -114,9 +120,7 @@ type Engine struct {
 }
 
 // New returns an initialized Engine starting at time zero.
-func New() *Engine {
-	return &Engine{byID: make(map[EventID]*event)}
-}
+func New() *Engine { return &Engine{} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -124,18 +128,9 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have been executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) - e.deadCount() }
-
-func (e *Engine) deadCount() int {
-	n := 0
-	for _, ev := range e.queue {
-		if ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports how many events are currently scheduled. It is O(1): the
+// engine maintains the count across Schedule, Cancel and Step.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule registers fn to run at absolute time at. It returns an EventID
 // that can be passed to Cancel. Scheduling in the past is an error.
@@ -143,15 +138,21 @@ func (e *Engine) Schedule(at Time, fn Handler) (EventID, error) {
 	if at < e.now {
 		return 0, fmt.Errorf("%w: at=%v now=%v", ErrTimeTravel, at, e.now)
 	}
-	if e.byID == nil {
-		e.byID = make(map[EventID]*event)
+	var slot uint32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slotState{gen: 1})
+		slot = uint32(len(e.slots) - 1)
 	}
-	e.nextID++
+	s := &e.slots[slot]
+	s.live = true
+	s.fn = fn
 	e.seq++
-	ev := &event{at: at, seq: e.seq, id: e.nextID, fn: fn}
-	heap.Push(&e.queue, ev)
-	e.byID[ev.id] = ev
-	return ev.id, nil
+	e.push(heapEntry{at: at, seq: e.seq, slot: slot, gen: s.gen})
+	e.live++
+	return makeEventID(slot, s.gen), nil
 }
 
 // After schedules fn to run d after the current time. Negative delays clamp
@@ -166,14 +167,57 @@ func (e *Engine) After(d Time, fn Handler) EventID {
 
 // Cancel removes a scheduled event. It reports whether the event was still
 // pending (false if it already fired, was cancelled, or never existed).
+// The queue entry is normally dropped lazily when it reaches the top of
+// the heap; if dead entries come to dominate the queue (a schedule-heavy,
+// cancel-heavy pattern that rarely fires), the queue is compacted in place
+// so memory stays bounded by twice the live event count.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.byID[id]
-	if !ok || ev.dead {
+	slot := id.slot()
+	if int(slot) >= len(e.slots) {
 		return false
 	}
-	ev.dead = true
-	delete(e.byID, id)
+	s := &e.slots[slot]
+	if !s.live || s.gen != id.gen() {
+		return false
+	}
+	e.freeSlot(slot, s)
+	e.dead++
+	if e.dead > len(e.queue)/2 && len(e.queue) >= compactMin {
+		e.compact()
+	}
 	return true
+}
+
+// compactMin is the queue length below which dead entries are never worth
+// compacting away.
+const compactMin = 64
+
+// compact filters dead entries out of the queue in place and restores the
+// heap property bottom-up. Heap order is total ((at, seq) never ties), so
+// compaction cannot change which event pops next.
+func (e *Engine) compact() {
+	q := e.queue[:0]
+	for _, ent := range e.queue {
+		s := &e.slots[ent.slot]
+		if s.live && s.gen == ent.gen {
+			q = append(q, ent)
+		}
+	}
+	e.queue = q
+	e.dead = 0
+	for i := (len(q) - 2) / heapArity; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// freeSlot retires a live slot: the generation bump invalidates any
+// outstanding EventID and heap entry, and the handler reference is dropped.
+func (e *Engine) freeSlot(slot uint32, s *slotState) {
+	s.live = false
+	s.gen++
+	s.fn = nil
+	e.free = append(e.free, slot)
+	e.live--
 }
 
 // Stop halts the run loop after the currently executing event returns.
@@ -190,14 +234,18 @@ func (e *Engine) SetEventHook(fn func(now Time)) { e.onEvent = fn }
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
+		ent := e.queue[0]
+		e.pop()
+		s := &e.slots[ent.slot]
+		if !s.live || s.gen != ent.gen {
+			e.dead-- // cancelled; slot may already be reused
 			continue
 		}
-		delete(e.byID, ev.id)
-		e.now = ev.at
+		fn := s.fn
+		e.freeSlot(ent.slot, s)
+		e.now = ent.at
 		e.fired++
-		ev.fn(e.now)
+		fn(e.now)
 		if e.onEvent != nil {
 			e.onEvent(e.now)
 		}
@@ -213,8 +261,8 @@ func (e *Engine) Step() bool {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.at > deadline {
+		at, ok := e.peek()
+		if !ok || at > deadline {
 			break
 		}
 		e.Step()
@@ -231,13 +279,65 @@ func (e *Engine) Run() {
 	}
 }
 
-func (e *Engine) peek() *event {
+// peek reports the due time of the next live event, discarding dead entries
+// from the top of the queue.
+func (e *Engine) peek() (Time, bool) {
 	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.dead {
-			return ev
+		ent := e.queue[0]
+		s := &e.slots[ent.slot]
+		if s.live && s.gen == ent.gen {
+			return ent.at, true
 		}
-		heap.Pop(&e.queue)
+		e.dead--
+		e.pop()
 	}
-	return nil
+	return 0, false
+}
+
+// push inserts an entry into the 4-ary heap.
+func (e *Engine) push(ent heapEntry) {
+	e.queue = append(e.queue, ent)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.queue[i].before(e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+// pop removes the minimum entry from the 4-ary heap.
+func (e *Engine) pop() {
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue = e.queue[:n]
+	e.siftDown(0)
+}
+
+// siftDown restores the heap property below index i.
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.queue[c].before(e.queue[min]) {
+				min = c
+			}
+		}
+		if !e.queue[min].before(e.queue[i]) {
+			break
+		}
+		e.queue[i], e.queue[min] = e.queue[min], e.queue[i]
+		i = min
+	}
 }

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// This file cross-checks the slab engine against a reference engine built
+// the way the original implementation was: container/heap over *event
+// pointers with a byID map. The property tests drive both with identical
+// operation scripts and require event-for-event agreement.
+
+type refEvent struct {
+	at   Time
+	seq  uint64
+	fn   Handler
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+// refEngine reproduces the original engine semantics: FIFO among same-time
+// events, lazy cancellation, clock advance on fire.
+type refEngine struct {
+	now   Time
+	seq   uint64
+	queue refHeap
+}
+
+func (e *refEngine) schedule(at Time, fn Handler) *refEvent {
+	if at < e.now {
+		panic("ref: schedule in past")
+	}
+	e.seq++
+	ev := &refEvent{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *refEngine) after(d Time, fn Handler) *refEvent {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now+d, fn)
+}
+
+func (e *refEngine) cancel(ev *refEvent) bool {
+	if ev.dead {
+		return false
+	}
+	ev.dead = true
+	return true
+}
+
+func (e *refEngine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*refEvent)
+		if ev.dead {
+			continue
+		}
+		ev.dead = true
+		e.now = ev.at
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// firing records one executed event for trajectory comparison.
+type firing struct {
+	label int
+	at    Time
+}
+
+// TestSlabEngineMatchesHeapReference drives the slab engine and the
+// container/heap reference with the same randomized script — schedules,
+// cancellations (including of already-fired and already-cancelled events),
+// partial stepping, and handlers that schedule follow-up events — and
+// asserts both fire the same labels at the same times in the same order.
+func TestSlabEngineMatchesHeapReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		eng := New()
+		ref := &refEngine{}
+		var engLog, refLog []firing
+
+		nextLabel := 0
+		ids := make(map[int]EventID)
+		refs := make(map[int]*refEvent)
+		known := make([]int, 0, 64)
+
+		// schedule registers one labeled event on both engines; a third of
+		// the handlers chain a follow-up event when they fire.
+		var schedule func(delay Time)
+		schedule = func(delay Time) {
+			label := nextLabel
+			nextLabel++
+			chain := label%3 == 0
+			eh := func(now Time) {
+				engLog = append(engLog, firing{label, now})
+				if chain {
+					eng.After(Time(label%7)*5, func(now Time) {
+						engLog = append(engLog, firing{-label, now})
+					})
+				}
+			}
+			rh := func(now Time) {
+				refLog = append(refLog, firing{label, now})
+				if chain {
+					ref.after(Time(label%7)*5, func(now Time) {
+						refLog = append(refLog, firing{-label, now})
+					})
+				}
+			}
+			ids[label] = eng.After(delay, eh)
+			refs[label] = ref.after(delay, rh)
+			known = append(known, label)
+		}
+
+		ops := 300 + rng.Intn(300)
+		for op := 0; op < ops; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5:
+				schedule(Time(rng.Intn(1000)))
+			case k < 7 && len(known) > 0:
+				label := known[rng.Intn(len(known))]
+				got := eng.Cancel(ids[label])
+				want := ref.cancel(refs[label])
+				if got != want {
+					t.Fatalf("seed %d: Cancel(label %d) = %v, reference %v", seed, label, got, want)
+				}
+			default:
+				got := eng.Step()
+				want := ref.step()
+				if got != want {
+					t.Fatalf("seed %d: Step() = %v, reference %v", seed, got, want)
+				}
+				if eng.Now() != ref.now {
+					t.Fatalf("seed %d: clock %v, reference %v", seed, eng.Now(), ref.now)
+				}
+			}
+		}
+		// Drain both and compare the full trajectories.
+		for eng.Step() {
+		}
+		for ref.step() {
+		}
+		if len(engLog) != len(refLog) {
+			t.Fatalf("seed %d: fired %d events, reference %d", seed, len(engLog), len(refLog))
+		}
+		for i := range engLog {
+			if engLog[i] != refLog[i] {
+				t.Fatalf("seed %d: firing %d = %+v, reference %+v", seed, i, engLog[i], refLog[i])
+			}
+		}
+	}
+}
+
+// TestPendingAcrossInterleavings checks the maintained live counter against
+// a naive recount through random Schedule/Cancel/Step interleavings.
+func TestPendingAcrossInterleavings(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		eng := New()
+		livePending := 0 // naive shadow count
+		var ids []EventID
+		for op := 0; op < 500; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5:
+				ids = append(ids, eng.After(Time(rng.Intn(200)), func(Time) {}))
+				livePending++
+			case k < 8 && len(ids) > 0:
+				if eng.Cancel(ids[rng.Intn(len(ids))]) {
+					livePending--
+				}
+			default:
+				if eng.Step() {
+					livePending--
+				}
+			}
+			if got := eng.Pending(); got != livePending {
+				t.Fatalf("seed %d op %d: Pending() = %d, want %d", seed, op, got, livePending)
+			}
+		}
+	}
+}
+
+// TestCancelStaleIDAfterSlotReuse verifies that an EventID kept across its
+// slot's reuse (fire, then schedule again) never cancels the new tenant.
+func TestCancelStaleIDAfterSlotReuse(t *testing.T) {
+	eng := New()
+	stale := eng.After(1, func(Time) {})
+	eng.Run() // fires; slot is freed
+	fired := false
+	fresh := eng.After(1, func(Time) { fired = true }) // reuses the slot
+	if stale.slot() != fresh.slot() {
+		t.Fatalf("expected slot reuse, got %d then %d", stale.slot(), fresh.slot())
+	}
+	if eng.Cancel(stale) {
+		t.Fatal("stale EventID cancelled the slot's new tenant")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the 0 allocs/op contract for the engine
+// hot paths: scheduling into a warmed slab, firing, and cancelling.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	eng := New()
+	fn := Handler(func(Time) {})
+	// Warm the slab and queue beyond the working set used below.
+	for i := 0; i < 64; i++ {
+		eng.After(Time(i), fn)
+	}
+	eng.Run()
+
+	if n := testing.AllocsPerRun(200, func() {
+		eng.After(10, fn)
+		eng.Step()
+	}); n != 0 {
+		t.Errorf("schedule+fire: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		id := eng.After(10, fn)
+		eng.Cancel(id)
+	}); n != 0 {
+		t.Errorf("schedule+cancel: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			eng.After(Time(i%5), fn)
+		}
+		eng.Run()
+	}); n != 0 {
+		t.Errorf("burst schedule+drain: %v allocs/op, want 0", n)
+	}
+}
+
+// TestCancelHeavyQueueBounded pins the compaction guarantee: a workload
+// that schedules and cancels without ever firing keeps the queue bounded
+// by roughly twice the live population, and the survivors still fire in
+// exact (time, seq) order afterwards.
+func TestCancelHeavyQueueBounded(t *testing.T) {
+	eng := New()
+	var kept []EventID
+	var order []int
+	label := 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 50; i++ {
+			id := eng.After(Time(1000+round*50+i), func(Time) {})
+			if i == 0 {
+				l := label
+				kept = append(kept, eng.After(Time(500+round), func(Time) { order = append(order, l) }))
+				label++
+			}
+			if !eng.Cancel(id) {
+				t.Fatal("cancel of pending event failed")
+			}
+		}
+		if max := 2*eng.Pending() + compactMin; len(eng.queue) > max {
+			t.Fatalf("round %d: queue holds %d entries for %d live events (cap %d)",
+				round, len(eng.queue), eng.Pending(), max)
+		}
+	}
+	eng.Run()
+	if len(order) != len(kept) {
+		t.Fatalf("fired %d of %d surviving events", len(order), len(kept))
+	}
+	for i, l := range order {
+		if l != i {
+			t.Fatalf("firing %d has label %d; compaction broke heap order", i, l)
+		}
+	}
+}

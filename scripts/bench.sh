@@ -1,0 +1,56 @@
+#!/bin/sh
+# Perf-trajectory recorder: runs the BenchmarkCore* suite (engine
+# schedule/fire/cancel/churn, interval add/remove/pop, histogram add) with
+# -benchmem and writes the results to BENCH_core.json so successive PRs
+# can diff ns/op and allocs/op against the committed baseline. Run from
+# the repository root (or via `make bench`).
+#
+#	BENCH_COUNT=5 ./scripts/bench.sh    # more repetitions (best-of is kept)
+#	BENCH_OUT=/tmp/b.json ./scripts/bench.sh
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v go >/dev/null 2>&1; then
+	echo "bench.sh: go toolchain not found in PATH" >&2
+	exit 1
+fi
+
+count="${BENCH_COUNT:-3}"
+out="${BENCH_OUT:-BENCH_core.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench=Core -benchmem -count=$count" >&2
+go test -run '^$' -bench 'Core' -benchmem -benchtime 1s -count "$count" \
+	./internal/sim/ ./internal/intervals/ ./internal/metrics/ | tee "$raw" >&2 || exit 1
+
+# Collapse the -count repetitions into the best (lowest ns/op) run per
+# benchmark — the repetition least disturbed by scheduling noise — and
+# emit one JSON object per benchmark.
+awk -v goversion="$(go env GOVERSION)" '
+/^pkg: /       { pkg = $2 }
+/^Benchmark/ && / ns\/op/ && / allocs\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	key = pkg "\t" name
+	ns = $3 + 0
+	if (!(key in best) || ns < best[key]) {
+		best[key] = ns
+		bytes[key] = $5 + 0
+		allocs[key] = $7 + 0
+		if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
+	}
+}
+END {
+	printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"1s\",\n  \"count\": %s,\n  \"benchmarks\": [\n", goversion, count
+	for (i = 1; i <= n; i++) {
+		key = order[i]
+		split(key, kv, "\t")
+		printf "    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %.2f, \"b_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
+			kv[1], kv[2], best[key], bytes[key], allocs[key], (i < n ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' count="$count" "$raw" >"$out" || exit 1
+
+echo "bench.sh: wrote $out" >&2

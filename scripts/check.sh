@@ -9,7 +9,7 @@
 #	./scripts/check.sh build lint        # compile + analyzer gates only
 #	./scripts/check.sh race-smoke        # the parallel runner under -race
 #
-# Groups: build, lint, test, race-smoke, fuzz.
+# Groups: build, lint, test, race-smoke, bench-smoke, fuzz.
 #
 # Every stage enumerates packages with `./...` patterns, which never
 # descend into testdata: analyzer fixture packages (deliberate
@@ -24,12 +24,12 @@ if ! command -v go >/dev/null 2>&1; then
 	exit 1
 fi
 
-groups="${*:-build lint test race-smoke fuzz}"
+groups="${*:-build lint test race-smoke bench-smoke fuzz}"
 for g in $groups; do
 	case "$g" in
-	build | lint | test | race-smoke | fuzz) ;;
+	build | lint | test | race-smoke | bench-smoke | fuzz) ;;
 	*)
-		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke fuzz)" >&2
+		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke bench-smoke fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -78,6 +78,15 @@ if want race-smoke; then
 	stage "build roloexp (-race)" go build -race -o bin/roloexp.race ./cmd/roloexp
 	stage "roloexp -run all -jobs 4 -check (race smoke)" \
 		sh -c './bin/roloexp.race -run all -jobs 4 -check -scale 0.01 -pairs 4 >/dev/null'
+fi
+
+# Bench smoke: run every BenchmarkCore* hot-path benchmark exactly once so
+# the suite compiles and its 0-alloc setup code keeps working; `make bench`
+# runs the timed version and records BENCH_core.json.
+if want bench-smoke; then
+	stage "bench smoke: go test -bench=Core -benchtime=1x" \
+		go test -run '^$' -bench 'Core' -benchtime 1x \
+		./internal/sim/ ./internal/intervals/ ./internal/metrics/
 fi
 
 # Fuzz smoke: a few seconds per target catches parser regressions on the
