@@ -28,6 +28,7 @@ FUZZTIME ?= 60s
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseMSR$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSyntheticSpec$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzJournalRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/telemetry/journal/
 
 # bench reruns the BenchmarkCore* hot-path suite and rewrites
 # BENCH_core.json (best-of-BENCH_COUNT ns/op and allocs/op per benchmark),
@@ -43,12 +44,25 @@ check:
 
 # nightly regenerates every experiment with the RoloSan sanitizer on, in
 # parallel across the machine's cores, at a larger scale than the CI
-# smoke. The .github/workflows/nightly.yml schedule runs exactly this.
-# The default scale was raised from 0.2 when the allocation-free core
-# (DESIGN §11) made checked sweeps ~5.7× faster.
+# smoke, writing one rotated, compressed telemetry journal per run
+# through the async pipeline and then verifying every journal's manifest
+# (segment checksums, counts, time ranges) with rolostat. The
+# .github/workflows/nightly.yml schedule runs exactly this. The default
+# scale was raised from 0.2 when the allocation-free core (DESIGN §11)
+# made checked sweeps ~5.7× faster.
 NIGHTLY_SCALE ?= 0.5
 NIGHTLY_PAIRS ?= 20
 NIGHTLY_JOBS ?= 0
+NIGHTLY_JOURNAL_DIR ?= bin/nightly-journals
+NIGHTLY_JOURNAL_SEGMENT ?= 4194304
 nightly: build
 	$(GO) build -o bin/roloexp ./cmd/roloexp
-	./bin/roloexp -run all -check -scale $(NIGHTLY_SCALE) -pairs $(NIGHTLY_PAIRS) -jobs $(NIGHTLY_JOBS)
+	$(GO) build -o bin/rolostat ./cmd/rolostat
+	rm -rf $(NIGHTLY_JOURNAL_DIR)
+	./bin/roloexp -run all -check -scale $(NIGHTLY_SCALE) -pairs $(NIGHTLY_PAIRS) -jobs $(NIGHTLY_JOBS) \
+		-journal $(NIGHTLY_JOURNAL_DIR) -journal-segment $(NIGHTLY_JOURNAL_SEGMENT) -journal-compress
+	@for d in $(NIGHTLY_JOURNAL_DIR)/*/; do \
+		echo "== rolostat -verify $$d"; \
+		./bin/rolostat -verify "$$d" >/dev/null || exit 1; \
+	done
+	@echo "nightly: all journal manifests verified"

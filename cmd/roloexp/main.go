@@ -39,6 +39,9 @@ func run() error {
 		pairs      = flag.Int("pairs", 20, "number of mirrored pairs (disks = 2*pairs)")
 		jobs       = flag.Int("jobs", 0, "max simulations in flight (0 = GOMAXPROCS)")
 		journalDir = flag.String("journal", "", "write one JSONL telemetry journal per run into this directory")
+		jSegment   = flag.Int64("journal-segment", 0, "rotate each run's journal into segments of this many bytes, one subdirectory per run (0 = single file per run)")
+		jCompress  = flag.Bool("journal-compress", false, "gzip completed journal segments (requires -journal-segment)")
+		jRetain    = flag.Int("journal-retain", 0, "keep only the newest N segments per run (0 = all; requires -journal-segment)")
 		probeIv    = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
 		check      = flag.Bool("check", false, "enable RoloSan: validate simulation invariants in every run and fail on the first violation")
 	)
@@ -54,12 +57,15 @@ func run() error {
 	}
 
 	opts := experiments.Options{
-		Scale:         *scale,
-		Pairs:         *pairs,
-		JournalDir:    *journalDir,
-		ProbeInterval: sim.Time((*probeIv) / time.Microsecond),
-		Check:         *check,
-		Jobs:          *jobs,
+		Scale:               *scale,
+		Pairs:               *pairs,
+		JournalDir:          *journalDir,
+		JournalSegmentBytes: *jSegment,
+		JournalCompress:     *jCompress,
+		JournalRetain:       *jRetain,
+		ProbeInterval:       sim.Time((*probeIv) / time.Microsecond),
+		Check:               *check,
+		Jobs:                *jobs,
 	}
 	if err := opts.Validate(); err != nil {
 		return err

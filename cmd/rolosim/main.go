@@ -7,6 +7,17 @@
 //	rolosim -scheme RoLo-P -profile src2_2 -scale 0.05
 //	rolosim -scheme GRAID -trace /path/to/src2_2.csv
 //	rolosim -scheme RoLo-E -profile proj_0 -pairs 10 -free 4
+//
+// With -journal alone the telemetry journal is a single JSONL file,
+// written synchronously on the simulation goroutine. Adding
+// -journal-segment turns -journal into a directory and switches to the
+// async pipeline: events are handed to a writer goroutine that rotates
+// size-bounded segments, optionally gzips completed ones
+// (-journal-compress), caps how many are kept (-journal-retain), and
+// records a manifest that rolostat -verify can check:
+//
+//	rolosim -scheme RoLo-P -journal rundir -journal-segment 4194304 -journal-compress
+//	rolostat -verify rundir
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 	"github.com/rolo-storage/rolo"
 	"github.com/rolo-storage/rolo/internal/sim"
 	"github.com/rolo-storage/rolo/internal/telemetry"
+	"github.com/rolo-storage/rolo/internal/telemetry/journal"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -39,7 +51,12 @@ func run() (err error) {
 		pairs     = flag.Int("pairs", 20, "mirrored pairs (disks = 2*pairs)")
 		freeGiB   = flag.Float64("free", 8, "per-disk free (logging) space in GiB before scaling")
 		stripeKB  = flag.Int64("stripe", 64, "stripe unit in KB")
-		journal   = flag.String("journal", "", "write a JSONL telemetry event journal to this file")
+		journalTo = flag.String("journal", "", "write a JSONL telemetry event journal to this file (or directory with -journal-segment)")
+		jSegment  = flag.Int64("journal-segment", 0, "rotate the journal into segments of this many bytes; -journal becomes a directory (0 = single file)")
+		jCompress = flag.Bool("journal-compress", false, "gzip completed journal segments (requires -journal-segment)")
+		jRetain   = flag.Int("journal-retain", 0, "keep only the newest N journal segments (0 = all; requires -journal-segment)")
+		jDrop     = flag.Bool("journal-drop", false, "drop events instead of blocking when the journal writer falls behind (requires -journal-segment)")
+		jBuffer   = flag.Int("journal-buffer", 0, "async journal ring capacity in events (0 = default; requires -journal-segment)")
 		probeIv   = flag.Duration("probe-interval", 0, "periodic telemetry probe spacing (e.g. 30s; 0 disables)")
 		check     = flag.Bool("check", false, "enable RoloSan: validate simulation invariants during the run and fail on the first violation")
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
@@ -78,8 +95,57 @@ func run() (err error) {
 		}
 	}
 
-	if *journal != "" {
-		f, ferr := os.Create(*journal)
+	if *jSegment == 0 {
+		for _, mod := range []struct {
+			set  bool
+			name string
+		}{
+			{*jCompress, "-journal-compress"},
+			{*jRetain != 0, "-journal-retain"},
+			{*jDrop, "-journal-drop"},
+			{*jBuffer != 0, "-journal-buffer"},
+		} {
+			if mod.set {
+				return fmt.Errorf("%s requires -journal-segment", mod.name)
+			}
+		}
+	}
+	switch {
+	case *journalTo != "" && *jSegment > 0:
+		// Rotated mode: -journal names a directory; encoding and IO move
+		// to the async pipeline's writer goroutine.
+		if mkerr := os.MkdirAll(*journalTo, 0o755); mkerr != nil {
+			return mkerr
+		}
+		w, werr := journal.NewRotatingWriter(journal.RotateConfig{
+			Dir:          *journalTo,
+			SegmentBytes: *jSegment,
+			Compress:     *jCompress,
+			Retain:       *jRetain,
+		})
+		if werr != nil {
+			return werr
+		}
+		policy := journal.PolicyBlock
+		if *jDrop {
+			policy = journal.PolicyDrop
+		}
+		sink := journal.NewAsyncSink(w, journal.AsyncConfig{Buffer: *jBuffer, Policy: policy})
+		// Closing drains the ring, seals the final segment and writes the
+		// manifest; a close failure means a broken journal, so it
+		// surfaces as the run's error.
+		defer func() {
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if st := sink.Stats(); st.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "rolosim: journal dropped %d of %d events under backpressure\n",
+					st.Dropped, st.Dropped+st.Enqueued)
+			}
+		}()
+		cfg.Telemetry.Sink = sink
+	case *journalTo != "":
+		f, ferr := os.Create(*journalTo)
 		if ferr != nil {
 			return ferr
 		}
@@ -91,6 +157,8 @@ func run() (err error) {
 			}
 		}()
 		cfg.Telemetry.Sink = telemetry.NewJSONLSink(f)
+	case *jSegment > 0:
+		return fmt.Errorf("-journal-segment requires -journal <dir>")
 	}
 	cfg.Telemetry.ProbeInterval = sim.Time((*probeIv) / time.Microsecond)
 	cfg.Check = *check

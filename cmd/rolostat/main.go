@@ -3,19 +3,28 @@
 // counts, request statistics, rotation and destage activity, per-disk
 // spin cycles, and the reconstructed normal/destaging phase timeline.
 //
+// The argument may be a single journal file or a rotated journal
+// directory (run-NNNNN.jsonl[.gz] segments plus manifest.json, as
+// written by rolosim -journal-segment). Events are folded in a single
+// streaming pass, so memory stays constant regardless of journal size.
+//
 // Usage:
 //
 //	rolostat run.jsonl
+//	rolostat -verify rundir/
 //	rolosim -scheme RoLo-P -journal run.jsonl && rolostat run.jsonl
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"github.com/rolo-storage/rolo/internal/sim"
 	"github.com/rolo-storage/rolo/internal/telemetry"
+	"github.com/rolo-storage/rolo/internal/telemetry/journal"
 )
 
 func main() {
@@ -26,22 +35,67 @@ func main() {
 }
 
 func run() error {
-	if len(os.Args) != 2 {
-		return fmt.Errorf("usage: rolostat <journal.jsonl>")
+	verify := flag.Bool("verify", false, "verify the rotated journal against its manifest (directory input only)")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: rolostat [-verify] <journal.jsonl | journal-dir>")
+		flag.PrintDefaults()
 	}
-	f, err := os.Open(os.Args[1])
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("expected one journal path, got %d", flag.NArg())
+	}
+	path := flag.Arg(0)
+
+	if *verify {
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return fmt.Errorf("%s: -verify requires a rotated journal directory", path)
+		}
+		m, err := journal.Verify(path)
+		if err != nil {
+			return fmt.Errorf("manifest verification: %w", err)
+		}
+		fmt.Printf("manifest: %d segments, %d events, all checksums match\n", len(m.Segments), m.Events())
+		if m.RemovedSegments > 0 {
+			fmt.Printf("manifest: %d older segments removed by retention\n", m.RemovedSegments)
+		}
+		if w := m.Writer; w != nil {
+			fmt.Printf("writer: %d enqueued, %d written, %d dropped, peak ring occupancy %d/%d\n",
+				w.Enqueued, w.Written, w.Dropped, w.PeakOccupancy, w.Capacity)
+			if w.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "rolostat: warning: journal is incomplete (%d events dropped under backpressure)\n", w.Dropped)
+			}
+		}
+		fmt.Println()
+	}
+
+	r, err := journal.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close() //lint:allow errpropagation read-only journal, close error carries no data
-	events, err := telemetry.ParseJournal(f)
-	if err != nil {
-		return err
+	defer r.Close() //lint:allow errpropagation read-only journal, close error carries no data
+
+	f := newFold()
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.fold(ev); err != nil {
+			return err
+		}
 	}
-	if len(events) == 0 {
-		return fmt.Errorf("%s: empty journal", os.Args[1])
+	if f.events == 0 {
+		return fmt.Errorf("%s: empty journal", path)
 	}
-	return summarize(events, os.Stdout)
+	return f.report(os.Stdout)
 }
 
 // phase is one contiguous span of the normal/destaging timeline.
@@ -51,155 +105,175 @@ type phase struct {
 	open       bool // run ended before the span closed
 }
 
-func summarize(events []telemetry.Event, w *os.File) error {
-	var (
-		counts     = map[telemetry.Kind]int64{}
-		prev       sim.Time
-		reqBytes   int64
-		reads      int64
-		writes     int64
-		latSum     float64
-		latMax     int64
-		latN       int64
-		rotations  []sim.Time
-		spinUps    = map[int]int{}
-		spinDowns  = map[int]int{}
-		destageDur sim.Time
-		phases     []phase
-		live       int // destages in flight
-		peakOcc    float64
-		peakBack   int64
-		probes     int
-		destages   int
-		openDest   = map[int][]sim.Time{} // pair -> start stack
-	)
-	first, last := events[0].At, events[len(events)-1].At
-	cur := phase{start: first}
+// fold accumulates the run summary one event at a time; everything it
+// holds is either a fixed-size aggregate or bounded by the disk/pair
+// population, never by journal length.
+type fold struct {
+	events      int64
+	first, last sim.Time
+	counts      map[telemetry.Kind]int64
+	reqBytes    int64
+	reads       int64
+	writes      int64
+	latSum      float64
+	latMax      int64
+	latN        int64
+	rotations   int64
+	rotGap      sim.Time // sum of inter-rotation gaps
+	lastRot     sim.Time
+	spinUps     map[int]int
+	spinDowns   map[int]int
+	destageDur  sim.Time
+	phases      []phase
+	cur         phase
+	live        int // destages in flight
+	peakOcc     float64
+	peakBack    int64
+	probes      int64
+	destages    int64
+	openDest    map[int][]sim.Time // pair -> start stack
+}
 
-	closePhase := func(at sim.Time, destaging bool) {
-		if at > cur.start {
-			cur.end = at
-			phases = append(phases, cur)
+func newFold() *fold {
+	return &fold{
+		counts:    map[telemetry.Kind]int64{},
+		spinUps:   map[int]int{},
+		spinDowns: map[int]int{},
+		openDest:  map[int][]sim.Time{},
+	}
+}
+
+func (f *fold) closePhase(at sim.Time, destaging bool) {
+	if at > f.cur.start {
+		f.cur.end = at
+		f.phases = append(f.phases, f.cur)
+	}
+	f.cur = phase{start: at, destaging: destaging}
+}
+
+func (f *fold) fold(ev telemetry.Event) error {
+	if f.events == 0 {
+		f.first = ev.At
+		f.cur = phase{start: ev.At}
+	} else if ev.At < f.last {
+		return fmt.Errorf("event %d: timestamp %v before %v (journal not monotonic)", f.events, ev.At, f.last)
+	}
+	f.last = ev.At
+	f.events++
+	f.counts[ev.Kind]++
+	switch ev.Kind {
+	case telemetry.KindRequestStart:
+		f.reqBytes += ev.Bytes
+		if ev.Write {
+			f.writes++
+		} else {
+			f.reads++
 		}
-		cur = phase{start: at, destaging: destaging}
+	case telemetry.KindRequestDone:
+		f.latSum += float64(ev.LatencyUs)
+		f.latN++
+		if ev.LatencyUs > f.latMax {
+			f.latMax = ev.LatencyUs
+		}
+	case telemetry.KindRotation:
+		if f.rotations > 0 {
+			f.rotGap += ev.At - f.lastRot
+		}
+		f.lastRot = ev.At
+		f.rotations++
+	case telemetry.KindSpinUp:
+		f.spinUps[ev.Disk]++
+	case telemetry.KindSpinDown:
+		f.spinDowns[ev.Disk]++
+	case telemetry.KindDestageStart:
+		if f.live == 0 && !f.cur.destaging {
+			f.closePhase(ev.At, true)
+		}
+		f.live++
+		f.openDest[ev.Pair] = append(f.openDest[ev.Pair], ev.At)
+	case telemetry.KindDestageDone:
+		f.destages++
+		if st := f.openDest[ev.Pair]; len(st) > 0 {
+			f.destageDur += ev.At - st[len(st)-1]
+			f.openDest[ev.Pair] = st[:len(st)-1]
+		}
+		if f.live > 0 {
+			f.live--
+		}
+		if f.live == 0 && f.cur.destaging {
+			f.closePhase(ev.At, false)
+		}
+	case telemetry.KindProbe:
+		f.probes++
+		if ev.LogCap > 0 {
+			if occ := float64(ev.LogUsed) / float64(ev.LogCap); occ > f.peakOcc {
+				f.peakOcc = occ
+			}
+		}
+		if ev.Backlog > f.peakBack {
+			f.peakBack = ev.Backlog
+		}
+	}
+	return nil
+}
+
+func (f *fold) report(w io.Writer) error {
+	f.cur.end = f.last
+	f.cur.open = f.live > 0
+	if f.cur.end > f.cur.start || len(f.phases) == 0 {
+		f.phases = append(f.phases, f.cur)
 	}
 
-	for i, ev := range events {
-		if ev.At < prev {
-			return fmt.Errorf("event %d: timestamp %v before %v (journal not monotonic)", i, ev.At, prev)
-		}
-		prev = ev.At
-		counts[ev.Kind]++
-		switch ev.Kind {
-		case telemetry.KindRequestStart:
-			reqBytes += ev.Bytes
-			if ev.Write {
-				writes++
-			} else {
-				reads++
-			}
-		case telemetry.KindRequestDone:
-			latSum += float64(ev.LatencyUs)
-			latN++
-			if ev.LatencyUs > latMax {
-				latMax = ev.LatencyUs
-			}
-		case telemetry.KindRotation:
-			rotations = append(rotations, ev.At)
-		case telemetry.KindSpinUp:
-			spinUps[ev.Disk]++
-		case telemetry.KindSpinDown:
-			spinDowns[ev.Disk]++
-		case telemetry.KindDestageStart:
-			if live == 0 && !cur.destaging {
-				closePhase(ev.At, true)
-			}
-			live++
-			openDest[ev.Pair] = append(openDest[ev.Pair], ev.At)
-		case telemetry.KindDestageDone:
-			destages++
-			if st := openDest[ev.Pair]; len(st) > 0 {
-				destageDur += ev.At - st[len(st)-1]
-				openDest[ev.Pair] = st[:len(st)-1]
-			}
-			if live > 0 {
-				live--
-			}
-			if live == 0 && cur.destaging {
-				closePhase(ev.At, false)
-			}
-		case telemetry.KindProbe:
-			probes++
-			if ev.LogCap > 0 {
-				if occ := float64(ev.LogUsed) / float64(ev.LogCap); occ > peakOcc {
-					peakOcc = occ
-				}
-			}
-			if ev.Backlog > peakBack {
-				peakBack = ev.Backlog
-			}
-		}
-	}
-	cur.end = last
-	cur.open = live > 0
-	if cur.end > cur.start || len(phases) == 0 {
-		phases = append(phases, cur)
-	}
-
-	fmt.Fprintf(w, "journal: %d events over %v\n\n", len(events), last-first)
+	fmt.Fprintf(w, "journal: %d events over %v\n\n", f.events, f.last-f.first)
 
 	fmt.Fprintln(w, "event counts:")
 	for _, k := range telemetry.Kinds {
-		if counts[k] > 0 {
-			fmt.Fprintf(w, "  %-13s %d\n", k, counts[k])
+		if f.counts[k] > 0 {
+			fmt.Fprintf(w, "  %-13s %d\n", k, f.counts[k])
 		}
 	}
 
-	if n := reads + writes; n > 0 {
+	if n := f.reads + f.writes; n > 0 {
 		fmt.Fprintf(w, "\nrequests: %d (%d reads, %d writes), %.2f MiB total\n",
-			n, reads, writes, float64(reqBytes)/(1<<20))
+			n, f.reads, f.writes, float64(f.reqBytes)/(1<<20))
 	}
-	if latN > 0 {
+	if f.latN > 0 {
 		fmt.Fprintf(w, "response: mean %.3f ms, max %.3f ms over %d completions\n",
-			latSum/float64(latN)/1000, float64(latMax)/1000, latN)
+			f.latSum/float64(f.latN)/1000, float64(f.latMax)/1000, f.latN)
 	}
 
-	if len(rotations) > 0 {
-		fmt.Fprintf(w, "\nrotations: %d", len(rotations))
-		if len(rotations) > 1 {
-			var gap sim.Time
-			for i := 1; i < len(rotations); i++ {
-				gap += rotations[i] - rotations[i-1]
-			}
-			fmt.Fprintf(w, ", mean interval %v", gap/sim.Time(len(rotations)-1))
+	if f.rotations > 0 {
+		fmt.Fprintf(w, "\nrotations: %d", f.rotations)
+		if f.rotations > 1 {
+			fmt.Fprintf(w, ", mean interval %v", f.rotGap/sim.Time(f.rotations-1))
 		}
 		fmt.Fprintln(w)
 	}
 
-	if destages > 0 {
-		fmt.Fprintf(w, "destages: %d, total busy time %v\n", destages, destageDur)
+	if f.destages > 0 {
+		fmt.Fprintf(w, "destages: %d, total busy time %v\n", f.destages, f.destageDur)
 	}
 
-	if len(spinUps) > 0 {
-		disks := make([]int, 0, len(spinUps))
-		for d := range spinUps {
+	if len(f.spinUps) > 0 {
+		disks := make([]int, 0, len(f.spinUps))
+		for d := range f.spinUps {
 			disks = append(disks, d)
 		}
 		sort.Ints(disks)
 		fmt.Fprintf(w, "\nspin cycles per disk (%d disks cycled):\n", len(disks))
 		for _, d := range disks {
-			fmt.Fprintf(w, "  disk %2d: %d up / %d down\n", d, spinUps[d], spinDowns[d])
+			fmt.Fprintf(w, "  disk %2d: %d up / %d down\n", d, f.spinUps[d], f.spinDowns[d])
 		}
 	}
 
-	if probes > 0 {
+	if f.probes > 0 {
 		fmt.Fprintf(w, "\nprobes: %d samples, peak log occupancy %.1f%%, peak backlog %.2f MiB\n",
-			probes, 100*peakOcc, float64(peakBack)/(1<<20))
+			f.probes, 100*f.peakOcc, float64(f.peakBack)/(1<<20))
 	}
 
-	fmt.Fprintf(w, "\nphase timeline (%d phases):\n", len(phases))
+	fmt.Fprintf(w, "\nphase timeline (%d phases):\n", len(f.phases))
 	var normal, destaging sim.Time
-	for _, p := range phases {
+	for _, p := range f.phases {
 		name := "normal"
 		if p.destaging {
 			name = "destaging"

@@ -24,10 +24,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/rolo-storage/rolo"
 	"github.com/rolo-storage/rolo/internal/sim"
 	"github.com/rolo-storage/rolo/internal/telemetry"
+	"github.com/rolo-storage/rolo/internal/telemetry/journal"
 	"github.com/rolo-storage/rolo/internal/trace"
 )
 
@@ -40,7 +42,17 @@ type Options struct {
 	Pairs int
 	// JournalDir, when non-empty, writes one JSONL telemetry journal per
 	// simulation run into this directory, named <scheme>_<profile>.jsonl.
+	// With JournalSegmentBytes set, each run instead gets a rotated
+	// journal directory <scheme>_<profile>/ written through the async
+	// pipeline (see internal/telemetry/journal).
 	JournalDir string
+	// JournalSegmentBytes rotates each run's journal into segments of
+	// this many bytes (0 keeps the single-file layout).
+	JournalSegmentBytes int64
+	// JournalCompress gzips completed journal segments.
+	JournalCompress bool
+	// JournalRetain keeps only the newest N segments per run (0 = all).
+	JournalRetain int
 	// ProbeInterval enables periodic telemetry probes in every run.
 	ProbeInterval sim.Time
 	// Check enables the RoloSan invariant sanitizer in every run; the
@@ -74,6 +86,12 @@ func (o Options) Validate() error {
 	}
 	if o.ProbeInterval < 0 {
 		return fmt.Errorf("experiments: negative probe interval %v", o.ProbeInterval)
+	}
+	if o.JournalSegmentBytes < 0 {
+		return fmt.Errorf("experiments: negative journal segment size %d", o.JournalSegmentBytes)
+	}
+	if (o.JournalCompress || o.JournalRetain != 0) && o.JournalSegmentBytes == 0 {
+		return fmt.Errorf("experiments: journal compression/retention requires a segment size")
 	}
 	if o.Jobs < 0 {
 		return fmt.Errorf("experiments: negative job count %d", o.Jobs)
@@ -144,6 +162,27 @@ func scaleBytes(b float64, scale float64) int64 {
 	return v
 }
 
+// journalNames uniquifies per-run journal directory names across the
+// whole process; which duplicate gets which suffix depends on pool
+// scheduling, but every directory is internally complete and verifiable.
+var journalNames struct {
+	mu   sync.Mutex
+	used map[string]int
+}
+
+func claimJournalName(base string) string {
+	journalNames.mu.Lock()
+	defer journalNames.mu.Unlock()
+	if journalNames.used == nil {
+		journalNames.used = map[string]int{}
+	}
+	journalNames.used[base]++
+	if n := journalNames.used[base]; n > 1 {
+		return fmt.Sprintf("%s_%d", base, n)
+	}
+	return base
+}
+
 // runProfile simulates one scheme against one calibrated trace profile at
 // the option scale. When o.JournalDir is set, the run's telemetry journal
 // is written alongside; probes follow o.ProbeInterval either way.
@@ -156,7 +195,39 @@ func runProfile(scheme rolo.Scheme, o Options, profile string, freeGiB float64, 
 	}
 	cfg.Telemetry.ProbeInterval = o.ProbeInterval
 	cfg.Check = o.Check
-	if o.JournalDir != "" {
+	switch {
+	case o.JournalDir != "" && o.JournalSegmentBytes > 0:
+		// Rotated mode: one journal directory per run, written through
+		// the async pipeline. Blocking policy keeps the journal complete
+		// and byte-deterministic; the per-run directory keeps concurrent
+		// runs from interleaving segments. Several experiments simulate
+		// the same (scheme, profile) cell with different free-space or
+		// stripe parameters, so duplicate names get a _2, _3, … suffix —
+		// two rotating writers in one directory would corrupt each other.
+		dir := filepath.Join(o.JournalDir, claimJournalName(fmt.Sprintf("%s_%s", scheme, profile)))
+		if mkerr := os.MkdirAll(dir, 0o755); mkerr != nil {
+			return rolo.Report{}, mkerr
+		}
+		w, werr := journal.NewRotatingWriter(journal.RotateConfig{
+			Dir:          dir,
+			SegmentBytes: o.JournalSegmentBytes,
+			Compress:     o.JournalCompress,
+			Retain:       o.JournalRetain,
+		})
+		if werr != nil {
+			return rolo.Report{}, werr
+		}
+		sink := journal.NewAsyncSink(w, journal.AsyncConfig{Policy: journal.PolicyBlock})
+		// Closing drains the ring and writes the manifest; a close
+		// failure means a broken journal, so it surfaces as the run's
+		// error.
+		defer func() {
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		cfg.Telemetry.Sink = sink
+	case o.JournalDir != "":
 		name := fmt.Sprintf("%s_%s.jsonl", scheme, profile)
 		f, ferr := os.Create(filepath.Join(o.JournalDir, name))
 		if ferr != nil {

@@ -1,0 +1,325 @@
+package journal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
+)
+
+// Policy selects what Emit does when the ring is full.
+type Policy int
+
+const (
+	// PolicyBlock makes Emit wait for ring space. No event is ever lost,
+	// so the journal bytes are a deterministic function of the event
+	// sequence — the same contract as the synchronous JSONLSink, which is
+	// why blocking is the default and the byte-equivalence gate runs
+	// under it. The simulation goroutine stalls only when it has outrun
+	// both the ring and the disk.
+	PolicyBlock Policy = iota
+	// PolicyDrop makes Emit discard the event and bump the drop counter
+	// when the ring is full. Fleet/nightly sweeps prefer losing journal
+	// lines to stalling hundreds of simulations on one slow disk; the
+	// drop count lands in the manifest so lossy journals are
+	// self-identifying.
+	PolicyDrop
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// DefaultBuffer is the ring capacity used when AsyncConfig.Buffer is 0.
+const DefaultBuffer = 8192
+
+// AsyncConfig configures an AsyncSink.
+type AsyncConfig struct {
+	// Buffer is the ring capacity in events (DefaultBuffer when 0).
+	Buffer int
+	// Policy selects the full-ring behavior (PolicyBlock by default).
+	Policy Policy
+}
+
+// AsyncSink moves journal encoding and IO off the simulation goroutine.
+// Emit copies the event into a bounded MPSC ring and returns; a single
+// writer goroutine drains the ring in batches, encodes each event with
+// telemetry.AppendEvent into a goroutine-owned scratch buffer, and hands
+// the lines to the EventWriter (typically a RotatingWriter). Producers
+// pay one uncontended mutex acquisition and a struct copy per event —
+// no encoding, no syscalls.
+//
+// Ordering: events from one producer are written in emission order. The
+// simulator emits from its single event-loop goroutine, so with
+// PolicyBlock the byte stream is identical to the synchronous sink's.
+//
+// Lifecycle: Flush blocks until everything emitted so far is encoded,
+// written and flushed through the EventWriter (rolo.Run calls it at end
+// of run); Close drains the ring, stops the writer goroutine, records
+// WriterStats into the writer (when it accepts them) and closes it.
+// Emit after Close counts the event as dropped rather than blocking.
+type AsyncSink struct {
+	w      EventWriter
+	policy Policy
+
+	mu       sync.Mutex
+	notFull  *sync.Cond // ring has space, or the sink is closing
+	notEmpty *sync.Cond // ring has events, a flush is requested, or closing
+	flushed  *sync.Cond // flushAck advanced, or the writer goroutine exited
+
+	//rolosan:guardedby mu
+	ring []telemetry.Event
+	//rolosan:guardedby mu
+	head int
+	//rolosan:guardedby mu
+	n int
+	//rolosan:guardedby mu
+	closing bool
+	//rolosan:guardedby mu
+	writerExited bool
+	//rolosan:guardedby mu
+	err error // first writer error, sticky
+	//rolosan:guardedby mu
+	stats WriterStats
+	//rolosan:guardedby mu
+	flushReq uint64
+	//rolosan:guardedby mu
+	flushAck uint64
+
+	done chan struct{} // closed when the writer goroutine exits
+
+	// Writer-goroutine-owned scratch (no locking): the drain batch and
+	// the encode buffer, both reused across batches.
+	batch   []telemetry.Event
+	scratch []byte
+}
+
+// NewAsyncSink starts the writer goroutine over w. The caller must Close
+// the sink (which closes w) when the run is over.
+func NewAsyncSink(w EventWriter, cfg AsyncConfig) *AsyncSink {
+	buf := cfg.Buffer
+	if buf <= 0 {
+		buf = DefaultBuffer
+	}
+	s := &AsyncSink{
+		w:      w,
+		policy: cfg.Policy,
+		ring:   make([]telemetry.Event, buf),
+		done:   make(chan struct{}),
+		batch:  make([]telemetry.Event, 0, buf),
+		stats:  WriterStats{Capacity: buf},
+	}
+	s.notFull = sync.NewCond(&s.mu)
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.flushed = sync.NewCond(&s.mu)
+	go func() {
+		defer close(s.done)
+		s.writeLoop()
+	}()
+	return s
+}
+
+// Emit implements telemetry.Sink. It is safe for concurrent producers.
+func (s *AsyncSink) Emit(ev telemetry.Event) {
+	s.mu.Lock()
+	for s.n == len(s.ring) && !s.closing {
+		if s.policy == PolicyDrop {
+			s.stats.Dropped++
+			s.mu.Unlock()
+			return
+		}
+		s.notFull.Wait()
+	}
+	if s.closing {
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = ev
+	s.n++
+	s.stats.Enqueued++
+	if s.n > s.stats.PeakOccupancy {
+		s.stats.PeakOccupancy = s.n
+	}
+	if s.n == 1 {
+		s.notEmpty.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// writeLoop is the single consumer: batch-drain the ring, encode and
+// write outside the lock, serve flush requests, exit once closing and
+// drained.
+func (s *AsyncSink) writeLoop() {
+	defer func() {
+		s.mu.Lock()
+		s.writerExited = true
+		s.flushed.Broadcast()
+		s.notFull.Broadcast()
+		s.mu.Unlock()
+	}()
+	for {
+		s.mu.Lock()
+		for s.n == 0 && !s.closing && s.flushAck == s.flushReq {
+			s.notEmpty.Wait()
+		}
+		take := s.n
+		s.batch = s.batch[:0]
+		for i := 0; i < take; i++ {
+			s.batch = append(s.batch, s.ring[(s.head+i)%len(s.ring)])
+		}
+		s.head = (s.head + take) % len(s.ring)
+		s.n = 0
+		closing := s.closing
+		flushTo := s.flushReq
+		doFlush := s.flushAck != flushTo
+		if take > 0 {
+			s.stats.Batches++
+			if take > s.stats.MaxBatch {
+				s.stats.MaxBatch = take
+			}
+			s.notFull.Broadcast()
+		}
+		s.mu.Unlock()
+
+		var werr error
+		written := 0
+		for _, ev := range s.batch {
+			s.scratch = telemetry.AppendEvent(s.scratch[:0], ev)
+			if err := s.w.WriteEvent(s.scratch, ev.At); err != nil {
+				werr = err
+				break
+			}
+			written++
+		}
+		var ferr error
+		if doFlush {
+			ferr = s.w.Flush()
+		}
+
+		s.mu.Lock()
+		s.stats.Written += int64(written)
+		// Events past a write failure are dropped, not silently absorbed.
+		s.stats.Dropped += int64(take - written)
+		if s.err == nil {
+			s.err = werr
+		}
+		if s.err == nil {
+			s.err = ferr
+		}
+		if doFlush {
+			s.flushAck = flushTo
+			s.flushed.Broadcast()
+		}
+		exit := closing && s.n == 0 && s.flushAck == s.flushReq
+		s.mu.Unlock()
+		if exit {
+			return
+		}
+	}
+}
+
+// Flush implements telemetry.Flusher: it blocks until every event
+// emitted before the call has been encoded, written and flushed through
+// the EventWriter, then reports the writer's sticky error, if any.
+func (s *AsyncSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writerExited {
+		return s.err
+	}
+	s.flushReq++
+	target := s.flushReq
+	s.notEmpty.Signal()
+	for s.flushAck < target && !s.writerExited {
+		s.flushed.Wait()
+	}
+	return s.err
+}
+
+// Close drains the ring, stops the writer goroutine, records the sink's
+// self-telemetry into the EventWriter (when it accepts WriterStats, as
+// RotatingWriter does) and closes it. Close is idempotent; the first
+// call's error — writer errors joined with the close error — is
+// authoritative.
+func (s *AsyncSink) Close() error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	s.notEmpty.Signal()
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	if already {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.err
+	}
+	// The writer goroutine has exited: the EventWriter is ours again.
+	if sr, ok := s.w.(interface{ SetWriterStats(WriterStats) }); ok {
+		sr.SetWriterStats(s.Stats())
+	}
+	cerr := s.w.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = cerr
+	} else if cerr != nil {
+		s.err = errors.Join(s.err, cerr)
+	}
+	return s.err
+}
+
+// Stats returns a snapshot of the sink's self-telemetry.
+func (s *AsyncSink) Stats() WriterStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// streamWriter adapts a plain io.Writer (one growing JSONL stream, no
+// rotation) to the EventWriter contract, for async journaling to a
+// single file and for tests and benchmarks.
+type streamWriter struct {
+	bw *bufio.Writer
+	c  io.Closer // underlying file, when owned; nil otherwise
+}
+
+// NewStreamWriter wraps w in a buffered EventWriter. Close flushes; it
+// closes w only when w is an io.Closer.
+func NewStreamWriter(w io.Writer) EventWriter {
+	sw := &streamWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+	if c, ok := w.(io.Closer); ok {
+		sw.c = c
+	}
+	return sw
+}
+
+func (w *streamWriter) WriteEvent(line []byte, _ sim.Time) error {
+	_, err := w.bw.Write(line)
+	return err
+}
+
+func (w *streamWriter) Flush() error { return w.bw.Flush() }
+
+func (w *streamWriter) Close() error {
+	err := w.bw.Flush()
+	if w.c != nil {
+		if cerr := w.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

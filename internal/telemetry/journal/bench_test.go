@@ -1,0 +1,116 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
+)
+
+// nullWriter swallows lines; it isolates the producer-side cost of the
+// sinks from disk speed.
+type nullWriter struct{}
+
+func (nullWriter) WriteEvent([]byte, sim.Time) error { return nil }
+func (nullWriter) Flush() error                      { return nil }
+func (nullWriter) Close() error                      { return nil }
+
+// nullIOWriter is the io.Writer equivalent for the synchronous sink.
+type nullIOWriter struct{}
+
+func (nullIOWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+var benchEvents = genBenchEvents()
+
+func genBenchEvents() [8]telemetry.Event {
+	return [8]telemetry.Event{
+		{At: 1000, Kind: telemetry.KindRequestStart, Disk: -1, Pair: -1, Write: true, Bytes: 65536},
+		{At: 1400, Kind: telemetry.KindRequestDone, Disk: -1, Pair: -1, Write: true, LatencyUs: 400},
+		{At: 2000, Kind: telemetry.KindRotation, Disk: -1, Pair: 7},
+		{At: 2100, Kind: telemetry.KindSpinUp, Disk: 13, Pair: -1},
+		{At: 2200, Kind: telemetry.KindCacheHit, Disk: -1, Pair: 0, Bytes: 4096},
+		{At: 2300, Kind: telemetry.KindLogInvalidate, Disk: -1, Pair: 3, Bytes: 1 << 20},
+		{At: 2400, Kind: telemetry.KindProbe, Disk: -1, Pair: -1, States: "AISUDAISUD", LogUsed: 100, LogCap: 1000, Backlog: 5},
+		{At: 2500, Kind: telemetry.KindRequestDone, Disk: -1, Pair: -1, LatencyUs: 90},
+	}
+}
+
+// BenchmarkSyncJSONLSinkEmit is the baseline: the synchronous sink's
+// per-event cost on the emitting (simulation) goroutine when the journal
+// goes to an actual file — encode, buffered write, and the amortized
+// write syscalls whenever the buffer fills.
+func BenchmarkSyncJSONLSinkEmit(b *testing.B) {
+	f, err := os.Create(filepath.Join(b.TempDir(), "journal.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	s := telemetry.NewJSONLSink(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(benchEvents[i%len(benchEvents)])
+	}
+	b.StopTimer()
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAsyncSinkEmit measures what the simulation goroutine pays per
+// event with the async pipeline over the same file-backed journal: a
+// ring push under an uncontended mutex. Encoding and IO happen on the
+// writer goroutine. The acceptance gate for the async journal work is
+// this number dropping below the synchronous baseline above.
+func BenchmarkAsyncSinkEmit(b *testing.B) {
+	f, err := os.Create(filepath.Join(b.TempDir(), "journal.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewAsyncSink(NewStreamWriter(f), AsyncConfig{Buffer: DefaultBuffer, Policy: PolicyBlock})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(benchEvents[i%len(benchEvents)])
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAsyncSinkEmitDrop is the fleet-mode variant: PolicyDrop never
+// blocks the producer even when the writer falls behind.
+func BenchmarkAsyncSinkEmitDrop(b *testing.B) {
+	f, err := os.Create(filepath.Join(b.TempDir(), "journal.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewAsyncSink(NewStreamWriter(f), AsyncConfig{Buffer: DefaultBuffer, Policy: PolicyDrop})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(benchEvents[i%len(benchEvents)])
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAsyncSinkEmitNullIO isolates the pure ring-push cost with no
+// IO anywhere, for profiling the sink itself rather than the pipeline.
+func BenchmarkAsyncSinkEmitNullIO(b *testing.B) {
+	s := NewAsyncSink(nullWriter{}, AsyncConfig{Buffer: DefaultBuffer, Policy: PolicyBlock})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(benchEvents[i%len(benchEvents)])
+	}
+	b.StopTimer()
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,393 @@
+package journal
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+	"github.com/rolo-storage/rolo/internal/telemetry"
+)
+
+// genEvents builds a deterministic event sequence exercising every kind
+// and optional-field combination the encoder distinguishes.
+func genEvents(n int, seed int64) []telemetry.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]telemetry.Event, n)
+	var at sim.Time
+	for i := range evs {
+		at += sim.Time(rng.Intn(5000))
+		kind := telemetry.Kinds[rng.Intn(len(telemetry.Kinds))]
+		ev := telemetry.Event{At: at, Kind: kind, Disk: -1, Pair: -1}
+		switch kind {
+		case telemetry.KindRequestStart:
+			ev.Write = rng.Intn(2) == 0
+			ev.Bytes = int64(rng.Intn(1 << 20))
+		case telemetry.KindRequestDone:
+			ev.Write = rng.Intn(2) == 0
+			ev.LatencyUs = int64(rng.Intn(1e6))
+		case telemetry.KindSpinUp, telemetry.KindSpinDown:
+			ev.Disk = rng.Intn(40)
+		case telemetry.KindRotation, telemetry.KindDestageStart, telemetry.KindDestageDone:
+			ev.Pair = rng.Intn(20)
+		case telemetry.KindLogInvalidate:
+			ev.Pair = rng.Intn(20)
+			ev.Bytes = int64(rng.Intn(1 << 24))
+		case telemetry.KindCacheHit, telemetry.KindCacheMiss:
+			ev.Pair = rng.Intn(20) - 1
+			ev.Bytes = int64(rng.Intn(1 << 16))
+		case telemetry.KindProbe:
+			ev.States = strings.Repeat("AISUDF", 3)[:rng.Intn(18)]
+			ev.LogCap = int64(rng.Intn(1 << 30))
+			if ev.LogCap > 0 {
+				ev.LogUsed = int64(rng.Intn(int(ev.LogCap)))
+			}
+			ev.Backlog = int64(rng.Intn(1 << 20))
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// encodeAll renders events exactly as the synchronous JSONLSink would.
+func encodeAll(evs []telemetry.Event) []byte {
+	var out []byte
+	for _, ev := range evs {
+		out = telemetry.AppendEvent(out, ev)
+	}
+	return out
+}
+
+// writeRotated pushes events through a RotatingWriter synchronously.
+func writeRotated(t *testing.T, dir string, cfg RotateConfig, evs []telemetry.Event) {
+	t.Helper()
+	cfg.Dir = dir
+	w, err := NewRotatingWriter(cfg)
+	if err != nil {
+		t.Fatalf("NewRotatingWriter: %v", err)
+	}
+	var buf []byte
+	for _, ev := range evs {
+		buf = telemetry.AppendEvent(buf[:0], ev)
+		if err := w.WriteEvent(buf, ev.At); err != nil {
+			t.Fatalf("WriteEvent: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// readAll drains a Reader.
+func readAll(t *testing.T, path string) []telemetry.Event {
+	t.Helper()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	defer r.Close()
+	var out []telemetry.Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, ev)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return out
+}
+
+// concatSegments decompresses and concatenates a directory's segments in
+// order — the byte-equivalence view of a rotated journal.
+func concatSegments(t *testing.T, dir string) []byte {
+	t.Helper()
+	files, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatalf("segmentFiles: %v", err)
+	}
+	var out []byte
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasSuffix(f, ".gz") {
+			gz, err := gzip.NewReader(bytes.NewReader(b))
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			if b, err = io.ReadAll(gz); err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestRotatingWriterSegmentsAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	evs := genEvents(500, 1)
+	writeRotated(t, dir, RotateConfig{SegmentBytes: 2048, Compress: true}, evs)
+
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) < 3 {
+		t.Fatalf("expected several segments, got %d", len(m.Segments))
+	}
+	if got := m.Events(); got != int64(len(evs)) {
+		t.Fatalf("manifest counts %d events, wrote %d", got, len(evs))
+	}
+	for i, s := range m.Segments {
+		if !s.Compressed || !strings.HasSuffix(s.Name, ".jsonl.gz") {
+			t.Fatalf("segment %d not archived: %+v", i, s)
+		}
+		if s.Events == 0 || s.Bytes == 0 || s.CRC32 == 0 {
+			t.Fatalf("segment %d has empty accounting: %+v", i, s)
+		}
+		if s.FirstAt > s.LastAt {
+			t.Fatalf("segment %d time bounds inverted: %+v", i, s)
+		}
+		if i > 0 && m.Segments[i-1].LastAt > s.FirstAt {
+			t.Fatalf("segments %d/%d out of order", i-1, i)
+		}
+	}
+
+	// Concatenated decompressed segments == the synchronous encoding.
+	if got, want := concatSegments(t, dir), encodeAll(evs); !bytes.Equal(got, want) {
+		t.Fatalf("segment concatenation diverges from single-file encoding (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The streaming reader yields the events back, in order, equal.
+	got := readAll(t, dir)
+	if len(got) != len(evs) {
+		t.Fatalf("reader yielded %d events, wrote %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+
+	// And the manifest verifies.
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestRotatingWriterUncompressedAndSingleSegment(t *testing.T) {
+	evs := genEvents(100, 2)
+
+	t.Run("uncompressed-rotation", func(t *testing.T) {
+		dir := t.TempDir()
+		writeRotated(t, dir, RotateConfig{SegmentBytes: 1024}, evs)
+		m, err := Verify(dir)
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		for _, s := range m.Segments {
+			if s.Compressed {
+				t.Fatalf("segment %s compressed without Compress", s.Name)
+			}
+		}
+		if got, want := concatSegments(t, dir), encodeAll(evs); !bytes.Equal(got, want) {
+			t.Fatal("uncompressed segments diverge from baseline")
+		}
+	})
+
+	t.Run("single-unbounded-segment", func(t *testing.T) {
+		dir := t.TempDir()
+		writeRotated(t, dir, RotateConfig{}, evs)
+		m, err := Verify(dir)
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if len(m.Segments) != 1 {
+			t.Fatalf("expected 1 segment, got %d", len(m.Segments))
+		}
+	})
+
+	t.Run("empty-run", func(t *testing.T) {
+		dir := t.TempDir()
+		writeRotated(t, dir, RotateConfig{SegmentBytes: 1024, Compress: true}, nil)
+		m, err := Verify(dir)
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if len(m.Segments) != 1 || m.Segments[0].Events != 0 {
+			t.Fatalf("empty run manifest: %+v", m)
+		}
+		if got := readAll(t, dir); len(got) != 0 {
+			t.Fatalf("empty run yielded %d events", len(got))
+		}
+	})
+}
+
+func TestRotatingWriterRetention(t *testing.T) {
+	dir := t.TempDir()
+	evs := genEvents(500, 3)
+	writeRotated(t, dir, RotateConfig{SegmentBytes: 2048, Compress: true, Retain: 2}, evs)
+
+	m, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("Verify after retention: %v", err)
+	}
+	if len(m.Segments) > 2 {
+		t.Fatalf("retention kept %d segments, cap 2", len(m.Segments))
+	}
+	if m.RemovedSegments == 0 {
+		t.Fatal("retention removed nothing for a many-segment run")
+	}
+	// The retained tail must still match the baseline's tail bytes.
+	want := encodeAll(evs)
+	got := concatSegments(t, dir)
+	if !bytes.HasSuffix(want, got) {
+		t.Fatal("retained segments are not a suffix of the baseline stream")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	evs := genEvents(300, 4)
+	writeRotated(t, dir, RotateConfig{SegmentBytes: 2048, Compress: false}, evs)
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the middle segment: CRC must catch it.
+	victim := filepath.Join(dir, m.Segments[len(m.Segments)/2].Name)
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x20
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("Verify accepted a corrupted segment")
+	}
+
+	// A stray segment file must be flagged too.
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, segmentName(999))
+	if err := os.WriteFile(stray, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil || !strings.Contains(err.Error(), "not in the manifest") {
+		t.Fatalf("Verify missed the stray segment: %v", err)
+	}
+	if err := os.Remove(stray); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deleted segment must be flagged.
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("Verify accepted a missing segment")
+	}
+}
+
+func TestOpenSingleFileMatchesParseJournal(t *testing.T) {
+	evs := genEvents(200, 5)
+	raw := encodeAll(evs)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, path)
+	want, err := telemetry.ParseJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reader: %d events, ParseJournal: %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("Open accepted a missing path")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open accepted a directory with no segments")
+	}
+
+	// Garbage line surfaces with file and line position.
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"at\":1,\"kind\":\"SpinUp\",\"disk\":3}\n{nope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first line: %v", err)
+	}
+	_, err = r.Next()
+	if err == nil || errors.Is(err, io.EOF) || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("garbage line error = %v", err)
+	}
+}
+
+func TestDuplicateSegmentDetected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "run-00001.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "run-00001.jsonl.gz"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a plain+compressed duplicate segment")
+	}
+}
+
+func TestRerunReplacesStaleJournal(t *testing.T) {
+	// A rerun into the same directory must behave like os.Create on a
+	// file: the previous journal disappears entirely, including segments
+	// past the new run's end that would otherwise fail verification as
+	// stray files.
+	dir := t.TempDir()
+	writeRotated(t, dir, RotateConfig{Dir: dir, SegmentBytes: 256, Compress: true}, genEvents(500, 21))
+	short := genEvents(40, 22)
+	writeRotated(t, dir, RotateConfig{Dir: dir, SegmentBytes: 256}, short)
+	if _, err := Verify(dir); err != nil {
+		t.Fatalf("rerun journal does not verify: %v", err)
+	}
+	got := readAll(t, dir)
+	if len(got) != len(short) {
+		t.Fatalf("rerun journal holds %d events, want %d", len(got), len(short))
+	}
+	for i := range short {
+		if got[i] != short[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], short[i])
+		}
+	}
+}

@@ -25,6 +25,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -343,81 +344,110 @@ func (t TeeSink) Emit(ev Event) {
 	}
 }
 
-// Flush implements Flusher, flushing every buffered member.
+// Flush implements Flusher. Every buffered member is flushed even when an
+// earlier one fails — stopping at the first error would silently strand
+// buffered events in the later sinks — and the failures are joined.
 func (t TeeSink) Flush() error {
+	var errs []error
 	for _, s := range t {
 		if f, ok := s.(Flusher); ok {
 			if err := f.Flush(); err != nil {
-				return err
+				errs = append(errs, err)
 			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// JSONLSink writes one JSON object per event to an io.Writer. Field order
-// is fixed and zero/absent optional fields are omitted, so the byte
-// stream is a deterministic function of the event sequence — the
-// determinism regression tests compare journals byte for byte.
+// AppendEvent appends the canonical JSONL encoding of ev — one JSON
+// object terminated by '\n' — to dst and returns the extended slice.
+// Field order is fixed and zero/absent optional fields are omitted, so
+// the byte stream is a deterministic function of the event sequence — the
+// determinism regression tests and the rotated-journal byte-equivalence
+// gate compare journals byte for byte. JSONLSink and the async journal
+// writer share this single encoder; it never allocates beyond growing
+// dst.
+func AppendEvent(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"at":`...)
+	dst = strconv.AppendInt(dst, int64(ev.At), 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, '"')
+	if ev.Disk >= 0 {
+		dst = append(dst, `,"disk":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Disk), 10)
+	}
+	if ev.Pair >= 0 {
+		dst = append(dst, `,"pair":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Pair), 10)
+	}
+	if ev.Write {
+		dst = append(dst, `,"write":true`...)
+	}
+	if ev.Bytes != 0 {
+		dst = append(dst, `,"bytes":`...)
+		dst = strconv.AppendInt(dst, ev.Bytes, 10)
+	}
+	if ev.LatencyUs != 0 {
+		dst = append(dst, `,"lat_us":`...)
+		dst = strconv.AppendInt(dst, ev.LatencyUs, 10)
+	}
+	if ev.States != "" {
+		dst = append(dst, `,"states":`...)
+		dst = strconv.AppendQuote(dst, ev.States)
+	}
+	if ev.LogCap != 0 {
+		dst = append(dst, `,"log_used":`...)
+		dst = strconv.AppendInt(dst, ev.LogUsed, 10)
+		dst = append(dst, `,"log_cap":`...)
+		dst = strconv.AppendInt(dst, ev.LogCap, 10)
+	}
+	if ev.Backlog != 0 {
+		dst = append(dst, `,"backlog":`...)
+		dst = strconv.AppendInt(dst, ev.Backlog, 10)
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// UnmarshalEvent decodes one JSONL journal line as written by
+// AppendEvent. Absent disk/pair fields decode as -1, matching the
+// writer's omission rule.
+func UnmarshalEvent(line []byte) (Event, error) {
+	ev := Event{Disk: -1, Pair: -1}
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer, encoding
+// with AppendEvent into a sink-owned scratch buffer so the steady-state
+// emission path performs no per-event allocation (pinned by
+// TestJSONLSinkZeroAlloc and BenchmarkCoreTelemetryEncode).
 type JSONLSink struct {
-	w *bufio.Writer
+	w       *bufio.Writer
+	scratch []byte
 }
 
 // NewJSONLSink buffers writes to w. Call Flush (or rely on rolo.Run's
 // end-of-run flush) before reading the output.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{w: bufio.NewWriterSize(w, 64<<10)}
+	return &JSONLSink{w: bufio.NewWriterSize(w, 64<<10), scratch: make([]byte, 0, 256)}
 }
 
 // Emit implements Sink.
 func (s *JSONLSink) Emit(ev Event) {
-	b := s.w
-	b.WriteString(`{"at":`)
-	b.WriteString(strconv.FormatInt(int64(ev.At), 10))
-	b.WriteString(`,"kind":"`)
-	b.WriteString(ev.Kind.String())
-	b.WriteByte('"')
-	if ev.Disk >= 0 {
-		b.WriteString(`,"disk":`)
-		b.WriteString(strconv.Itoa(ev.Disk))
-	}
-	if ev.Pair >= 0 {
-		b.WriteString(`,"pair":`)
-		b.WriteString(strconv.Itoa(ev.Pair))
-	}
-	if ev.Write {
-		b.WriteString(`,"write":true`)
-	}
-	if ev.Bytes != 0 {
-		b.WriteString(`,"bytes":`)
-		b.WriteString(strconv.FormatInt(ev.Bytes, 10))
-	}
-	if ev.LatencyUs != 0 {
-		b.WriteString(`,"lat_us":`)
-		b.WriteString(strconv.FormatInt(ev.LatencyUs, 10))
-	}
-	if ev.States != "" {
-		b.WriteString(`,"states":`)
-		b.Write(strconv.AppendQuote(nil, ev.States))
-	}
-	if ev.LogCap != 0 {
-		b.WriteString(`,"log_used":`)
-		b.WriteString(strconv.FormatInt(ev.LogUsed, 10))
-		b.WriteString(`,"log_cap":`)
-		b.WriteString(strconv.FormatInt(ev.LogCap, 10))
-	}
-	if ev.Backlog != 0 {
-		b.WriteString(`,"backlog":`)
-		b.WriteString(strconv.FormatInt(ev.Backlog, 10))
-	}
-	b.WriteString("}\n")
+	s.scratch = AppendEvent(s.scratch[:0], ev)
+	s.w.Write(s.scratch)
 }
 
 // Flush implements Flusher.
 func (s *JSONLSink) Flush() error { return s.w.Flush() }
 
-// ParseJournal reads a JSONL journal back into events. Absent disk/pair
-// fields decode as -1, matching the writer's omission rule.
+// ParseJournal reads a JSONL journal back into an in-memory event slice.
+// For journals too large to hold whole — or rotated, compressed journal
+// directories — use the streaming iterator in telemetry/journal instead.
 func ParseJournal(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -429,8 +459,8 @@ func ParseJournal(r io.Reader) ([]Event, error) {
 		if len(raw) == 0 {
 			continue
 		}
-		ev := Event{Disk: -1, Pair: -1}
-		if err := json.Unmarshal(raw, &ev); err != nil {
+		ev, err := UnmarshalEvent(raw)
+		if err != nil {
 			return nil, fmt.Errorf("telemetry: journal line %d: %w", line, err)
 		}
 		out = append(out, ev)

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -170,6 +172,85 @@ func TestTeeSink(t *testing.T) {
 	}
 	if a.Total() != 1 || b.Total() != 1 || buf.Len() == 0 {
 		t.Fatal("tee did not fan out")
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		b, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatalf("MarshalJSON(%v): %v", k, err)
+		}
+		if want := `"` + k.String() + `"`; string(b) != want {
+			t.Fatalf("MarshalJSON(%v) = %s, want %s", k, b, want)
+		}
+		var got Kind
+		if err := got.UnmarshalJSON(b); err != nil || got != k {
+			t.Fatalf("UnmarshalJSON(%s) = %v, %v", b, got, err)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Fatal("UnmarshalJSON accepted an unknown kind")
+	}
+	if err := k.UnmarshalJSON([]byte(`17`)); err == nil {
+		t.Fatal("UnmarshalJSON accepted a non-string kind")
+	}
+}
+
+// TestJSONLSinkZeroAlloc pins the hot-path guarantee the async pipeline
+// builds on: once the sink's scratch buffer has grown to cover the
+// largest event, Emit allocates nothing — including for events whose
+// States string needs quoting, which used to cost one allocation per
+// event.
+func TestJSONLSinkZeroAlloc(t *testing.T) {
+	s := NewJSONLSink(io.Discard)
+	evs := []Event{
+		{At: 1, Kind: KindRequestStart, Disk: -1, Pair: -1, Write: true, Bytes: 1 << 16},
+		{At: 2, Kind: KindRequestDone, Disk: -1, Pair: -1, LatencyUs: 1234},
+		{At: 3, Kind: KindProbe, Disk: -1, Pair: -1,
+			States: `AISUDAISUDAISUDAISUD"quoted\escape"AISUD`,
+			LogUsed: 1 << 40, LogCap: 1 << 42, Backlog: 1 << 30},
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Emit(evs[i%len(evs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("JSONLSink.Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// failingFlusher is a sink whose Flush always fails.
+type failingFlusher struct {
+	CountingSink
+	err error
+}
+
+func (f *failingFlusher) Flush() error { return f.err }
+
+func TestTeeSinkFlushesAllMembersDespiteError(t *testing.T) {
+	// A failing member must not short-circuit the tee: later members
+	// still flush, and every error is reported.
+	errA := errors.New("sink A broke")
+	errC := errors.New("sink C broke")
+	a := &failingFlusher{err: errA}
+	var buf bytes.Buffer
+	b := NewJSONLSink(&buf)
+	c := &failingFlusher{err: errC}
+	tee := TeeSink{a, b, c}
+	NewRecorder(tee).Rotation(1, 0)
+
+	err := tee.Flush()
+	if err == nil {
+		t.Fatal("tee flush swallowed member errors")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errC) {
+		t.Fatalf("joined error %v missing a member error", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("healthy member was not flushed after an earlier member failed")
 	}
 }
 

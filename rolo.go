@@ -19,6 +19,7 @@ package rolo
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"github.com/rolo-storage/rolo/internal/array"
@@ -277,14 +278,27 @@ type Report struct {
 
 // Run simulates the configuration against the trace records (which must be
 // time-ordered and addressed within VolumeBytes).
-func Run(cfg Config, recs []trace.Record) (Report, error) {
-	var rep Report
+//
+// The telemetry sink is flushed on every exit path, including failed
+// runs, so a journal always reflects the events emitted up to the
+// failure; a flush error joins (never masks) the run's own error. Run
+// does not close the sink — closing, like opening, belongs to whoever
+// constructed it (async sinks in particular must be Closed to drain
+// their writer goroutine; see internal/telemetry/journal).
+func Run(cfg Config, recs []trace.Record) (rep Report, err error) {
 	if err := cfg.Validate(); err != nil {
 		return rep, err
 	}
 	if err := trace.Validate(recs, cfg.VolumeBytes()); err != nil {
 		return rep, err
 	}
+	defer func() {
+		if f, ok := cfg.Telemetry.Sink.(telemetry.Flusher); ok {
+			if ferr := f.Flush(); ferr != nil {
+				err = errors.Join(err, fmt.Errorf("rolo: flushing telemetry sink: %w", ferr))
+			}
+		}
+	}()
 	eng := sim.New()
 	extras := 0
 	if cfg.Scheme == SchemeGRAID {
@@ -455,11 +469,6 @@ func Run(cfg Config, recs []trace.Record) (Report, error) {
 	if after != nil {
 		if err := after(&rep); err != nil {
 			return rep, err
-		}
-	}
-	if f, ok := cfg.Telemetry.Sink.(telemetry.Flusher); ok {
-		if err := f.Flush(); err != nil {
-			return rep, fmt.Errorf("rolo: flushing telemetry sink: %w", err)
 		}
 	}
 	return rep, nil

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Perf-trajectory recorder: runs the BenchmarkCore* suite (engine
-# schedule/fire/cancel/churn, interval add/remove/pop, histogram add) with
-# -benchmem and writes the results to BENCH_core.json so successive PRs
-# can diff ns/op and allocs/op against the committed baseline. Run from
-# the repository root (or via `make bench`).
+# schedule/fire/cancel/churn, interval add/remove/pop, histogram add,
+# telemetry event encoding) with -benchmem and writes the results to
+# BENCH_core.json so successive PRs can diff ns/op and allocs/op against
+# the committed baseline. Run from the repository root (or via
+# `make bench`).
 #
 #	BENCH_COUNT=5 ./scripts/bench.sh    # more repetitions (best-of is kept)
 #	BENCH_OUT=/tmp/b.json ./scripts/bench.sh
@@ -23,7 +24,7 @@ trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench=Core -benchmem -count=$count" >&2
 go test -run '^$' -bench 'Core' -benchmem -benchtime 1s -count "$count" \
-	./internal/sim/ ./internal/intervals/ ./internal/metrics/ | tee "$raw" >&2 || exit 1
+	./internal/sim/ ./internal/intervals/ ./internal/metrics/ ./internal/telemetry/ | tee "$raw" >&2 || exit 1
 
 # Collapse the -count repetitions into the best (lowest ns/op) run per
 # benchmark — the repetition least disturbed by scheduling noise — and

@@ -9,7 +9,7 @@
 #	./scripts/check.sh build lint        # compile + analyzer gates only
 #	./scripts/check.sh race-smoke        # the parallel runner under -race
 #
-# Groups: build, lint, test, race-smoke, bench-smoke, fuzz.
+# Groups: build, lint, test, race-smoke, bench-smoke, journal-smoke, fuzz.
 #
 # Every stage enumerates packages with `./...` patterns, which never
 # descend into testdata: analyzer fixture packages (deliberate
@@ -24,12 +24,12 @@ if ! command -v go >/dev/null 2>&1; then
 	exit 1
 fi
 
-groups="${*:-build lint test race-smoke bench-smoke fuzz}"
+groups="${*:-build lint test race-smoke bench-smoke journal-smoke fuzz}"
 for g in $groups; do
 	case "$g" in
-	build | lint | test | race-smoke | bench-smoke | fuzz) ;;
+	build | lint | test | race-smoke | bench-smoke | journal-smoke | fuzz) ;;
 	*)
-		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke bench-smoke fuzz)" >&2
+		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke bench-smoke journal-smoke fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -86,7 +86,22 @@ fi
 if want bench-smoke; then
 	stage "bench smoke: go test -bench=Core -benchtime=1x" \
 		go test -run '^$' -bench 'Core' -benchtime 1x \
-		./internal/sim/ ./internal/intervals/ ./internal/metrics/
+		./internal/sim/ ./internal/intervals/ ./internal/metrics/ ./internal/telemetry/
+fi
+
+# Journal smoke: a race-built rolosim writes a rotated, compressed journal
+# through the async pipeline (ring handoff, writer goroutine, rotation,
+# gzip archival, manifest) and rolostat verifies every segment checksum
+# against the manifest. This drives the real binaries end to end under
+# the race detector — the integration the unit tests can't cover.
+if want journal-smoke; then
+	stage "build rolosim (-race) + rolostat" \
+		sh -c 'go build -race -o bin/rolosim.race ./cmd/rolosim && go build -o bin/rolostat ./cmd/rolostat'
+	stage "rolosim -journal-segment -journal-compress (async journal smoke)" \
+		sh -c 'rm -rf bin/journal-smoke && ./bin/rolosim.race -scheme RoLo-P -profile src2_2 -scale 0.01 -probe-interval 30s \
+			-journal bin/journal-smoke -journal-segment 65536 -journal-compress >/dev/null'
+	stage "rolostat -verify (manifest integrity)" \
+		sh -c './bin/rolostat -verify bin/journal-smoke >/dev/null && rm -rf bin/journal-smoke'
 fi
 
 # Fuzz smoke: a few seconds per target catches parser regressions on the
@@ -97,6 +112,8 @@ if want fuzz; then
 		go test -run '^$' -fuzz 'FuzzParseMSR$' -fuzztime 3s ./internal/trace/
 	stage "fuzz smoke: FuzzParseSyntheticSpec" \
 		go test -run '^$' -fuzz 'FuzzParseSyntheticSpec$' -fuzztime 3s ./internal/trace/
+	stage "fuzz smoke: FuzzJournalRoundTrip" \
+		go test -run '^$' -fuzz 'FuzzJournalRoundTrip$' -fuzztime 3s ./internal/telemetry/journal/
 fi
 
 echo "OK"
