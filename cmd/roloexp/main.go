@@ -77,13 +77,13 @@ func run() error {
 	}
 	opts = opts.Pool(0)
 
-	start := time.Now() //lint:allow simdeterminism wall-clock runtime of the harness itself, not simulated time
+	start := time.Now() //lint:allow simdeterminism:wall-clock wall-clock runtime of the harness itself, not simulated time
 	if *id == "all" {
 		if err := experiments.RunAll(opts, os.Stdout, experiments.All()); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "[all experiments completed in %v, jobs=%d]\n",
-			time.Since(start).Round(time.Millisecond), opts.Jobs) //lint:allow simdeterminism pairs with the wall-clock timer above
+			time.Since(start).Round(time.Millisecond), opts.Jobs) //lint:allow simdeterminism:wall-clock pairs with the wall-clock timer above
 		return nil
 	}
 
@@ -95,6 +95,6 @@ func run() error {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n",
-		e.ID, time.Since(start).Round(time.Millisecond)) //lint:allow simdeterminism pairs with the wall-clock timer above
+		e.ID, time.Since(start).Round(time.Millisecond)) //lint:allow simdeterminism:wall-clock pairs with the wall-clock timer above
 	return nil
 }

@@ -1,11 +1,13 @@
 // Command rololint is the repository's static-analysis gate: a
-// multichecker for the analyzers under internal/analysis that enforce
-// simulation determinism, telemetry discipline, sim-time hygiene, error
-// propagation, phase-log pairing, power-state-machine legality
-// (statetransition), the sanitizer's audited-mutation-helper discipline
-// (invariantguard), and the concurrency discipline of the parallel
-// experiment runner: mutex-guarded field access (guardedby), goroutine
-// capture hygiene (gocapture) and goroutine join pairing (waitpairing).
+// multichecker for the twelve analyzers under internal/analysis that
+// enforce simulation determinism, telemetry discipline, sim-time hygiene,
+// error propagation, resource Close obligations (resourcelifecycle),
+// phase-log pairing, power-state-machine legality (statetransition), the
+// sanitizer's audited-mutation-helper discipline (invariantguard), and
+// the concurrency discipline of the parallel experiment runner:
+// mutex-guarded field access (guardedby), interprocedural lock contracts
+// (lockcontract), goroutine capture hygiene (gocapture) and goroutine
+// join pairing (waitpairing).
 //
 // It speaks the `go vet -vettool` protocol, so the canonical invocation —
 // the one scripts/check.sh and CI run — is:
@@ -14,18 +16,32 @@
 //	go vet -vettool=bin/rololint ./...
 //
 // which analyzes every package including _test.go files, with build-cache
-// integration. For quick local iteration it can also load packages itself:
+// integration; interprocedural facts (lock contracts, resource
+// dispositions, resource-type annotations) ride the vetx files the go
+// command caches and schedules dependency-first. For quick local
+// iteration it can also load packages itself:
 //
 //	rololint ./...
 //
 // (standalone mode skips test files; the vettool form is the gate).
+// Standalone mode additionally hosts the remediation and reporting modes:
+//
+//	rololint -fix ./...            # apply suggested fixes in place
+//	rololint -sarif report.sarif ./...  # write a SARIF 2.1.0 report
+//
+// -fix applies each finding's first suggested fix, leaves the files
+// gofmt-clean, and is idempotent (an applied fix never reproduces its
+// diagnostic); CI verifies that property. -sarif writes the report to
+// the named file ("-" for stdout) for GitHub code-scanning upload.
 //
 // Individual analyzers can be selected the same way as with go vet:
 //
 //	go vet -vettool=bin/rololint -simdeterminism ./...
 //
-// Findings are suppressed by a `//lint:allow <analyzer> <reason>` comment
-// on the offending line or the line above; the reason is mandatory.
+// Findings are suppressed by a `//lint:allow <analyzer>:<category>
+// <reason>` comment on the offending line or the line above; the reason
+// is mandatory, and the scoping means one directive cannot blanket-
+// silence an analyzer's other checks on the same line.
 package main
 
 import (
@@ -43,6 +59,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/analysis/invariantguard"
 	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
 	"github.com/rolo-storage/rolo/internal/analysis/raceguard"
+	"github.com/rolo-storage/rolo/internal/analysis/resourcelifecycle"
 	"github.com/rolo-storage/rolo/internal/analysis/simdeterminism"
 	"github.com/rolo-storage/rolo/internal/analysis/simtimeunits"
 	"github.com/rolo-storage/rolo/internal/analysis/statetransition"
@@ -55,10 +72,12 @@ var suite = []*analysis.Analyzer{
 	telemetryguard.Analyzer,
 	simtimeunits.Analyzer,
 	errpropagation.Analyzer,
+	resourcelifecycle.Analyzer,
 	phasepairing.Analyzer,
 	statetransition.Analyzer,
 	invariantguard.Analyzer,
 	raceguard.GuardedBy,
+	raceguard.LockContract,
 	raceguard.GoCapture,
 	raceguard.WaitPairing,
 }
@@ -71,6 +90,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("rololint", flag.ExitOnError)
 	versionFlag := fs.String("V", "", "print version and exit (-V=full for a build ID)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes in place (standalone mode only)")
+	sarifFlag := fs.String("sarif", "", "write a SARIF 2.1.0 report to the named `file`, \"-\" for stdout (standalone mode only)")
 	enabled := make(map[string]*bool, len(suite))
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, false,
@@ -109,13 +130,36 @@ func run(args []string) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		if *fixFlag || *sarifFlag != "" {
+			fmt.Fprintln(os.Stderr, "rololint: -fix and -sarif are standalone-mode flags; run `rololint -fix ./...` directly")
+			return 2
+		}
 		return analysis.RunUnitchecker(rest[0], selected, os.Stderr)
 	}
 	if len(rest) == 0 {
 		fs.Usage()
 		return 2
 	}
-	return analysis.RunStandalone(rest, selected, os.Stderr)
+	opts := analysis.StandaloneOptions{Fix: *fixFlag}
+	switch *sarifFlag {
+	case "":
+	case "-":
+		opts.SARIF = os.Stdout
+	default:
+		f, err := os.Create(*sarifFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+			return 1
+		}
+		opts.SARIF = f
+		code := analysis.RunStandalone(rest, selected, os.Stderr, opts)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+			return 1
+		}
+		return code
+	}
+	return analysis.RunStandalone(rest, selected, os.Stderr, opts)
 }
 
 // printVersion implements -V. The go command requires the exact shape

@@ -80,7 +80,7 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		defer f.Close() //lint:allow errpropagation read-only trace file, close error carries no data
+		defer f.Close() //lint:allow resourcelifecycle:dropped-error read-only trace file, close error carries no data
 		recs, err = trace.ParseMSR(f)
 		if err != nil {
 			return err

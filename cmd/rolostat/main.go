@@ -77,7 +77,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer r.Close() //lint:allow errpropagation read-only journal, close error carries no data
+	defer r.Close() //lint:allow resourcelifecycle:dropped-error read-only journal, close error carries no data
 
 	f := newFold()
 	for {

@@ -1,22 +1,29 @@
 // Package analysis is a self-contained, stdlib-only miniature of the
 // golang.org/x/tools/go/analysis framework, sized for this repository's
 // needs: it defines the Analyzer and Pass types, runs a set of analyzers
-// over one type-checked package, and implements the `//lint:allow`
-// suppression directive.
+// over one type-checked package, propagates per-object facts between
+// packages (the bottom-up summary mechanism the interprocedural analyzers
+// build on), carries suggested fixes for the `-fix` driver, and implements
+// the `//lint:allow` suppression directive.
 //
 // Why not depend on x/tools? The reproduction is built and verified in
 // hermetic environments with no module proxy, so the linter must compile
-// from the standard library alone. The subset implemented here is small:
-// analyzers are intra-package (no facts, no cross-package dependencies),
-// which is all the rololint suite requires.
+// from the standard library alone. The subset implemented here is small
+// but no longer purely intra-package: analyzers may export JSON-encoded
+// facts keyed by function (see facts.go), which the drivers ship across
+// package boundaries — through vetx files under `go vet -vettool`, and
+// in memory in the standalone and analysistest drivers.
 //
-// Two drivers sit on top of this package:
+// Three drivers sit on top of this package:
 //
 //   - unitchecker.go speaks the `go vet -vettool` JSON protocol, so the
 //     suite runs under the go command with full build-cache integration
 //     (including _test.go files);
 //   - standalone.go loads packages itself via `go list -export`, for
-//     direct `rololint ./...` invocations during development.
+//     direct `rololint ./...` invocations during development, and hosts
+//     the `-fix` and `-sarif` modes;
+//   - analysistest runs analyzers over fixture trees with `// want`
+//     expectations and golden-file fix verification.
 package analysis
 
 import (
@@ -31,8 +38,8 @@ import (
 // An Analyzer describes one static check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
-	// `//lint:allow <name> <reason>` directives. It must be a valid
-	// identifier.
+	// `//lint:allow <name>:<category> <reason>` directives. It must be a
+	// valid identifier.
 	Name string
 	// Doc is the help text: first line is a one-sentence summary.
 	Doc string
@@ -51,33 +58,87 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	report func(Diagnostic)
+	report   func(Diagnostic)
+	imported Facts
+	exported Facts
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is one self-contained remedy for a diagnostic: a set of
+// non-overlapping edits the `-fix` driver can apply mechanically. Fixes
+// must leave the file gofmt-clean after formatting and must not reproduce
+// the diagnostic (so applying fixes is idempotent).
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // A Diagnostic is one finding.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Category classifies the finding within its analyzer (e.g.
+	// "wall-clock", "leak"). The `//lint:allow` escape hatch is scoped to
+	// analyzer:category, so every report should carry one.
+	Category string
+	// SuggestedFixes, when non-empty, lets `rololint -fix` repair the
+	// finding in place.
+	SuggestedFixes []SuggestedFix
 }
 
 // Report emits a diagnostic.
 func (p *Pass) Report(d Diagnostic) { p.report(d) }
 
-// Reportf emits a diagnostic at pos with a formatted message.
-func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+// Reportf emits a diagnostic at pos with the given category and a
+// formatted message.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// A FixEdit is a TextEdit resolved to a file and byte offsets, as carried
+// by a Finding out of the analysis.
+type FixEdit struct {
+	Filename string
+	Start    int // byte offset
+	End      int
+	NewText  string
+}
+
+// A Fix is a resolved SuggestedFix.
+type Fix struct {
+	Message string
+	Edits   []FixEdit
 }
 
 // A Finding is a positioned diagnostic attributed to an analyzer, as
 // produced by RunAnalyzers after suppression filtering.
 type Finding struct {
 	Analyzer string
+	Category string
 	Pos      token.Position
 	Message  string
+	Fixes    []Fix
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Rule())
+}
+
+// Rule renders the finding's scoped identifier, "analyzer:category"
+// (or just the analyzer name for uncategorized findings) — the token a
+// `//lint:allow` directive must name to suppress it.
+func (f Finding) Rule() string {
+	if f.Category == "" {
+		return f.Analyzer
+	}
+	return f.Analyzer + ":" + f.Category
 }
 
 // Unit is one package ready for analysis.
@@ -101,13 +162,29 @@ func NewInfo() *types.Info {
 	}
 }
 
-// RunAnalyzers applies every analyzer to the unit and returns the
-// surviving findings sorted by position. Diagnostics suppressed by a
-// `//lint:allow <analyzer> <reason>` comment on the same line or the line
-// immediately above are dropped; a directive with no reason does not
-// suppress anything (the reason is the point of the escape hatch).
+// RunAnalyzers applies every analyzer to the unit with no imported facts
+// and discards exported ones — the entry point for purely intra-package
+// callers (tests, single-package tools).
 func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunAnalyzersFacts(u, analyzers, nil)
+	return findings, err
+}
+
+// RunAnalyzersFacts applies every analyzer to the unit and returns the
+// surviving findings sorted by position, plus the facts the analyzers
+// exported for downstream packages. imported holds the facts of the
+// unit's dependencies (nil is an empty set).
+//
+// Diagnostics suppressed by a `//lint:allow <analyzer>:<category>
+// <reason>` comment on the same line or the line immediately above are
+// dropped; a directive with no reason does not suppress anything (the
+// reason is the point of the escape hatch), and a directive naming only
+// the analyzer suppresses only uncategorized findings — the category
+// scoping is deliberate, so one escape hatch cannot blanket-silence an
+// analyzer's other checks on the same line.
+func RunAnalyzersFacts(u *Unit, analyzers []*Analyzer, imported Facts) ([]Finding, Facts, error) {
 	allow := collectAllows(u.Fset, u.Files)
+	exported := make(Facts)
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -116,17 +193,25 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     u.Files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
+			imported:  imported,
+			exported:  exported,
 		}
 		name := a.Name
 		pass.report = func(d Diagnostic) {
 			posn := u.Fset.Position(d.Pos)
-			if allow.match(name, posn) {
+			if allow.match(name, d.Category, posn) {
 				return
 			}
-			findings = append(findings, Finding{Analyzer: name, Pos: posn, Message: d.Message})
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Category: d.Category,
+				Pos:      posn,
+				Message:  d.Message,
+				Fixes:    resolveFixes(u.Fset, d.SuggestedFixes),
+			})
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -142,32 +227,72 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, exported, nil
 }
 
-// allowKey identifies one suppressed (file, line, analyzer) cell.
+// resolveFixes turns position-based edits into file/offset edits so they
+// survive past the life of the FileSet.
+func resolveFixes(fset *token.FileSet, fixes []SuggestedFix) []Fix {
+	if len(fixes) == 0 {
+		return nil
+	}
+	out := make([]Fix, 0, len(fixes))
+	for _, sf := range fixes {
+		fix := Fix{Message: sf.Message}
+		ok := true
+		for _, e := range sf.Edits {
+			start := fset.Position(e.Pos)
+			end := start
+			if e.End.IsValid() {
+				end = fset.Position(e.End)
+			}
+			if start.Filename == "" || end.Filename != start.Filename || end.Offset < start.Offset {
+				ok = false
+				break
+			}
+			fix.Edits = append(fix.Edits, FixEdit{
+				Filename: start.Filename,
+				Start:    start.Offset,
+				End:      end.Offset,
+				NewText:  e.NewText,
+			})
+		}
+		if ok && len(fix.Edits) > 0 {
+			out = append(out, fix)
+		}
+	}
+	return out
+}
+
+// allowKey identifies one suppressed (file, line, rule) cell.
 type allowKey struct {
-	file     string
-	line     int
-	analyzer string
+	file string
+	line int
+	rule string // "analyzer" or "analyzer:category"
 }
 
 type allowSet map[allowKey]bool
 
-// match reports whether a diagnostic from the named analyzer at posn is
-// covered by a directive on its line or the line above.
-func (s allowSet) match(analyzer string, posn token.Position) bool {
-	return s[allowKey{posn.Filename, posn.Line, analyzer}] ||
-		s[allowKey{posn.Filename, posn.Line - 1, analyzer}]
+// match reports whether a diagnostic from the named analyzer and category
+// at posn is covered by a directive on its line or the line above. A
+// directive must name the finding's exact analyzer:category pair (or the
+// bare analyzer name for uncategorized findings).
+func (s allowSet) match(analyzer, category string, posn token.Position) bool {
+	rule := analyzer
+	if category != "" {
+		rule = analyzer + ":" + category
+	}
+	return s[allowKey{posn.Filename, posn.Line, rule}] ||
+		s[allowKey{posn.Filename, posn.Line - 1, rule}]
 }
 
 // AllowDirective is the comment prefix of the suppression escape hatch.
 const AllowDirective = "lint:allow"
 
-// collectAllows scans file comments for `//lint:allow <analyzer> <reason>`
-// directives. The directive suppresses findings of <analyzer> on its own
-// line and the following line, so it works both as a trailing comment and
-// as a comment above the offending statement.
+// collectAllows scans file comments for `//lint:allow <analyzer>:<category>
+// <reason>` directives. The directive suppresses matching findings on its
+// own line and the following line, so it works both as a trailing comment
+// and as a comment above the offending statement.
 func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	set := make(allowSet)
 	for _, f := range files {
@@ -181,7 +306,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 				}
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					// Analyzer name without a reason: ignored on purpose.
+					// Rule without a reason: ignored on purpose.
 					continue
 				}
 				posn := fset.Position(c.Pos())

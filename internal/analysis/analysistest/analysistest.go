@@ -22,6 +22,7 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/importer"
 	"go/token"
@@ -38,6 +39,14 @@ import (
 
 // Run applies the analyzer to each fixture package (an import path under
 // testdata/src) and reports mismatches through t.
+//
+// Fixture dependencies under testdata/src are analyzed first (their
+// findings discarded) so the facts they export are available to the
+// package under test — the in-memory equivalent of the vetx transport.
+//
+// If a fixture file has a sibling named <file>.go.golden, the harness
+// additionally applies the suggested fixes of the run's findings to the
+// file and requires the gofmt-formatted result to equal the golden file.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -46,6 +55,8 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 		fset:     fset,
 		units:    make(map[string]*analysis.Unit),
 		std:      importer.ForCompiler(fset, "source", nil),
+		facts:    make(analysis.Facts),
+		analyzed: make(map[string]bool),
 	}
 	for _, path := range paths {
 		unit, err := ld.load(path)
@@ -53,12 +64,77 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 			t.Errorf("loading fixture %q: %v", path, err)
 			continue
 		}
-		findings, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{a})
+		// Dependencies first: ld.order is post-order, so a package's
+		// imports always precede it.
+		depsOK := true
+		for _, p := range ld.order {
+			if p == path || ld.analyzed[p] {
+				continue
+			}
+			if err := ld.analyze(p, a); err != nil {
+				t.Errorf("analyzing fixture dependency %q: %v", p, err)
+				depsOK = false
+			}
+		}
+		if !depsOK {
+			continue
+		}
+		findings, exported, err := analysis.RunAnalyzersFacts(unit, []*analysis.Analyzer{a}, ld.facts)
 		if err != nil {
 			t.Errorf("running %s on %q: %v", a.Name, path, err)
 			continue
 		}
+		ld.mergeFacts(exported)
+		ld.analyzed[path] = true
 		checkExpectations(t, ld, path, findings)
+		checkGolden(t, ld, path, findings)
+	}
+}
+
+// analyze runs the analyzer over one already-loaded fixture package for
+// its facts only.
+func (l *loader) analyze(path string, a *analysis.Analyzer) error {
+	_, exported, err := analysis.RunAnalyzersFacts(l.units[path], []*analysis.Analyzer{a}, l.facts)
+	if err != nil {
+		return err
+	}
+	l.mergeFacts(exported)
+	l.analyzed[path] = true
+	return nil
+}
+
+func (l *loader) mergeFacts(facts analysis.Facts) {
+	for k, v := range facts {
+		l.facts[k] = v
+	}
+}
+
+// checkGolden verifies golden fix files: for every fixture file with a
+// .golden sibling, applying the findings' suggested fixes must reproduce
+// the golden content exactly.
+func checkGolden(t *testing.T, ld *loader, path string, findings []analysis.Finding) {
+	t.Helper()
+	unit := ld.units[path]
+	for _, f := range unit.Files {
+		filename := ld.fset.Position(f.Pos()).Filename
+		want, err := os.ReadFile(filename + ".golden")
+		if err != nil {
+			continue // no golden file for this fixture
+		}
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			t.Errorf("reading fixture %s: %v", filename, err)
+			continue
+		}
+		fixed, _, err := analysis.ApplyFixesToSource(filename, src, findings)
+		if err != nil {
+			t.Errorf("applying fixes to %s: %v", filename, err)
+			continue
+		}
+		if !bytes.Equal(fixed, want) {
+			t.Errorf("%s: applying fixes does not reproduce %s.golden:\n--- got ---\n%s--- want ---\n%s",
+				filename, filepath.Base(filename), fixed, want)
+		}
 	}
 }
 
@@ -69,6 +145,9 @@ type loader struct {
 	fset     *token.FileSet
 	units    map[string]*analysis.Unit
 	std      types.Importer
+	order    []string // successful loads, post-order (dependencies first)
+	facts    analysis.Facts
+	analyzed map[string]bool
 }
 
 func (l *loader) load(path string) (*analysis.Unit, error) {
@@ -99,6 +178,7 @@ func (l *loader) load(path string) (*analysis.Unit, error) {
 		return nil, err
 	}
 	l.units[path] = unit
+	l.order = append(l.order, path)
 	return unit, nil
 }
 

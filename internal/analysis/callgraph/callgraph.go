@@ -1,0 +1,205 @@
+// Package callgraph builds the static call graph of one package: a node
+// per declared function or method, with an edge per call whose callee the
+// type information resolves statically — direct calls to package-level
+// functions and method calls through a concrete receiver, whether the
+// callee lives in this package or an imported one.
+//
+// The builder is deliberately conservative about everything dynamic.
+// Calls through interface methods, function-typed values, and function
+// literals have no static callee; they are recorded as calls with a nil
+// Callee and flagged on the caller via Node.Dynamic, so summary-based
+// analyzers know the node's behavior is not fully described by its
+// outgoing edges. Function literals themselves are not nodes: a literal
+// runs at another time under another analysis (the same convention the
+// CFG-based analyzers use), and a call to one is a dynamic call.
+//
+// Bottom-up summary propagation drives the API shape: SCCs returns the
+// strongly connected components in callee-first order, so an analyzer
+// folds summaries from leaves toward roots, iterating within a component
+// (mutual recursion) until its small lattice reaches a fixpoint.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Call is one call site in a function body.
+type Call struct {
+	Site   *ast.CallExpr
+	Callee *types.Func // nil when the callee is dynamic
+}
+
+// A Node is one declared function or method of the package.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	// Calls lists the body's call sites in source order, including calls
+	// inside nested function literals (a literal's effects are its
+	// enclosing function's responsibility only insofar as the analyzers
+	// decide; they can filter by position).
+	Calls []Call
+	// Dynamic is set when the body contains at least one call the types
+	// info cannot resolve to a single *types.Func — through an interface,
+	// a function value, a literal, or a builtin-wrapped expression.
+	Dynamic bool
+}
+
+// A Graph is the static call graph of one package.
+type Graph struct {
+	// Nodes maps each declared function to its node.
+	Nodes map[*types.Func]*Node
+	order []*Node // declaration order, for deterministic iteration
+}
+
+// Build constructs the call graph of the package's files.
+func Build(files []*ast.File, info *types.Info) *Graph {
+	g := &Graph{Nodes: make(map[*types.Func]*Node)}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Func: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := StaticCallee(info, call)
+				if callee == nil {
+					if !isNonFunctionCall(info, call) {
+						node.Dynamic = true
+						node.Calls = append(node.Calls, Call{Site: call})
+					}
+					return true
+				}
+				node.Calls = append(node.Calls, Call{Site: call, Callee: callee})
+				return true
+			})
+			g.Nodes[fn] = node
+			g.order = append(g.order, node)
+		}
+	}
+	return g
+}
+
+// All returns the nodes in declaration order.
+func (g *Graph) All() []*Node { return g.order }
+
+// StaticCallee resolves the single function or method a call must invoke,
+// or nil for dynamic calls, conversions and builtins. Unlike a plain
+// Uses lookup, method values and interface methods resolve to nil unless
+// the receiver's static type pins a concrete method.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			// A method call through an interface dispatches dynamically.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		return fn
+	}
+	return nil
+}
+
+// isNonFunctionCall reports whether the CallExpr is not a function call
+// at all: a type conversion or a builtin. Those are not dynamic calls.
+func isNonFunctionCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.TypeName, *types.Builtin:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType,
+		*ast.InterfaceType, *ast.StructType, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// SCCs returns the graph's strongly connected components in bottom-up
+// (callee-first) order: every intra-package call from a node in component
+// i leads to a component with index <= i, with equality exactly for
+// calls inside the component. Calls to other packages do not shape the
+// order (their summaries arrive as imported facts). The classic Tarjan
+// algorithm emits components in reverse topological order, which is the
+// bottom-up order summary propagation wants.
+func (g *Graph) SCCs() [][]*Node {
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*Node]*state, len(g.order))
+	var stack []*Node
+	var sccs [][]*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		sv := &state{index: next, lowlink: next}
+		next++
+		states[v] = sv
+		stack = append(stack, v)
+		sv.onStack = true
+
+		for _, call := range v.Calls {
+			w, ok := g.Nodes[call.Callee]
+			if !ok {
+				continue // dynamic or cross-package
+			}
+			sw, seen := states[w]
+			switch {
+			case !seen:
+				strongconnect(w)
+				if lw := states[w].lowlink; lw < sv.lowlink {
+					sv.lowlink = lw
+				}
+			case sw.onStack:
+				if sw.index < sv.lowlink {
+					sv.lowlink = sw.index
+				}
+			}
+		}
+
+		if sv.lowlink == sv.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, v := range g.order {
+		if _, seen := states[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

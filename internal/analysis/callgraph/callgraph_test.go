@@ -1,0 +1,178 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func buildGraph(t *testing.T, src string) (*Graph, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Build([]*ast.File{file}, info), pkg
+}
+
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.All() {
+		if n.Func.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+func callees(n *Node) []string {
+	var out []string
+	for _, c := range n.Calls {
+		if c.Callee != nil {
+			out = append(out, c.Callee.Name())
+		} else {
+			out = append(out, "<dynamic>")
+		}
+	}
+	return out
+}
+
+func TestStaticAndMethodCalls(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+type T struct{}
+func (T) m() {}
+func leaf() {}
+func caller(v T) {
+	leaf()
+	v.m()
+}
+`)
+	c := node(t, g, "caller")
+	if c.Dynamic {
+		t.Error("caller marked dynamic; all its calls are static")
+	}
+	got := callees(c)
+	if len(got) != 2 || got[0] != "leaf" || got[1] != "m" {
+		t.Errorf("callees = %v, want [leaf m]", got)
+	}
+}
+
+func TestInterfaceDispatchIsDynamic(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+type I interface{ m() }
+func f(i I) { i.m() }
+`)
+	n := node(t, g, "f")
+	if !n.Dynamic {
+		t.Error("interface method call not marked dynamic")
+	}
+	if got := callees(n); len(got) != 1 || got[0] != "<dynamic>" {
+		t.Errorf("callees = %v, want [<dynamic>]", got)
+	}
+}
+
+func TestFuncValueAndLiteralAreDynamic(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+func f(cb func()) {
+	cb()
+	func() {}()
+}
+`)
+	n := node(t, g, "f")
+	if !n.Dynamic {
+		t.Error("function-value call not marked dynamic")
+	}
+	if len(n.Calls) != 2 {
+		t.Errorf("calls = %v, want two dynamic calls", callees(n))
+	}
+}
+
+func TestConversionsAndBuiltinsNotDynamic(t *testing.T) {
+	g, _ := buildGraph(t, `package p
+type ms []int
+func f(x int) int {
+	s := ms(nil)
+	s = append(s, int64EqHack(x))
+	_ = []byte("k")
+	return len(s)
+}
+func int64EqHack(x int) int { return x }
+`)
+	n := node(t, g, "f")
+	if n.Dynamic {
+		t.Errorf("conversions/builtins marked dynamic; calls = %v", callees(n))
+	}
+	if got := callees(n); len(got) != 1 || got[0] != "int64EqHack" {
+		t.Errorf("callees = %v, want [int64EqHack]", got)
+	}
+}
+
+func TestCrossPackageCalleeResolved(t *testing.T) {
+	g, pkg := buildGraph(t, `package p
+import "strings"
+func f(s string) string { return strings.TrimSpace(s) }
+`)
+	n := node(t, g, "f")
+	if n.Dynamic || len(n.Calls) != 1 || n.Calls[0].Callee == nil {
+		t.Fatalf("strings.TrimSpace not resolved statically: %v", callees(n))
+	}
+	if got := n.Calls[0].Callee.Pkg(); got == pkg || got.Path() != "strings" {
+		t.Errorf("callee package = %v, want strings", got)
+	}
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	// leaf <- mid <- {even, odd} (mutually recursive) <- root
+	g, _ := buildGraph(t, `package p
+func leaf() {}
+func mid() { leaf() }
+func even(n int) {
+	if n > 0 {
+		odd(n - 1)
+	}
+	mid()
+}
+func odd(n int) {
+	if n > 0 {
+		even(n - 1)
+	}
+}
+func root() { even(3) }
+`)
+	sccs := g.SCCs()
+	pos := make(map[string]int)
+	size := make(map[string]int)
+	for i, comp := range sccs {
+		for _, n := range comp {
+			pos[n.Func.Name()] = i
+			size[n.Func.Name()] = len(comp)
+		}
+	}
+	if size["even"] != 2 || pos["even"] != pos["odd"] {
+		t.Errorf("even/odd not in one component: pos=%v size=%v", pos, size)
+	}
+	// Callee-first: every call edge goes to an equal-or-earlier component.
+	for caller, callee := range map[string]string{
+		"mid": "leaf", "even": "mid", "root": "even",
+	} {
+		if pos[callee] >= pos[caller] {
+			t.Errorf("%s (comp %d) should come after callee %s (comp %d)",
+				caller, pos[caller], callee, pos[callee])
+		}
+	}
+}

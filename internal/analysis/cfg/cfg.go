@@ -147,13 +147,40 @@ func (b *builder) stmt(s ast.Stmt) {
 	case *ast.ReturnStmt:
 		b.emit(s)
 		b.cur = nil
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicCall(s.X) {
+			// panic never returns: statements after it are unreachable,
+			// exactly like a return. (The check is syntactic — a local
+			// function shadowing the builtin would be misread — but
+			// shadowing panic has no place in this tree.)
+			b.cur = nil
+		}
 	case *ast.BranchStmt:
 		b.branchStmt(s)
 	default:
-		// Assignments, declarations, expression statements, defer, go,
-		// inc/dec, empty: straight-line.
+		// Assignments, declarations, defer, go, inc/dec, empty:
+		// straight-line.
 		b.emit(s)
 	}
+}
+
+// IsPanicStmt reports whether s is a statement-level call to the panic
+// builtin — the terminator the builder treats like a return. Analyzers use
+// it to exclude panic exits when classifying function exit states.
+func IsPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	return ok && isPanicCall(es.X)
+}
+
+// isPanicCall recognizes a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
 }
 
 func (b *builder) branchStmt(s *ast.BranchStmt) {

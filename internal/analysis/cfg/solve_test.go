@@ -1,0 +1,146 @@
+package cfg
+
+// Solver edge cases the interprocedural summary propagation leans on:
+// panic-terminated paths, loops with no exit (whose exit blocks must stay
+// unreached rather than absorb a zero-value set), and the labeled
+// break/continue constructs the builder declines to model.
+
+import (
+	"testing"
+)
+
+func TestPanicTerminatesPath(t *testing.T) {
+	// The then-branch panics, so only the x != A edge reaches the probe:
+	// without panic termination the probe would see the full set.
+	g := buildFunc(t, `
+		if x == A {
+			panic("A is fatal")
+		}
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	want(t, probeSets(t, g), Full(3).Without(0))
+}
+
+func TestUnreachableAfterPanic(t *testing.T) {
+	// Statements after an unconditional panic are unreachable: they land
+	// in no block, so the analysis never visits them.
+	g := buildFunc(t, `
+		panic("gone")
+		x = A
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	if got := probeSets(t, g); len(got) != 0 {
+		t.Fatalf("probe after panic was reached: sets %v", got)
+	}
+}
+
+func TestForeverLoopExitUnreached(t *testing.T) {
+	// `for {}` has no exit edge. The block after the loop exists
+	// structurally but must not appear in the solution — a may-analysis
+	// that handed it the zero-value set would claim "no value possible",
+	// which downstream code could misread as proof.
+	g := buildFunc(t, `
+		x = A
+		for {
+			probe()
+			x = B
+		}
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	in := g.Solve(Full(3), transfer, refine)
+	reached := 0
+	for _, blk := range g.Blocks {
+		if _, ok := in[blk]; ok {
+			reached++
+		}
+	}
+	if reached == len(g.Blocks) {
+		t.Fatalf("all %d blocks reached; the loop exit should be unreachable", len(g.Blocks))
+	}
+	// The in-loop probe sees both the initial A and the back-edge B.
+	want(t, probeSets(t, g), Only(0).With(1), Set(0))
+}
+
+func TestForeverLoopWithBreakReachesExit(t *testing.T) {
+	g := buildFunc(t, `
+		x = A
+		for {
+			if x == A {
+				x = B
+				break
+			}
+			x = C
+		}
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	// Only the break path leaves the loop, carrying x == B.
+	want(t, probeSets(t, g), Only(1))
+}
+
+func TestLabeledBreakUnanalyzable(t *testing.T) {
+	g := buildFunc(t, `
+	L:
+		for {
+			for {
+				break L
+			}
+		}
+		probe()
+	`)
+	if !g.Unanalyzable {
+		t.Fatal("labeled break should mark the graph unanalyzable")
+	}
+	if g.Reason == "" {
+		t.Fatal("unanalyzable graph carries no reason")
+	}
+	// Solving an unanalyzable graph must still terminate; callers are
+	// expected to check Unanalyzable and over-approximate, but the solver
+	// itself stays total.
+	_ = g.Solve(Full(3), transfer, refine)
+}
+
+func TestLabeledContinueUnanalyzable(t *testing.T) {
+	g := buildFunc(t, `
+	L:
+		for {
+			for {
+				continue L
+			}
+		}
+	`)
+	if !g.Unanalyzable {
+		t.Fatal("labeled continue should mark the graph unanalyzable")
+	}
+}
+
+func TestPanicInsideBranchKeepsOtherPaths(t *testing.T) {
+	// A switch where one case panics: the probe merges only the
+	// surviving cases.
+	g := buildFunc(t, `
+		switch x {
+		case A:
+			panic("no A")
+		case B:
+			probe()
+		}
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	// First probe: inside case B. Second: B's fallout plus the default
+	// (x not in {A, B}) dispatch edge — everything but A.
+	want(t, probeSets(t, g), Only(1), Full(3).Without(0))
+}

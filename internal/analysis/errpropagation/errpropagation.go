@@ -5,7 +5,7 @@
 // simulation code a swallowed error usually means a silently wrong
 // result, which is worse than a crash. Errors must be handled, returned,
 // or explicitly discarded with `_ =` (visible in review) or a
-// `//lint:allow errpropagation <reason>` directive.
+// `//lint:allow errpropagation:dropped <reason>` directive.
 //
 // Scope: packages with an "internal" or "cmd" path segment, excluding
 // _test.go files.
@@ -17,7 +17,12 @@
 //   - methods of strings.Builder and bytes.Buffer, which are documented
 //     never to return a non-nil error;
 //   - Write/WriteString/WriteByte/WriteRune on bufio.Writer, whose write
-//     errors are sticky and surface from Flush (Flush itself is checked).
+//     errors are sticky and surface from Flush (Flush itself is checked);
+//   - niladic Close and Flush on resource types (per resourcelifecycle's
+//     Detector): the resourcelifecycle analyzer owns those as its
+//     dropped-error category, with a `_ =` suggested fix — one finding
+//     per site, not two. Close/Flush on non-resource types (such as
+//     bufio.Writer) stays with this analyzer.
 //
 // Goroutine bodies get one extra rule: assigning an error to a variable
 // captured from the spawning function (`go func() { err = f() }()`) drops
@@ -34,6 +39,7 @@ import (
 	"strings"
 
 	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/resourcelifecycle"
 )
 
 // Analyzer is the errpropagation check.
@@ -48,6 +54,7 @@ func run(pass *analysis.Pass) error {
 	if !analysis.HasPathSegment(path, "internal") && !analysis.HasPathSegment(path, "cmd") {
 		return nil
 	}
+	det := resourcelifecycle.NewDetector(pass)
 	for _, file := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, file.Pos()) {
 			continue
@@ -71,10 +78,10 @@ func run(pass *analysis.Pass) error {
 			default:
 				return true
 			}
-			if call == nil || !returnsError(pass.TypesInfo, call) || exempt(pass.TypesInfo, call) {
+			if call == nil || !returnsError(pass.TypesInfo, call) || exempt(pass.TypesInfo, call, det) {
 				return true
 			}
-			pass.Reportf(call.Pos(), "%s to %s drops its error; handle it, return it, or discard explicitly with `_ =`",
+			pass.Reportf(call.Pos(), "dropped", "%s to %s drops its error; handle it, return it, or discard explicitly with `_ =`",
 				how, calleeName(pass.TypesInfo, call))
 			return true
 		})
@@ -105,7 +112,7 @@ func checkGoroutineErrs(pass *analysis.Pass, lit *ast.FuncLit) {
 			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
 				continue // the goroutine's own local
 			}
-			pass.Reportf(id.Pos(),
+			pass.Reportf(id.Pos(), "captured-err",
 				"goroutine assigns error to captured variable %s, invisible to the spawner; deliver it over a channel or an indexed slice", id.Name)
 		}
 		return true
@@ -141,9 +148,9 @@ var printfFuncs = map[string]bool{
 	"Fprint": true, "Fprintf": true, "Fprintln": true,
 }
 
-// stickyWriters maps exempted receiver types to the method prefix whose
-// errors are either impossible or surfaced elsewhere.
-func exempt(info *types.Info, call *ast.CallExpr) bool {
+// exempt recognizes calls whose dropped error is either impossible,
+// surfaced elsewhere, or owned by a more specific analyzer.
+func exempt(info *types.Info, call *ast.CallExpr, det *resourcelifecycle.Detector) bool {
 	fn := analysis.CalleeFunc(info, call)
 	if fn == nil {
 		return false
@@ -159,6 +166,11 @@ func exempt(info *types.Info, call *ast.CallExpr) bool {
 		return true
 	case analysis.IsNamed(recv, "bufio", "Writer"):
 		return strings.HasPrefix(fn.Name(), "Write")
+	}
+	// Dropped Close/Flush errors on resource values are
+	// resourcelifecycle's dropped-error category.
+	if (fn.Name() == "Close" || fn.Name() == "Flush") && sig.Params().Len() == 0 {
+		return det.IsResource(recv)
 	}
 	return false
 }

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// This file is the autofix engine: it turns the SuggestedFixes carried by
+// findings into edited, gofmt-clean source files. The engine is
+// deliberately one-shot — it applies each finding's first fix, skipping
+// any fix that overlaps one already scheduled — and relies on the
+// analyzers' contract that an applied fix does not reproduce its
+// diagnostic, which is what makes `rololint -fix` idempotent: the second
+// run finds nothing to fix and edits nothing.
+
+// An AppliedFix describes one fix the engine applied, for reporting.
+type AppliedFix struct {
+	Finding Finding
+	Message string
+}
+
+// scheduleFixes picks the edits to apply for a finding list: each
+// finding's first fix, unless one of its edits overlaps an edit already
+// scheduled (findings arrive position-sorted, so the earliest finding
+// wins and later overlapping fixes are left for a subsequent run).
+// Two pure insertions at distinct offsets never conflict; two insertions
+// at the same offset do (their order would be ambiguous).
+func scheduleFixes(findings []Finding) (perFile map[string][]FixEdit, remaining []Finding, applied []AppliedFix) {
+	perFile = make(map[string][]FixEdit)
+	overlaps := func(a, b FixEdit) bool {
+		if a.Filename != b.Filename {
+			return false
+		}
+		if a.Start == a.End && b.Start == b.End {
+			return a.Start == b.Start
+		}
+		return a.Start < b.End && b.Start < a.End
+	}
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			remaining = append(remaining, f)
+			continue
+		}
+		fix := f.Fixes[0]
+		conflict := false
+		for _, e := range fix.Edits {
+			for _, prev := range perFile[e.Filename] {
+				if overlaps(e, prev) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+		}
+		if conflict {
+			remaining = append(remaining, f)
+			continue
+		}
+		for _, e := range fix.Edits {
+			perFile[e.Filename] = append(perFile[e.Filename], e)
+		}
+		applied = append(applied, AppliedFix{Finding: f, Message: fix.Message})
+	}
+	return perFile, remaining, applied
+}
+
+// applyEdits applies the edits (any order, non-overlapping) to src.
+func applyEdits(src []byte, edits []FixEdit) ([]byte, error) {
+	sorted := append([]FixEdit(nil), edits...)
+	// Back to front, so earlier offsets stay valid.
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
+	out := src
+	for _, e := range sorted {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		out = append(out[:e.Start:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out, nil
+}
+
+// ApplyFixes applies the first suggested fix of every finding that has
+// one and rewrites the edited files gofmt-formatted, returning the
+// findings that had no applicable fix alongside a report of what was
+// applied.
+func ApplyFixes(findings []Finding) (remaining []Finding, applied []AppliedFix, err error) {
+	perFile, remaining, applied := scheduleFixes(findings)
+	if len(perFile) == 0 {
+		return remaining, nil, nil
+	}
+	files := make([]string, 0, len(perFile))
+	for name := range perFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		src, rerr := os.ReadFile(name)
+		if rerr != nil {
+			return remaining, applied, fmt.Errorf("fix %s: %w", name, rerr)
+		}
+		out, aerr := applyEdits(src, perFile[name])
+		if aerr != nil {
+			return remaining, applied, fmt.Errorf("fix %s: %w", name, aerr)
+		}
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return remaining, applied, fmt.Errorf("fix %s: result does not parse: %w", name, ferr)
+		}
+		mode := os.FileMode(0o644)
+		if info, serr := os.Stat(name); serr == nil {
+			mode = info.Mode()
+		}
+		if werr := os.WriteFile(name, formatted, mode); werr != nil {
+			return remaining, applied, fmt.Errorf("fix %s: %w", name, werr)
+		}
+	}
+	return remaining, applied, nil
+}
+
+// ApplyFixesToSource applies the scheduled fixes that touch only filename
+// to src in memory, returning the gofmt-formatted result and whether
+// anything changed — the analysistest harness's golden-file path.
+func ApplyFixesToSource(filename string, src []byte, findings []Finding) ([]byte, bool, error) {
+	perFile, _, _ := scheduleFixes(findings)
+	edits := perFile[filename]
+	if len(edits) == 0 {
+		return src, false, nil
+	}
+	out, err := applyEdits(src, edits)
+	if err != nil {
+		return nil, false, err
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		return nil, false, fmt.Errorf("fixed source does not parse: %w", err)
+	}
+	return formatted, true, nil
+}

@@ -123,12 +123,12 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		recv := sig.Recv().Type()
 		switch {
 		case spaceMutators[fn.Name()] && analysis.IsNamed(recv, "internal/logspace", "Space"):
-			pass.Reportf(call.Pos(),
+			pass.Reportf(call.Pos(), "unaudited",
 				"logspace.Space.%s outside an audited helper: the sanitizer ledger cannot see this mutation; route it through a rolosan:audited helper",
 				fn.Name())
 		case setMutators[fn.Name()] && analysis.IsNamed(recv, "internal/intervals", "Set") &&
 			fieldRooted(pass.TypesInfo, sel.X):
-			pass.Reportf(call.Pos(),
+			pass.Reportf(call.Pos(), "unaudited",
 				"%s.%s mutates shared dirty-set bookkeeping outside an audited helper; route it through a rolosan:audited helper",
 				types.ExprString(ast.Unparen(sel.X)), fn.Name())
 		}

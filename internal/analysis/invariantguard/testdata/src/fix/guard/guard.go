@@ -76,7 +76,7 @@ func (c *C) scratch() int64 {
 
 // allowed is a documented exception.
 func (c *C) allowed() {
-	//lint:allow invariantguard rebuild discards the log wholesale by design
+	//lint:allow invariantguard:unaudited rebuild discards the log wholesale by design
 	c.space.Reset()
 }
 

@@ -20,8 +20,8 @@
 //     end them in their run-teardown method.
 //
 // Anything else (package-level logs, logs reached through interfaces) is
-// matched per function. The `//lint:allow phasepairing <reason>`
-// directive covers intentional exceptions.
+// matched per function. The `//lint:allow phasepairing:unpaired-begin
+// <reason>` directive covers intentional exceptions.
 package phasepairing
 
 import (
@@ -74,7 +74,7 @@ func run(pass *analysis.Pass) error {
 		if ends[b.key] || typeEnds[b.key] {
 			continue
 		}
-		pass.Reportf(b.call.Pos(),
+		pass.Reportf(b.call.Pos(), "unpaired-begin",
 			"PhaseLog.Begin with no reachable End/Close for %s; the final phase interval would be dropped", b.disp)
 	}
 	return nil

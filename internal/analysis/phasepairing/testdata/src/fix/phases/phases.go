@@ -91,5 +91,5 @@ func (w *wrapper) end(now int64) {
 
 func allowed() {
 	var l metrics.PhaseLog
-	l.Begin(metrics.Logging, 0, 0) //lint:allow phasepairing run is cut at the horizon, interval dropped on purpose
+	l.Begin(metrics.Logging, 0, 0) //lint:allow phasepairing:unpaired-begin run is cut at the horizon, interval dropped on purpose
 }

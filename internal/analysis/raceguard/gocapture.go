@@ -74,7 +74,7 @@ func checkLoopCapture(pass *analysis.Pass, lit *ast.FuncLit, stack []ast.Node) {
 			return true
 		}
 		if obj := pass.TypesInfo.Uses[id]; obj != nil && loopVars[obj] {
-			pass.Reportf(id.Pos(),
+			pass.Reportf(id.Pos(), "loop-var",
 				"go function literal captures loop variable %s; pass it as a parameter", id.Name)
 		}
 		return true
@@ -123,7 +123,7 @@ func checkCapturedWrites(pass *analysis.Pass, lit *ast.FuncLit) {
 		if states != nil && lockedAt(pass.TypesInfo, graph, states, w.stmt) {
 			continue
 		}
-		pass.Reportf(w.stmt.Pos(),
+		pass.Reportf(w.stmt.Pos(), "captured-write",
 			"goroutine assigns to captured variable %s without holding a lock; spawner and goroutine race", w.root.Name)
 	}
 }

@@ -29,21 +29,24 @@ type guard struct {
 }
 
 func runGuardedBy(pass *analysis.Pass) error {
-	guards := collectGuards(pass)
+	guards := collectGuards(pass, true)
 	if len(guards) == 0 {
 		return nil
 	}
+	sm := computeSummaries(pass)
 	for _, file := range pass.Files {
-		funcBodies(file, func(body *ast.BlockStmt) {
-			checkGuardedBody(pass, guards, body)
+		funcBodiesDecl(file, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkGuardedBody(pass, sm, guards, decl, body)
 		})
 	}
 	return nil
 }
 
 // collectGuards gathers the annotated fields of every struct in the
-// package, validating that each annotation names a sibling mutex field.
-func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+// package. When report is set it also validates that each annotation names
+// a sibling mutex field (guardedby reports; lockcontract collects
+// silently, so the two analyzers do not double-flag bad annotations).
+func collectGuards(pass *analysis.Pass, report bool) map[types.Object]guard {
 	guards := map[types.Object]guard{}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -58,8 +61,10 @@ func collectGuards(pass *analysis.Pass) map[types.Object]guard {
 				}
 				g, found := siblingMutex(pass, st, muName)
 				if !found {
-					pass.Reportf(f.Pos(),
-						"%s names %q, which is not a sync.Mutex or sync.RWMutex field of the same struct", guardDirective, muName)
+					if report {
+						pass.Reportf(f.Pos(), "bad-annotation",
+							"%s names %q, which is not a sync.Mutex or sync.RWMutex field of the same struct", guardDirective, muName)
+					}
 					continue
 				}
 				for _, name := range f.Names {
@@ -119,13 +124,14 @@ type access struct {
 	sel   *ast.SelectorExpr
 	write bool
 	g     guard
-	chain string // rendered mutex chain, e.g. "m.mu"
+	chain string       // rendered mutex chain, e.g. "m.mu"
+	root  types.Object // object the chain's base identifier resolves to
 }
 
-// checkGuardedBody verifies every guarded-field access in one function
-// body (nested literals excluded — they are visited on their own, with
-// the lock assumed released, because they run at another time).
-func checkGuardedBody(pass *analysis.Pass, guards map[types.Object]guard, body *ast.BlockStmt) {
+// collectAccesses gathers the guarded-field accesses of one function body
+// (nested literals excluded — they are visited on their own, with the lock
+// assumed released, because they run at another time).
+func collectAccesses(pass *analysis.Pass, guards map[types.Object]guard, body *ast.BlockStmt) []access {
 	var accesses []access
 	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
 		if n == body {
@@ -147,17 +153,33 @@ func checkGuardedBody(pass *analysis.Pass, guards map[types.Object]guard, body *
 			write: isWrite(sel, stack),
 			g:     g,
 			chain: types.ExprString(ast.Unparen(sel.X)) + "." + g.mu,
+			root:  rootObject(pass.TypesInfo, sel.X),
 		})
 		return true
 	})
+	return accesses
+}
+
+// checkGuardedBody verifies every guarded-field access in one function
+// body. decl is the enclosing declaration (nil for function literals): its
+// //rolosan:requires directives seed the lock state held at entry, and
+// helper calls transfer lock state through their summaries. Receiver-
+// rooted chains the body never locks at all are lockcontract's
+// undeclared-requires finding (one report per method, with a directive
+// fix), so guardedby stays silent on them instead of flagging every
+// access.
+func checkGuardedBody(pass *analysis.Pass, sm *summaries, guards map[types.Object]guard, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	accesses := collectAccesses(pass, guards, body)
 	if len(accesses) == 0 {
 		return
 	}
+	recvName, recvObj := receiver(pass.TypesInfo, decl)
+	requires := declaredRequires(decl, recvName)
 
 	graph := cfg.Build(body)
 	if graph.Unanalyzable {
 		for _, a := range accesses {
-			pass.Reportf(a.sel.Pos(),
+			pass.Reportf(a.sel.Pos(), "unverifiable",
 				"%s of guarded field %s cannot be verified: control flow is unanalyzable (%s); may not hold %s",
 				rw(a.write), fieldDisp(a.sel), graph.Reason, a.chain)
 		}
@@ -168,10 +190,16 @@ func checkGuardedBody(pass *analysis.Pass, guards map[types.Object]guard, body *
 	// to reach every access's program point.
 	byChain := map[string][]access{}
 	for _, a := range accesses {
+		if recvObj != nil && a.root == recvObj &&
+			entrySet(requires, recvName, a.chain) == cfg.Only(stUnheld) &&
+			!sm.touchesChain(body, a.chain) {
+			continue // lockcontract:undeclared-requires owns this chain
+		}
 		byChain[a.chain] = append(byChain[a.chain], a)
 	}
 	for chain, list := range byChain {
-		states := lockStates(pass.TypesInfo, graph, chain)
+		entry := entrySet(requires, recvName, chain)
+		states := sm.states(graph, chain, entry)
 		for _, blk := range graph.Blocks {
 			st, reached := states[blk]
 			if !reached {
@@ -184,16 +212,16 @@ func checkGuardedBody(pass *analysis.Pass, guards map[types.Object]guard, body *
 					}
 					switch {
 					case st.Has(stUnheld):
-						pass.Reportf(a.sel.Pos(),
+						pass.Reportf(a.sel.Pos(), "unheld",
 							"%s of guarded field %s on a path where %s may not be held",
 							rw(a.write), fieldDisp(a.sel), chain)
 					case a.write && st.Has(stRLocked):
-						pass.Reportf(a.sel.Pos(),
+						pass.Reportf(a.sel.Pos(), "rlock-write",
 							"write of guarded field %s on a path where %s may be held only for reading",
 							fieldDisp(a.sel), chain)
 					}
 				}
-				st = lockTransfer(pass.TypesInfo, chain, s, st)
+				st = sm.transfer(chain, s, st)
 			}
 		}
 	}

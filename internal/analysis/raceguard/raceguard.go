@@ -8,8 +8,8 @@
 //     only be read or written on paths where the named sibling mutex is
 //     held. Lock state is tracked by a forward dataflow over the
 //     function's CFG (Lock/RLock/Unlock/RUnlock, with deferred unlocks
-//     treated as end-of-function). `//lint:allow guardedby <reason>`
-//     covers init-before-share construction.
+//     treated as end-of-function). `//lint:allow guardedby:unheld
+//     <reason>` covers init-before-share construction.
 //
 //   - gocapture: `go` statements whose function literals capture an
 //     enclosing loop variable (goroutine inputs belong in parameters,
@@ -156,14 +156,21 @@ func stmtContains(s ast.Stmt, target ast.Node) bool {
 // Literal bodies are visited separately from their enclosing functions
 // because they run at another time: lock state never flows into them.
 func funcBodies(file *ast.File, fn func(body *ast.BlockStmt)) {
+	funcBodiesDecl(file, func(_ *ast.FuncDecl, body *ast.BlockStmt) { fn(body) })
+}
+
+// funcBodiesDecl is funcBodies with the enclosing declaration: non-nil for
+// declared functions and methods (whose doc may carry lock contracts), nil
+// for function literals.
+func funcBodiesDecl(file *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncDecl:
 			if n.Body != nil {
-				fn(n.Body)
+				fn(n, n.Body)
 			}
 		case *ast.FuncLit:
-			fn(n.Body)
+			fn(nil, n.Body)
 		}
 		return true
 	})

@@ -11,6 +11,10 @@ func TestGuardedBy(t *testing.T) {
 	analysistest.Run(t, "testdata", raceguard.GuardedBy, "fix/guarded")
 }
 
+func TestLockContract(t *testing.T) {
+	analysistest.Run(t, "testdata", raceguard.LockContract, "fix/lockcontract")
+}
+
 func TestGoCapture(t *testing.T) {
 	analysistest.Run(t, "testdata", raceguard.GoCapture, "fix/capture")
 }

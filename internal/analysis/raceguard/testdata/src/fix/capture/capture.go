@@ -87,7 +87,7 @@ func indexedAllowed(items []int) []int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = items[i] * 2 //lint:allow gocapture each goroutine owns index i; wg.Wait publishes the slice
+			out[i] = items[i] * 2 //lint:allow gocapture:captured-write each goroutine owns index i; wg.Wait publishes the slice
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,91 @@
+// Package contract exercises the lockcontract analyzer: declared
+// //rolosan:requires contracts checked at call sites, lock state flowing
+// through summarized helper methods, cross-package contracts via facts,
+// and undeclared-requires inference with its directive fix.
+package contract
+
+import (
+	"sync"
+
+	"fix/lockdep"
+)
+
+type store struct {
+	mu sync.Mutex
+	//rolosan:guardedby mu
+	n int
+}
+
+// bump increments under the caller's lock.
+//
+//rolosan:requires mu
+func (s *store) bump() { s.n++ }
+
+// lock is summarized as acquiring $recv.mu.
+func (s *store) lock() { s.mu.Lock() }
+
+// unlock is summarized as releasing $recv.mu.
+func (s *store) unlock() { s.mu.Unlock() }
+
+func (s *store) direct() {
+	s.mu.Lock()
+	s.bump()
+	s.mu.Unlock()
+}
+
+func (s *store) viaHelpers() {
+	s.lock()
+	s.bump()
+	s.unlock()
+}
+
+func (s *store) unheldCall() {
+	s.bump() // want `call to bump requires s\.mu held, but it may not be held here`
+}
+
+func (s *store) partiallyHeld(cond bool) {
+	if cond {
+		s.lock()
+	}
+	s.bump() // want `call to bump requires s\.mu held, but it may not be held here`
+	if cond {
+		s.unlock()
+	}
+}
+
+func (s *store) allowedCall() {
+	s.bump() //lint:allow lockcontract:requires-unheld construction-time call before the store is shared
+}
+
+// peek reads the guarded field with no locking anywhere in the method:
+// the undeclared-requires inference flags it once, with a fix inserting
+// the directive.
+func (s *store) peek() int {
+	return s.n // want `peek accesses s\.n \(guarded by s\.mu\) without locking; declare //rolosan:requires mu if callers must hold the lock`
+}
+
+func (s *store) allowedPeek() int {
+	return s.n //lint:allow lockcontract:undeclared-requires snapshot read; staleness is acceptable here
+}
+
+//rolosan:requires missing
+func (s *store) badDirective() {} // want `rolosan:requires names "missing", which is not a sync\.Mutex or sync\.RWMutex field of the receiver`
+
+func useDep(b *lockdep.Box) {
+	b.Bump() // want `call to Bump requires b\.Mu held, but it may not be held here`
+	b.Lock()
+	b.Bump()
+	b.Unlock()
+}
+
+var (
+	_ = (*store).direct
+	_ = (*store).viaHelpers
+	_ = (*store).unheldCall
+	_ = (*store).partiallyHeld
+	_ = (*store).allowedCall
+	_ = (*store).peek
+	_ = (*store).allowedPeek
+	_ = (*store).badDirective
+	_ = useDep
+)

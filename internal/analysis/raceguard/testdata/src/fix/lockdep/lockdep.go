@@ -1,0 +1,24 @@
+// Package lockdep is a dependency fixture for lockcontract: its summaries
+// (a declared requires contract and lock/unlock helpers) must reach
+// importing fixture packages as facts.
+package lockdep
+
+import "sync"
+
+// Box is a shared counter with an exported lock.
+type Box struct {
+	Mu sync.Mutex
+	//rolosan:guardedby Mu
+	Val int
+}
+
+// Bump increments the counter; callers hold the lock.
+//
+//rolosan:requires Mu
+func (b *Box) Bump() { b.Val++ }
+
+// Lock acquires the box lock (summarized as acquiring $recv.Mu).
+func (b *Box) Lock() { b.Mu.Lock() }
+
+// Unlock releases the box lock.
+func (b *Box) Unlock() { b.Mu.Unlock() }

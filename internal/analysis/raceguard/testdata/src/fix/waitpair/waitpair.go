@@ -87,7 +87,7 @@ func deferredSendInWrapper(ch chan struct{}) {
 }
 
 func allowedFireAndForget() {
-	go func() { //lint:allow waitpairing best-effort warmup; process lifetime outlives it
+	go func() { //lint:allow waitpairing:no-signal best-effort warmup; process lifetime outlives it
 		helper()
 	}()
 }

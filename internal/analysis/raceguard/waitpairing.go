@@ -30,7 +30,7 @@ func runWaitPairing(pass *analysis.Pass) error {
 			}
 			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
 			if !ok {
-				pass.Reportf(g.Pos(),
+				pass.Reportf(g.Pos(), "non-literal",
 					"go statement calls a non-literal function; its completion cannot be checked — wrap it in a literal that signals completion (WaitGroup.Done, channel send, or close)")
 				return true
 			}
@@ -72,7 +72,7 @@ func checkSignals(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) map[stri
 		return true
 	})
 	if !any {
-		pass.Reportf(g.Pos(),
+		pass.Reportf(g.Pos(), "no-signal",
 			"goroutine never signals completion (no WaitGroup.Done, channel send, or close); it cannot be joined")
 		return doneChains
 	}
@@ -102,7 +102,7 @@ func checkSignals(pass *analysis.Pass, g *ast.GoStmt, lit *ast.FuncLit) map[stri
 			}
 		}
 		if st.Has(sigPending) {
-			pass.Reportf(g.Pos(),
+			pass.Reportf(g.Pos(), "partial-signal",
 				"goroutine may return without signaling completion on some path; defer the WaitGroup.Done (or send/close) instead")
 			return doneChains
 		}
@@ -134,7 +134,7 @@ func checkAddPairing(pass *analysis.Pass, g *ast.GoStmt, stack []ast.Node, chain
 		return !hasAdd
 	})
 	if !hasAdd {
-		pass.Reportf(g.Pos(),
+		pass.Reportf(g.Pos(), "missing-add",
 			"goroutine calls %s.Done but the spawning function never calls %s.Add", chain, chain)
 		return
 	}
@@ -158,7 +158,7 @@ func checkAddPairing(pass *analysis.Pass, g *ast.GoStmt, stack []ast.Node, chain
 		for _, s := range blk.Stmts {
 			if stmtContains(s, g) {
 				if st.Has(sigPending) {
-					pass.Reportf(g.Pos(),
+					pass.Reportf(g.Pos(), "add-path",
 						"goroutine calls %s.Done but %s.Add does not precede the go statement on every path", chain, chain)
 				}
 				return

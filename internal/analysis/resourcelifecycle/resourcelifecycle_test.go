@@ -1,0 +1,12 @@
+package resourcelifecycle_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/resourcelifecycle"
+)
+
+func TestResourceLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", resourcelifecycle.Analyzer, "fix/internal/resource")
+}

@@ -1,0 +1,34 @@
+// Package resdep is a dependency fixture for resourcelifecycle: its
+// annotated resource type and helper summaries (a closer and a borrower)
+// must reach importing fixture packages as facts.
+package resdep
+
+import "os"
+
+// Handle owns an open file; holders must Close it.
+//
+//rolosan:resource
+type Handle struct {
+	f *os.File
+}
+
+// OpenHandle opens path and hands the obligation to the caller.
+func OpenHandle(path string) (*Handle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{f: f}, nil
+}
+
+// Close releases the handle.
+func (h *Handle) Close() error { return h.f.Close() }
+
+// Ping touches the handle without consuming it.
+func (h *Handle) Ping() {}
+
+// Finish closes its argument on the caller's behalf (summary: closes).
+func Finish(h *Handle) error { return h.Close() }
+
+// Touch only borrows its argument (summary: borrows).
+func Touch(h *Handle) { h.Ping() }

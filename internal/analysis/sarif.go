@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file renders findings as SARIF 2.1.0, the static-analysis results
+// interchange format GitHub code scanning ingests — CI uploads the report
+// as a workflow artifact so findings can annotate pull requests. Only the
+// subset of the schema GitHub consumes is emitted: one run, one tool
+// driver with a rule per analyzer, and one result per finding with a
+// physical location relative to the source root.
+
+// SARIF document structs, mirroring the 2.1.0 schema shape.
+type (
+	sarifLog struct {
+		Version string     `json:"version"`
+		Schema  string     `json:"$schema"`
+		Runs    []sarifRun `json:"runs"`
+	}
+	sarifRun struct {
+		Tool    sarifTool     `json:"tool"`
+		Results []sarifResult `json:"results"`
+	}
+	sarifTool struct {
+		Driver sarifDriver `json:"driver"`
+	}
+	sarifDriver struct {
+		Name           string      `json:"name"`
+		InformationURI string      `json:"informationUri"`
+		Rules          []sarifRule `json:"rules"`
+	}
+	sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+	}
+	sarifMessage struct {
+		Text string `json:"text"`
+	}
+	sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		RuleIndex int             `json:"ruleIndex"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	sarifLocation struct {
+		PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	}
+	sarifPhysicalLocation struct {
+		ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+		Region           sarifRegion           `json:"region"`
+	}
+	sarifArtifactLocation struct {
+		URI       string `json:"uri"`
+		URIBaseID string `json:"uriBaseId"`
+	}
+	sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+)
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders the findings of one run as a SARIF 2.1.0 document.
+// analyzers defines the rule table (every analyzer that ran, findings or
+// not, so a clean run still documents what was checked); srcRoot anchors
+// the relative artifact URIs (findings outside it keep absolute paths).
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding, srcRoot string) error {
+	ruleIndex := make(map[string]int, len(analyzers))
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: firstDocLine(a.Doc)},
+		})
+	}
+	// Findings from analyzers outside the table (possible when a caller
+	// filters the suite) still need a rule entry.
+	for _, f := range findings {
+		if _, ok := ruleIndex[f.Analyzer]; !ok {
+			ruleIndex[f.Analyzer] = len(rules)
+			rules = append(rules, sarifRule{ID: f.Analyzer, ShortDescription: sarifMessage{Text: f.Analyzer}})
+		}
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		msg := f.Message
+		if f.Category != "" {
+			msg = fmt.Sprintf("%s [%s]", f.Message, f.Rule())
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(f.Pos.Filename, srcRoot),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   max(f.Pos.Line, 1),
+						StartColumn: max(f.Pos.Column, 1),
+					},
+				},
+			}},
+		})
+	}
+
+	doc := sarifLog{
+		Version: "2.1.0",
+		Schema:  sarifSchema,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "rololint",
+				InformationURI: "https://github.com/rolo-storage/rolo",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// sarifURI renders a finding path relative to the source root with
+// forward slashes, as GitHub's %SRCROOT% convention expects.
+func sarifURI(filename, srcRoot string) string {
+	if srcRoot != "" {
+		if rel, err := filepath.Rel(srcRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// SortAnalyzers returns the analyzers sorted by name, the order the rule
+// table uses so SARIF output is stable across suite reorderings.
+func SortAnalyzers(analyzers []*Analyzer) []*Analyzer {
+	out := append([]*Analyzer(nil), analyzers...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func firstDocLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

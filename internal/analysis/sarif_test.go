@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteSARIFShape decodes a rendered report back through loosely
+// typed maps and asserts the invariants GitHub code scanning requires
+// of a SARIF 2.1.0 upload: version and $schema, a named tool driver
+// whose rule table covers every result, ruleIndex agreeing with ruleId,
+// 1-based regions, and source-root-relative forward-slash URIs.
+func TestWriteSARIFShape(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "zeta", Doc: "last alphabetically\nmore doc"},
+		{Name: "alpha", Doc: "first alphabetically"},
+	}
+	findings := []Finding{
+		{
+			Analyzer: "zeta",
+			Category: "leak",
+			Pos:      token.Position{Filename: "/src/root/pkg/a.go", Line: 12, Column: 3},
+			Message:  "resource leaks",
+		},
+		{
+			Analyzer: "orphan", // not in the analyzer table: rule synthesized
+			Pos:      token.Position{Filename: "/elsewhere/b.go"},
+			Message:  "outside the root, zero position",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, SortAnalyzers(analyzers), findings, "/src/root"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if v := doc["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	schema, _ := doc["$schema"].(string)
+	if !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URL", schema)
+	}
+
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("len(runs) = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "rololint" {
+		t.Errorf("driver name = %v, want rololint", driver["name"])
+	}
+
+	rules, _ := driver["rules"].([]any)
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		rule := r.(map[string]any)
+		ruleIDs[i] = rule["id"].(string)
+		desc := rule["shortDescription"].(map[string]any)["text"].(string)
+		if desc == "" {
+			t.Errorf("rule %s has an empty shortDescription", ruleIDs[i])
+		}
+		if strings.Contains(desc, "\n") {
+			t.Errorf("rule %s description spans lines: %q", ruleIDs[i], desc)
+		}
+	}
+	// SortAnalyzers feeds the table, so declared analyzers come sorted,
+	// with the orphan rule appended on demand.
+	if want := []string{"alpha", "zeta", "orphan"}; strings.Join(ruleIDs, ",") != strings.Join(want, ",") {
+		t.Errorf("rule ids = %v, want %v", ruleIDs, want)
+	}
+
+	results, _ := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("len(results) = %d, want %d", len(results), len(findings))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		ruleID := res["ruleId"].(string)
+		idx := int(res["ruleIndex"].(float64))
+		if idx < 0 || idx >= len(ruleIDs) || ruleIDs[idx] != ruleID {
+			t.Errorf("result %d: ruleIndex %d does not point at ruleId %q", i, idx, ruleID)
+		}
+		if res["level"] != "warning" {
+			t.Errorf("result %d: level = %v, want warning", i, res["level"])
+		}
+		locs := res["locations"].([]any)
+		if len(locs) != 1 {
+			t.Fatalf("result %d: len(locations) = %d, want 1", i, len(locs))
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		region := phys["region"].(map[string]any)
+		if region["startLine"].(float64) < 1 || region["startColumn"].(float64) < 1 {
+			t.Errorf("result %d: region %v not 1-based", i, region)
+		}
+		art := phys["artifactLocation"].(map[string]any)
+		if art["uriBaseId"] != "%SRCROOT%" {
+			t.Errorf("result %d: uriBaseId = %v", i, art["uriBaseId"])
+		}
+		if uri := art["uri"].(string); strings.Contains(uri, "\\") {
+			t.Errorf("result %d: uri %q has backslashes", i, uri)
+		}
+	}
+
+	// The in-root finding is root-relative; the categorized message
+	// carries its allow-directive rule token.
+	first := results[0].(map[string]any)
+	uri := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri != "pkg/a.go" {
+		t.Errorf("in-root uri = %q, want pkg/a.go", uri)
+	}
+	if msg := first["message"].(map[string]any)["text"].(string); !strings.HasSuffix(msg, "[zeta:leak]") {
+		t.Errorf("categorized message = %q, want [zeta:leak] suffix", msg)
+	}
+	// The out-of-root finding keeps its absolute path.
+	second := results[1].(map[string]any)
+	uri2 := second["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri2 != "/elsewhere/b.go" {
+		t.Errorf("out-of-root uri = %q, want /elsewhere/b.go", uri2)
+	}
+}

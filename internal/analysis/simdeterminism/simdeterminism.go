@@ -19,8 +19,9 @@
 //
 // Scope: packages with an "internal" or "cmd" path segment, excluding
 // _test.go files. Legitimate wall-clock uses (e.g. progress timers in
-// command-line drivers) carry a `//lint:allow simdeterminism <reason>`
-// directive.
+// command-line drivers) carry a `//lint:allow simdeterminism:<category>
+// <reason>` directive naming the category being waived (wall-clock,
+// global-rand, map-iteration).
 package simdeterminism
 
 import (
@@ -74,7 +75,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	switch fn.Pkg().Path() {
 	case "time":
 		if wallClockFuncs[fn.Name()] {
-			pass.Reportf(call.Pos(),
+			pass.Reportf(call.Pos(), "wall-clock",
 				"wall-clock time.%s in simulation code; use the sim.Engine clock", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
@@ -82,7 +83,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		// generators and are the sanctioned API; every other top-level
 		// function draws from the unseeded global source.
 		if !strings.HasPrefix(fn.Name(), "New") {
-			pass.Reportf(call.Pos(),
+			pass.Reportf(call.Pos(), "global-rand",
 				"global %s.%s source in simulation code; use a seeded rand.New(rand.NewSource(seed))",
 				fn.Pkg().Name(), fn.Name())
 		}
@@ -120,7 +121,7 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
 		return true
 	})
 	if reason != "" {
-		pass.Reportf(rng.Pos(),
+		pass.Reportf(rng.Pos(), "map-iteration",
 			"map iteration %s; iteration order is random — sort the keys first", reason)
 	}
 }

@@ -20,13 +20,13 @@ func wallClock() {
 	_ = time.Until(t0)    // want `wall-clock time\.Until`
 	_ = time.Unix(0, 0)   // constructing times is fine
 	_ = t0.Sub(t0)        // methods are fine
-	start := time.Now()   //lint:allow simdeterminism wall-clock benchmark timing is intentional here
-	_ = time.Since(start) //lint:allow simdeterminism paired with the timer above
+	start := time.Now()   //lint:allow simdeterminism:wall-clock wall-clock benchmark timing is intentional here
+	_ = time.Since(start) //lint:allow simdeterminism:wall-clock paired with the timer above
 	_ = time.Duration(5)  // plain duration math is fine
 	_ = time.Second * 3   // constants are fine
 }
 
-//lint:allow simdeterminism
+//lint:allow simdeterminism:wall-clock
 func allowWithoutReason() {
 	// The directive above has no reason, so it must NOT suppress:
 	_ = time.Now() // want `wall-clock time\.Now`

@@ -104,7 +104,7 @@ func checkTimeLiteral(pass *analysis.Pass, lit *ast.BasicLit, stack []ast.Node) 
 		}
 		break
 	}
-	pass.Reportf(lit.Pos(),
+	pass.Reportf(lit.Pos(), "raw-literal",
 		"raw integer literal %s used as sim.Time; write the unit (e.g. %s*sim.Microsecond)",
 		lit.Value, lit.Value)
 }
@@ -117,7 +117,7 @@ func checkFloatEquality(pass *analysis.Pass, bin *ast.BinaryExpr) {
 	if !isFloat(pass.TypesInfo, bin.X) && !isFloat(pass.TypesInfo, bin.Y) {
 		return
 	}
-	pass.Reportf(bin.OpPos,
+	pass.Reportf(bin.OpPos, "float-eq",
 		"float equality comparison (%s) in metrics code; compare with a tolerance or restructure",
 		bin.Op)
 }

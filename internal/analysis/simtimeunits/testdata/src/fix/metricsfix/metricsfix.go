@@ -24,5 +24,5 @@ func ratios(a, b float64, n int) bool {
 }
 
 func allowed(x float64) bool {
-	return x == 0 //lint:allow simtimeunits zero sentinel set explicitly upstream, never computed
+	return x == 0 //lint:allow simtimeunits:float-eq zero sentinel set explicitly upstream, never computed
 }

@@ -40,7 +40,7 @@ func decls() {
 }
 
 func allowed() {
-	sched(12345) //lint:allow simtimeunits calibration value measured in microseconds
+	sched(12345) //lint:allow simtimeunits:raw-literal calibration value measured in microseconds
 }
 
 func floatsOutOfScope(a, b float64) bool {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // listPackage is the subset of `go list -json` output the standalone
@@ -20,21 +21,66 @@ type listPackage struct {
 	Export     string
 	GoFiles    []string
 	Standard   bool
+	DepOnly    bool
 	Incomplete bool
 }
 
-// RunStandalone loads the packages matching the go list patterns (with
-// their dependencies' export data) and applies the analyzers, printing
-// findings to w. It shells out to the go command, so it must run inside a
-// module. Test files are not loaded in this mode — the `go vet -vettool`
-// path (RunUnitchecker) covers those — but it needs no prior go vet
-// plumbing, which makes it the convenient local iteration loop.
-// The exit-code convention matches RunUnitchecker.
-func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
+// StandaloneOptions selects the standalone driver's output modes.
+type StandaloneOptions struct {
+	// Fix applies each finding's first suggested fix in place (gofmt-
+	// formatted), reporting what was fixed; only findings without an
+	// applicable fix count toward the exit code.
+	Fix bool
+	// SARIF, when non-nil, receives a SARIF 2.1.0 report of the run.
+	SARIF io.Writer
+	// SrcRoot anchors the SARIF report's relative artifact URIs;
+	// defaults to the working directory.
+	SrcRoot string
+}
+
+// RunStandalone loads the packages matching the go list patterns and
+// applies the analyzers, printing findings to w. It shells out to the go
+// command, so it must run inside a module. Test files are not loaded in
+// this mode — the `go vet -vettool` path (RunUnitchecker) covers those —
+// but it needs no prior go vet plumbing, which makes it the convenient
+// local iteration loop and the host of the -fix and -sarif modes.
+//
+// The load is shared across the whole invocation: one `go list -deps
+// -export` walk enumerates targets and dependencies together, and a
+// single FileSet and export-data importer serve every package, so each
+// dependency's export data is parsed once per run rather than once per
+// target. Dependencies inside the module are analyzed first (their
+// findings discarded) so their facts reach the targets, mirroring the
+// vetx transport of the unitchecker.
+//
+// The exit-code convention matches RunUnitchecker: 0 clean, 1 driver
+// error, 2 findings.
+func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer, opts StandaloneOptions) int {
 	findings, err := analyzePatterns(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
 		return 1
+	}
+	if opts.SARIF != nil {
+		root := opts.SrcRoot
+		if root == "" {
+			root, _ = os.Getwd()
+		}
+		if err := WriteSARIF(opts.SARIF, SortAnalyzers(analyzers), findings, root); err != nil {
+			fmt.Fprintf(os.Stderr, "rololint: sarif: %v\n", err)
+			return 1
+		}
+	}
+	if opts.Fix {
+		remaining, applied, err := ApplyFixes(findings)
+		for _, a := range applied {
+			fmt.Fprintf(w, "%s: fixed: %s\n", a.Finding.Pos, a.Message)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+			return 1
+		}
+		findings = remaining
 	}
 	for _, f := range findings {
 		fmt.Fprintf(w, "%s: %s\n", f.Pos, f.Message)
@@ -46,52 +92,69 @@ func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer) int {
 }
 
 func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
-	// One walk over the dependency closure gives export data for every
-	// import; -export populates .Export from the build cache, compiling
-	// as needed.
-	deps, err := goList(append([]string{"-deps", "-export"}, patterns...))
+	// One walk over the dependency closure: -deps emits every package
+	// after all of its dependencies (the topological order the fact
+	// propagation needs) and marks non-target packages DepOnly; -export
+	// populates .Export from the build cache, compiling as needed.
+	pkgs, err := goList(append([]string{"-deps", "-export"}, patterns...))
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string)
-	for _, p := range deps {
+	for _, p := range pkgs {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
 	}
 
-	targets, err := goList(patterns)
-	if err != nil {
-		return nil, err
+	// One FileSet and one export-data importer for the whole run; the
+	// gc importer caches by import path, so each dependency's export
+	// data is read and materialized at most once.
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
 	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	facts := make(Facts)
 	var all []Finding
-	for _, p := range targets {
+	for _, p := range pkgs {
 		if p.Standard || len(p.GoFiles) == 0 || IsFixturePath(p.Dir) {
 			continue
-		}
-		fset := token.NewFileSet()
-		lookup := func(path string) (io.ReadCloser, error) {
-			file, ok := exports[path]
-			if !ok {
-				return nil, fmt.Errorf("no export data for %q", path)
-			}
-			return os.Open(file)
 		}
 		files := make([]string, len(p.GoFiles))
 		for i, name := range p.GoFiles {
 			files[i] = filepath.Join(p.Dir, name)
 		}
-		unit, err := TypecheckFiles(fset, p.ImportPath, files,
-			importer.ForCompiler(fset, "gc", lookup), "")
+		unit, err := TypecheckFiles(fset, p.ImportPath, files, imp, "")
 		if err != nil {
 			return nil, err
 		}
-		findings, err := RunAnalyzers(unit, analyzers)
+		findings, exported, err := RunAnalyzersFacts(unit, analyzers, facts)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, findings...)
+		for k, v := range exported {
+			facts[k] = v
+		}
+		if !p.DepOnly {
+			all = append(all, findings...)
+		}
 	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
 	return all, nil
 }
 

@@ -51,7 +51,7 @@ func collectFromDirectives(pass *analysis.Pass, sp *spec) map[fromKey]cfg.Set {
 					}
 					i, ok := byName[name]
 					if !ok {
-						pass.Reportf(c.Pos(), "%s names unknown state constant %q", FromDirective, name)
+						pass.Reportf(c.Pos(), "bad-annotation", "%s names unknown state constant %q", FromDirective, name)
 						valid = false
 						continue
 					}
@@ -179,7 +179,7 @@ func checkFunc(pass *analysis.Pass, sp *spec, fd *ast.FuncDecl, froms map[fromKe
 			if as, ok := n.(*ast.AssignStmt); ok {
 				for _, lhs := range as.Lhs {
 					if sp.isTrackedSel(pass.TypesInfo, lhs, nil) {
-						pass.Reportf(as.Pos(),
+						pass.Reportf(as.Pos(), "bypass",
 							"direct write to %s.%s bypasses the state machine (no accrual, no hooks); call %s or annotate the intentional bypass",
 							sp.fn.Type().(*types.Signature).Recv().Type(), sp.field.Name(), sp.fn.Name())
 					}
@@ -222,7 +222,7 @@ func checkFunc(pass *analysis.Pass, sp *spec, fd *ast.FuncDecl, froms map[fromKe
 	for _, site := range sites {
 		target, ok := sp.constIndex(pass.TypesInfo, site.call.Args[sp.argIdx])
 		if !ok {
-			pass.Reportf(site.call.Pos(),
+			pass.Reportf(site.call.Pos(), "unprovable",
 				"cannot prove transition: target state is not a constant of %s", sp.stateT)
 			continue
 		}
@@ -251,7 +251,7 @@ func checkFunc(pass *analysis.Pass, sp *spec, fd *ast.FuncDecl, froms map[fromKe
 			if site.inLit {
 				hint = fmt.Sprintf("; declare the closure's entry states with //%s", FromDirective)
 			}
-			pass.Reportf(site.call.Pos(),
+			pass.Reportf(site.call.Pos(), "illegal-transition",
 				"possible illegal transition to %s: the state may be %s here, which the declared graph does not admit%s",
 				sp.names[target], strings.Join(bad, " or "), hint)
 		}

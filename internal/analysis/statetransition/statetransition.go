@@ -21,7 +21,7 @@
 // Direct assignments to the tracked field outside the transition function
 // bypass the state machine (no duration accrual, no hooks) and are
 // flagged; the two intentional bypasses (Fail, ForceState) carry
-// `//lint:allow statetransition` directives.
+// `//lint:allow statetransition:bypass` directives.
 //
 // Soundness notes: calls into other packages are assumed not to mutate
 // the tracked field (it is unexported, so only reentrancy through a
@@ -112,7 +112,7 @@ func findSpec(pass *analysis.Pass) *spec {
 			}
 			sp := &spec{fn: obj, decl: fd}
 			if !deriveTracked(pass, sp) {
-				pass.Reportf(fd.Pos(),
+				pass.Reportf(fd.Pos(), "bad-annotation",
 					"%s function has no `recv.field = param` assignment to derive the tracked state field", Marker)
 				return nil
 			}

@@ -122,7 +122,7 @@ func (m *M) unannotatedClosure() {
 func (m *M) badAnnotation() {
 	m.later(func() {
 		/*rolosan:from Bogus*/ // want `rolosan:from names unknown state constant "Bogus"`
-		m.setState(On, 0) // want `possible illegal transition to On`
+		m.setState(On, 0)      // want `possible illegal transition to On`
 	})
 }
 
@@ -138,7 +138,7 @@ func (m *M) directWrite() {
 
 // allowedWrite is a documented bypass.
 func (m *M) allowedWrite() {
-	//lint:allow statetransition test models the Fail/ForceState bypass
+	//lint:allow statetransition:bypass test models the Fail/ForceState bypass
 	m.state = Sleep
 }
 

@@ -68,7 +68,7 @@ func run(pass *analysis.Pass) error {
 			}
 			recv := types.ExprString(ast.Unparen(sel.X))
 			if !guarded(pass, recv, call, stack) {
-				pass.Reportf(call.Pos(),
+				pass.Reportf(call.Pos(), "unguarded",
 					"unguarded telemetry emission %s.%s; wrap in `if %s != nil { ... }` to keep the disabled path free",
 					recv, fn.Name(), recv)
 			}

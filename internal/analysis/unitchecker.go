@@ -50,6 +50,12 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
 	return 0
 }
 
+// analyzeUnit runs the analyzers over one vet unit. Facts ride the vetx
+// files: the go command hands the dependency units' vetx paths in
+// PackageVetx (scheduling dependencies first, VetxOnly when a package is
+// visited only for its facts) and caches what this unit writes to
+// VetxOutput, keyed by content — which is why EncodeFacts serializes
+// deterministically.
 func analyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -59,22 +65,37 @@ func analyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", cfgPath, err)
 	}
-
-	// The go command expects a facts file for every analyzed unit so it
-	// can cache and feed dependency facts downstream. The rololint suite
-	// is factless, so an empty file satisfies the protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, fmt.Errorf("write facts: %w", err)
+	writeVetx := func(f Facts) error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		out, err := EncodeFacts(f)
+		if err != nil {
+			return fmt.Errorf("encode facts: %w", err)
+		}
+		return os.WriteFile(cfg.VetxOutput, out, 0o666)
 	}
-	if cfg.VetxOnly {
-		// Dependency-only visit: facts written (none), nothing to report.
-		return nil, nil
+
+	// Standard-library units carry no repository facts and must not be
+	// analyzed (several have "internal" path segments that would drag
+	// them into the analyzers' scope); fixture packages are deliberate
+	// violations. Both still owe the protocol a facts file.
+	if cfg.Standard[cfg.ImportPath] || cfg.ImportPath == "unsafe" || IsFixturePath(cfg.Dir) {
+		return nil, writeVetx(nil)
 	}
-	if IsFixturePath(cfg.Dir) {
-		// Analyzer fixture package (deliberate violations); skip.
-		return nil, nil
+
+	imported := make(Facts)
+	for _, vetx := range cfg.PackageVetx {
+		fdata, err := os.ReadFile(vetx)
+		if err != nil {
+			// A dependency whose facts never materialized degrades to
+			// intra-package analysis; the analyzers are conservative
+			// without imported summaries.
+			continue
+		}
+		if imported, err = DecodeFacts(imported, fdata); err != nil {
+			return nil, fmt.Errorf("%s: %w", vetx, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -98,9 +119,20 @@ func analyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			// The compiler will report the problem; stay quiet.
-			return nil, nil
+			return nil, writeVetx(nil)
 		}
 		return nil, err
 	}
-	return RunAnalyzers(unit, analyzers)
+	findings, exported, err := RunAnalyzersFacts(unit, analyzers, imported)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeVetx(exported); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts written, nothing to report.
+		return nil, nil
+	}
+	return findings, nil
 }

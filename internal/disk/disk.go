@@ -444,7 +444,7 @@ func (d *Disk) Fail() {
 	// Abort any in-flight spin transition: its completion closure must
 	// not fire a state change on a dead (or later replaced) drive.
 	d.spinSeq++
-	//lint:allow statetransition failure bypasses the state machine; a dead drive draws (approximately) nothing and hooks do not fire
+	//lint:allow statetransition:bypass failure bypasses the state machine; a dead drive draws (approximately) nothing and hooks do not fire
 	d.state = Standby
 	for {
 		io := d.fg.pop()
@@ -608,7 +608,7 @@ func (d *Disk) ForceState(s PowerState) error {
 		return fmt.Errorf("%w: ForceState to %v", ErrBadState, s)
 	}
 	d.accrue(d.eng.Now())
-	//lint:allow statetransition initial-state setup bypasses the state machine by design (no latency, energy, or hooks)
+	//lint:allow statetransition:bypass initial-state setup bypasses the state machine by design (no latency, energy, or hooks)
 	d.state = s
 	return nil
 }

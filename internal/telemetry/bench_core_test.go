@@ -27,7 +27,7 @@ func BenchmarkCoreTelemetryEncode(b *testing.B) {
 		{At: 2000, Kind: KindRotation, Disk: -1, Pair: 7},
 		{At: 2100, Kind: KindSpinUp, Disk: 13, Pair: -1},
 		{At: 2400, Kind: KindProbe, Disk: -1, Pair: -1,
-			States: "AISUDAISUDAISUDAISUDAISUDAISUDAISUDAISUD",
+			States:  "AISUDAISUDAISUDAISUDAISUDAISUDAISUDAISUD",
 			LogUsed: 123456789, LogCap: 987654321, Backlog: 4 << 20},
 		{At: 2500, Kind: KindCacheMiss, Disk: -1, Pair: 0, Bytes: 4096},
 	}

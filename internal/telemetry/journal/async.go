@@ -70,6 +70,8 @@ type AsyncConfig struct {
 // of run); Close drains the ring, stops the writer goroutine, records
 // WriterStats into the writer (when it accepts them) and closes it.
 // Emit after Close counts the event as dropped rather than blocking.
+//
+//rolosan:resource
 type AsyncSink struct {
 	w      EventWriter
 	policy Policy

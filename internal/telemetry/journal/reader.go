@@ -18,6 +18,8 @@ import (
 // next, one line at a time — without ever materializing the journal in
 // memory. cmd/rolostat's folds run over it, so analysis cost is
 // constant-memory in the event count.
+//
+//rolosan:resource
 type Reader struct {
 	files []string // segment paths, in replay order
 	idx   int      // next file to open
@@ -107,7 +109,7 @@ func (r *Reader) nextFile() error {
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			f.Close() //lint:allow errpropagation already failing; the gzip open error is the root cause
+			_ = f.Close() // already failing; the gzip open error is the root cause
 			return fmt.Errorf("journal: %s: %w", path, err)
 		}
 		r.gz = gz
@@ -215,7 +217,7 @@ func verifySegment(dir string, want SegmentInfo) error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close() //lint:allow errpropagation read-only verification pass, close error carries no data
+	defer f.Close() //lint:allow resourcelifecycle:dropped-error read-only verification pass, close error carries no data
 	var src io.Reader = f
 	if want.Compressed != strings.HasSuffix(want.Name, ".gz") {
 		return fmt.Errorf("journal: %s: compressed flag disagrees with file name", want.Name)
@@ -225,7 +227,7 @@ func verifySegment(dir string, want SegmentInfo) error {
 		if err != nil {
 			return fmt.Errorf("journal: %s: %w", want.Name, err)
 		}
-		defer gz.Close() //lint:allow errpropagation read-only verification pass, close error carries no data
+		defer gz.Close() //lint:allow resourcelifecycle:dropped-error read-only verification pass, close error carries no data
 		src = gz
 	}
 	crc := crc32.NewIEEE()

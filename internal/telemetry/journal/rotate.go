@@ -18,6 +18,8 @@ import (
 // simulation time so rotation metadata can track time bounds without
 // re-parsing. Implementations are single-goroutine: the async sink's
 // writer goroutine (or a synchronous caller) owns the writer exclusively.
+//
+//rolosan:resource
 type EventWriter interface {
 	// WriteEvent appends one encoded event line (terminated by '\n').
 	WriteEvent(line []byte, at sim.Time) error
@@ -52,6 +54,8 @@ func segmentName(seq int) string { return fmt.Sprintf("run-%05d.jsonl", seq) }
 // segment's event count, simulation-time bounds and CRC32. It implements
 // EventWriter and is not safe for concurrent use — it is driven either
 // synchronously or by an AsyncSink's single writer goroutine.
+//
+//rolosan:resource
 type RotatingWriter struct {
 	cfg RotateConfig
 
@@ -168,6 +172,7 @@ func (w *RotatingWriter) seal() (SegmentInfo, error) {
 		CRC32:   w.crc.Sum32(),
 	}
 	if err := w.bw.Flush(); err != nil {
+		_ = w.f.Close() // the flush error is the root cause; the descriptor must not outlive the segment
 		return info, fmt.Errorf("journal: flushing %s: %w", info.Name, err)
 	}
 	if err := w.f.Close(); err != nil {
@@ -186,21 +191,8 @@ func (w *RotatingWriter) compress(info *SegmentInfo) error {
 	if err != nil {
 		return fmt.Errorf("journal: compressing %s: %w", info.Name, err)
 	}
-	defer src.Close() //lint:allow errpropagation read side of the archival copy; the write side is checked
-	dst, err := os.Create(plain + ".gz")
-	if err != nil {
-		return fmt.Errorf("journal: compressing %s: %w", info.Name, err)
-	}
-	gz := gzip.NewWriter(dst)
-	if _, err := io.Copy(gz, src); err != nil {
-		dst.Close() //lint:allow errpropagation already failing; the copy error is the root cause
-		return fmt.Errorf("journal: compressing %s: %w", info.Name, err)
-	}
-	if err := gz.Close(); err != nil {
-		dst.Close() //lint:allow errpropagation already failing; the gzip error is the root cause
-		return fmt.Errorf("journal: compressing %s: %w", info.Name, err)
-	}
-	if err := dst.Close(); err != nil {
+	defer src.Close() //lint:allow resourcelifecycle:dropped-error read side of the archival copy; the write side is checked
+	if err := writeArchive(plain+".gz", src); err != nil {
 		return fmt.Errorf("journal: compressing %s: %w", info.Name, err)
 	}
 	if err := os.Remove(plain); err != nil {
@@ -208,6 +200,31 @@ func (w *RotatingWriter) compress(info *SegmentInfo) error {
 	}
 	info.Name += ".gz"
 	info.Compressed = true
+	return nil
+}
+
+// writeArchive gzips src into a new file at path, closing both the gzip
+// stream and the file on every path. Any failure removes the partial
+// archive so an error never strands a stray .gz next to the plain
+// segment it was meant to replace (the plain file is only removed by the
+// caller after a fully successful archival).
+func writeArchive(path string, src io.Reader) error {
+	dst, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	gz := gzip.NewWriter(dst)
+	_, err = io.Copy(gz, src)
+	if cerr := gz.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(path) // best-effort cleanup; the write error is the root cause
+		return err
+	}
 	return nil
 }
 

@@ -209,7 +209,7 @@ func TestJSONLSinkZeroAlloc(t *testing.T) {
 		{At: 1, Kind: KindRequestStart, Disk: -1, Pair: -1, Write: true, Bytes: 1 << 16},
 		{At: 2, Kind: KindRequestDone, Disk: -1, Pair: -1, LatencyUs: 1234},
 		{At: 3, Kind: KindProbe, Disk: -1, Pair: -1,
-			States: `AISUDAISUDAISUDAISUD"quoted\escape"AISUD`,
+			States:  `AISUDAISUDAISUDAISUD"quoted\escape"AISUD`,
 			LogUsed: 1 << 40, LogCap: 1 << 42, Backlog: 1 << 30},
 	}
 	i := 0

@@ -64,6 +64,18 @@ fi
 if want lint; then
 	stage "build rololint" go build -o bin/rololint ./cmd/rololint
 	stage "go vet -vettool=bin/rololint ./..." go vet -vettool=bin/rololint ./...
+	# -fix must be a fixed point on the gate-clean tree: it exits 0 and
+	# rewrites nothing (compared by content hash over the tracked .go
+	# files, so a locally dirty tree doesn't false-fail the stage). The
+	# golden-file tests cover convergence on trees that do have findings.
+	stage "rololint -fix (idempotent, no rewrites on a clean tree)" \
+		sh -c 'snap() { git ls-files -z "*.go" | xargs -0 sha256sum | sha256sum; }; \
+			before=$(snap) && ./bin/rololint -fix ./... && after=$(snap) && \
+			{ [ "$before" = "$after" ] || { echo "rololint -fix rewrote files on a clean tree" >&2; exit 1; }; }'
+	# The SARIF report CI uploads as an artifact; also a shape gate, since
+	# -sarif exercises the renderer over the real suite and tree.
+	stage "rololint -sarif bin/rololint.sarif ./..." \
+		./bin/rololint -sarif bin/rololint.sarif ./...
 fi
 
 if want test; then
