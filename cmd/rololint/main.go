@@ -1,13 +1,29 @@
 // Command rololint is the repository's static-analysis gate: a
-// multichecker for the twelve analyzers under internal/analysis that
+// multichecker for the fifteen analyzers under internal/analysis that
 // enforce simulation determinism, telemetry discipline, sim-time hygiene,
 // error propagation, resource Close obligations (resourcelifecycle),
 // phase-log pairing, power-state-machine legality (statetransition), the
-// sanitizer's audited-mutation-helper discipline (invariantguard), and
-// the concurrency discipline of the parallel experiment runner:
-// mutex-guarded field access (guardedby), interprocedural lock contracts
-// (lockcontract), goroutine capture hygiene (gocapture) and goroutine
-// join pairing (waitpairing).
+// sanitizer's audited-mutation-helper discipline (invariantguard), the
+// concurrency discipline of the parallel experiment runner — mutex-guarded
+// field access (guardedby), interprocedural lock contracts (lockcontract),
+// goroutine capture hygiene (gocapture) and goroutine join pairing
+// (waitpairing) — and the liveness family: global lock-order cycles with
+// deadlock witness paths (lockorder), blocking channel operations under
+// mutexes and channels nothing closes (chanmisuse), and goroutines with no
+// provable termination path (goroleak). A sixteenth entry, the lintallow
+// meta-check, audits the waivers themselves: a //lint:allow that
+// suppresses nothing, lacks a reason, or names an unknown analyzer is a
+// finding.
+//
+// The liveness analyzers understand two declaration directives:
+//
+//	//rolosan:lockorder A < B   // declared acquisition order; violations
+//	                            // are findings even before a cycle closes
+//	//rolosan:daemon <reason>   // this goroutine intentionally runs for
+//	                            // the process lifetime
+//
+// placed on (or above) the relevant line, or in a function's doc comment
+// for //rolosan:daemon.
 //
 // It speaks the `go vet -vettool` protocol, so the canonical invocation —
 // the one scripts/check.sh and CI run — is:
@@ -28,11 +44,15 @@
 //
 //	rololint -fix ./...            # apply suggested fixes in place
 //	rololint -sarif report.sarif ./...  # write a SARIF 2.1.0 report
+//	rololint -allows ./...         # audit every //lint:allow waiver
 //
 // -fix applies each finding's first suggested fix, leaves the files
 // gofmt-clean, and is idempotent (an applied fix never reproduces its
 // diagnostic); CI verifies that property. -sarif writes the report to
 // the named file ("-" for stdout) for GitHub code-scanning upload.
+// -allows prints every waiver with its rule, live/stale status, and
+// reason — an informational listing; the lintallow meta-check is the
+// enforcement path.
 //
 // Individual analyzers can be selected the same way as with go vet:
 //
@@ -57,6 +77,7 @@ import (
 	"github.com/rolo-storage/rolo/internal/analysis"
 	"github.com/rolo-storage/rolo/internal/analysis/errpropagation"
 	"github.com/rolo-storage/rolo/internal/analysis/invariantguard"
+	"github.com/rolo-storage/rolo/internal/analysis/liveness"
 	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
 	"github.com/rolo-storage/rolo/internal/analysis/raceguard"
 	"github.com/rolo-storage/rolo/internal/analysis/resourcelifecycle"
@@ -80,6 +101,10 @@ var suite = []*analysis.Analyzer{
 	raceguard.LockContract,
 	raceguard.GoCapture,
 	raceguard.WaitPairing,
+	liveness.LockOrder,
+	liveness.ChanMisuse,
+	liveness.GoroLeak,
+	analysis.LintAllow,
 }
 
 func main() {
@@ -92,6 +117,7 @@ func run(args []string) int {
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
 	fixFlag := fs.Bool("fix", false, "apply suggested fixes in place (standalone mode only)")
 	sarifFlag := fs.String("sarif", "", "write a SARIF 2.1.0 report to the named `file`, \"-\" for stdout (standalone mode only)")
+	allowsFlag := fs.Bool("allows", false, "audit //lint:allow waivers: list each with rule, live/stale status, and reason (standalone mode only)")
 	enabled := make(map[string]*bool, len(suite))
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, false,
@@ -130,8 +156,8 @@ func run(args []string) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		if *fixFlag || *sarifFlag != "" {
-			fmt.Fprintln(os.Stderr, "rololint: -fix and -sarif are standalone-mode flags; run `rololint -fix ./...` directly")
+		if *fixFlag || *sarifFlag != "" || *allowsFlag {
+			fmt.Fprintln(os.Stderr, "rololint: -fix, -sarif, and -allows are standalone-mode flags; run `rololint -fix ./...` directly")
 			return 2
 		}
 		return analysis.RunUnitchecker(rest[0], selected, os.Stderr)
@@ -140,7 +166,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	opts := analysis.StandaloneOptions{Fix: *fixFlag}
+	opts := analysis.StandaloneOptions{Fix: *fixFlag, Allows: *allowsFlag}
 	switch *sarifFlag {
 	case "":
 	case "-":

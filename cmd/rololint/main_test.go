@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+)
+
+// TestSuiteSARIFRuleTable renders a SARIF report over the real suite and
+// asserts the rule table CI uploads names every analyzer in the gate —
+// in particular the liveness family and the lintallow meta-check, whose
+// absence from the artifact would mean the driver registration and the
+// report generation have drifted apart.
+func TestSuiteSARIFRuleTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, analysis.SortAnalyzers(suite), nil, "/src"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var doc struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("len(runs) = %d, want 1", len(doc.Runs))
+	}
+	got := make(map[string]bool)
+	var ids []string
+	for _, r := range doc.Runs[0].Tool.Driver.Rules {
+		got[r.ID] = true
+		ids = append(ids, r.ID)
+	}
+	if len(ids) != len(suite) {
+		t.Errorf("rule table has %d entries, want %d (one per suite analyzer): %v", len(ids), len(suite), ids)
+	}
+	for _, a := range suite {
+		if !got[a.Name] {
+			t.Errorf("rule table is missing suite analyzer %q", a.Name)
+		}
+	}
+	// The table is sorted, so the artifact diffs cleanly between runs.
+	if !strings.HasPrefix(strings.Join(ids, ","), "chanmisuse,") {
+		t.Errorf("rule table not sorted: starts with %v", ids[:1])
+	}
+	for _, name := range []string{"lockorder", "chanmisuse", "goroleak", "lintallow"} {
+		if !got[name] {
+			t.Errorf("rule table is missing %q", name)
+		}
+	}
+}

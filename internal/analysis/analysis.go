@@ -170,6 +170,24 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 	return findings, err
 }
 
+// LintAllow is the waiver-audit meta-check. It reports nothing of its
+// own from Run; instead, when it is part of the analyzer list, the
+// framework judges every `//lint:allow` directive after the other
+// analyzers have finished: a directive that suppressed no diagnostic in
+// the run is reported as stale (with a removal fix), one with no reason
+// as missing-reason, and one naming an analyzer absent from the run as
+// unknown-analyzer. Directives scoped to lintallow itself are exempt
+// (judging them would need a fixpoint), so `//lint:allow lintallow:stale
+// <reason>` can retain a deliberately dormant waiver.
+var LintAllow = &Analyzer{
+	Name: "lintallow",
+	Doc: "flag //lint:allow waivers that suppress nothing, lack a reason, or name an unknown analyzer\n" +
+		"Waivers rot: the finding they excused gets fixed, the code moves, and the directive\n" +
+		"remains, silencing the next genuine finding on that line. Running the suite with\n" +
+		"lintallow enabled turns every such directive into a finding of its own.",
+	Run: func(*Pass) error { return nil },
+}
+
 // RunAnalyzersFacts applies every analyzer to the unit and returns the
 // surviving findings sorted by position, plus the facts the analyzers
 // exported for downstream packages. imported holds the facts of the
@@ -183,21 +201,20 @@ func RunAnalyzers(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 // scoping is deliberate, so one escape hatch cannot blanket-silence an
 // analyzer's other checks on the same line.
 func RunAnalyzersFacts(u *Unit, analyzers []*Analyzer, imported Facts) ([]Finding, Facts, error) {
+	findings, facts, _, err := RunAnalyzersAudit(u, analyzers, imported)
+	return findings, facts, err
+}
+
+// RunAnalyzersAudit is RunAnalyzersFacts with the waiver audit trail: it
+// additionally returns one AllowRecord per `//lint:allow` directive in
+// the unit, each carrying the number of diagnostics it suppressed during
+// this run. The records are in file/position order.
+func RunAnalyzersAudit(u *Unit, analyzers []*Analyzer, imported Facts) ([]Finding, Facts, []AllowRecord, error) {
 	allow := collectAllows(u.Fset, u.Files)
 	exported := make(Facts)
 	var findings []Finding
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      u.Fset,
-			Files:     u.Files,
-			Pkg:       u.Pkg,
-			TypesInfo: u.Info,
-			imported:  imported,
-			exported:  exported,
-		}
-		name := a.Name
-		pass.report = func(d Diagnostic) {
+	report := func(name string) func(Diagnostic) {
+		return func(d Diagnostic) {
 			posn := u.Fset.Position(d.Pos)
 			if allow.match(name, d.Category, posn) {
 				return
@@ -210,9 +227,33 @@ func RunAnalyzersFacts(u *Unit, analyzers []*Analyzer, imported Facts) ([]Findin
 				Fixes:    resolveFixes(u.Fset, d.SuggestedFixes),
 			})
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	auditing := false
+	for _, a := range analyzers {
+		if a.Name == LintAllow.Name {
+			auditing = true
 		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			imported:  imported,
+			exported:  exported,
+		}
+		pass.report = report(a.Name)
+		if err := a.Run(pass); err != nil {
+			return nil, nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	if auditing {
+		// Judge the directives only after every analyzer has had its
+		// chance to hit them. The emitted findings go through the same
+		// report path, so a lintallow-scoped directive can waive them —
+		// and lintallow-scoped directives are never judged themselves,
+		// which keeps the audit a single pass rather than a fixpoint.
+		auditAllows(analyzers, allow, report(LintAllow.Name))
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -227,7 +268,7 @@ func RunAnalyzersFacts(u *Unit, analyzers []*Analyzer, imported Facts) ([]Findin
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, exported, nil
+	return findings, exported, allow.records(), nil
 }
 
 // resolveFixes turns position-based edits into file/offset edits so they
@@ -264,6 +305,15 @@ func resolveFixes(fset *token.FileSet, fixes []SuggestedFix) []Fix {
 	return out
 }
 
+// An AllowRecord describes one `//lint:allow` directive found in a unit,
+// as returned by RunAnalyzersAudit for the `-allows` audit mode.
+type AllowRecord struct {
+	Pos    token.Position // position of the directive comment
+	Rule   string         // "analyzer" or "analyzer:category"
+	Reason string         // "" when the directive omitted its reason
+	Hits   int            // diagnostics it suppressed during the run
+}
+
 // allowKey identifies one suppressed (file, line, rule) cell.
 type allowKey struct {
 	file string
@@ -271,19 +321,53 @@ type allowKey struct {
 	rule string // "analyzer" or "analyzer:category"
 }
 
-type allowSet map[allowKey]bool
+// an allowDirective is one parsed `//lint:allow` comment, tracked through
+// the run so the audit can tell live waivers from stale ones.
+type allowDirective struct {
+	rule   string
+	reason string
+	pos    token.Pos // comment extent, for the removal fix
+	end    token.Pos
+	posn   token.Position
+	hits   int
+}
+
+type allowSet struct {
+	byKey map[allowKey]*allowDirective
+	all   []*allowDirective // file/position order
+}
 
 // match reports whether a diagnostic from the named analyzer and category
-// at posn is covered by a directive on its line or the line above. A
-// directive must name the finding's exact analyzer:category pair (or the
-// bare analyzer name for uncategorized findings).
-func (s allowSet) match(analyzer, category string, posn token.Position) bool {
+// at posn is covered by a directive on its line or the line above, and
+// credits the covering directive with the hit. A directive must name the
+// finding's exact analyzer:category pair (or the bare analyzer name for
+// uncategorized findings).
+func (s *allowSet) match(analyzer, category string, posn token.Position) bool {
 	rule := analyzer
 	if category != "" {
 		rule = analyzer + ":" + category
 	}
-	return s[allowKey{posn.Filename, posn.Line, rule}] ||
-		s[allowKey{posn.Filename, posn.Line - 1, rule}]
+	d := s.byKey[allowKey{posn.Filename, posn.Line, rule}]
+	if d == nil {
+		d = s.byKey[allowKey{posn.Filename, posn.Line - 1, rule}]
+	}
+	if d == nil {
+		return false
+	}
+	d.hits++
+	return true
+}
+
+// records renders the directives as AllowRecords.
+func (s *allowSet) records() []AllowRecord {
+	if len(s.all) == 0 {
+		return nil
+	}
+	out := make([]AllowRecord, len(s.all))
+	for i, d := range s.all {
+		out[i] = AllowRecord{Pos: d.posn, Rule: d.rule, Reason: d.reason, Hits: d.hits}
+	}
+	return out
 }
 
 // AllowDirective is the comment prefix of the suppression escape hatch.
@@ -292,9 +376,11 @@ const AllowDirective = "lint:allow"
 // collectAllows scans file comments for `//lint:allow <analyzer>:<category>
 // <reason>` directives. The directive suppresses matching findings on its
 // own line and the following line, so it works both as a trailing comment
-// and as a comment above the offending statement.
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := make(allowSet)
+// and as a comment above the offending statement. A directive without a
+// reason suppresses nothing (the reason is the point of the escape hatch)
+// but is still recorded, so the audit can flag it.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	set := &allowSet{byKey: make(map[allowKey]*allowDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -305,14 +391,67 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					// Rule without a reason: ignored on purpose.
-					continue
+				if len(fields) == 0 {
+					continue // bare "//lint:allow": not even a rule
 				}
-				posn := fset.Position(c.Pos())
-				set[allowKey{posn.Filename, posn.Line, fields[0]}] = true
+				d := &allowDirective{
+					rule: fields[0],
+					pos:  c.Pos(),
+					end:  c.End(),
+					posn: fset.Position(c.Pos()),
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+					set.byKey[allowKey{d.posn.Filename, d.posn.Line, d.rule}] = d
+				}
+				set.all = append(set.all, d)
 			}
 		}
 	}
 	return set
+}
+
+// auditAllows emits the lintallow findings for a finished run: stale
+// directives (zero hits), reasonless ones, and ones naming an analyzer
+// that is not part of the run. Directives scoped to lintallow itself are
+// exempt. The candidate set is computed before any finding is emitted, so
+// the emitted findings' own allow matching cannot change the verdicts.
+func auditAllows(analyzers []*Analyzer, allow *allowSet, report func(Diagnostic)) {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	type verdict struct {
+		d        *allowDirective
+		category string
+		message  string
+	}
+	var verdicts []verdict
+	for _, d := range allow.all {
+		analyzer, _, _ := strings.Cut(d.rule, ":")
+		switch {
+		case analyzer == LintAllow.Name:
+			continue
+		case d.reason == "":
+			verdicts = append(verdicts, verdict{d, "missing-reason",
+				fmt.Sprintf("//lint:allow %s has no reason, so it suppresses nothing; state why the finding is acceptable or remove the directive", d.rule)})
+		case !names[analyzer]:
+			verdicts = append(verdicts, verdict{d, "unknown-analyzer",
+				fmt.Sprintf("//lint:allow %s names no analyzer in this run; fix the analyzer name or remove the directive", d.rule)})
+		case d.hits == 0:
+			verdicts = append(verdicts, verdict{d, "stale",
+				fmt.Sprintf("//lint:allow %s suppresses nothing here: the waived finding is gone, so remove the directive (or waive this report with lintallow:stale if it must stay)", d.rule)})
+		}
+	}
+	for _, v := range verdicts {
+		report(Diagnostic{
+			Pos:      v.d.pos,
+			Category: v.category,
+			Message:  v.message,
+			SuggestedFixes: []SuggestedFix{{
+				Message: "remove the //lint:allow directive",
+				Edits:   []TextEdit{{Pos: v.d.pos, End: v.d.end}},
+			}},
+		})
+	}
 }

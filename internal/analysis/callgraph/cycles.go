@@ -1,0 +1,172 @@
+package callgraph
+
+import (
+	"go/types"
+	"sort"
+)
+
+// Elementary-cycle enumeration, the engine behind lockorder's deadlock
+// reports. The algorithm is a bounded variant of Johnson's: vertices are
+// visited in index order, and a DFS rooted at vertex s explores only
+// vertices strictly greater than s inside s's strongly connected
+// component, so every elementary cycle is emitted exactly once — rooted
+// at (and starting with) its smallest vertex. That rooting convention is
+// also what makes the output deterministic: same graph, same cycles, same
+// order, regardless of how the edges were inserted.
+//
+// Enumeration is exponential in the worst case (a complete graph has
+// ~(n-1)! elementary cycles), so the search is capped; analyses report
+// what was found and the cap is generous compared to any real lock graph.
+
+// maxCycles bounds one enumeration. A lock-order graph that produces this
+// many distinct elementary cycles is broken far beyond the point where
+// listing more of them helps.
+const maxCycles = 256
+
+// EnumerateCycles returns the elementary cycles of the directed graph
+// with vertices 0..n-1 and successor function succs, each cycle as the
+// vertex sequence starting at its smallest member (a self-loop is [v]).
+// Adjacency is normalized first — duplicates dropped, successors sorted —
+// so the output order and content are deterministic regardless of edge
+// insertion order. At most maxCycles cycles are returned.
+func EnumerateCycles(n int, succs func(int) []int) [][]int {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		ws := append([]int(nil), succs(v)...)
+		sort.Ints(ws)
+		adj[v] = ws[:0]
+		for i, w := range ws {
+			if w < 0 || w >= n || (i > 0 && w == ws[i-1]) {
+				continue
+			}
+			adj[v] = append(adj[v], w)
+		}
+	}
+	scc := sccIDs(n, func(v int) []int { return adj[v] })
+
+	var out [][]int
+	path := make([]int, 0, n)
+	onPath := make([]bool, n)
+	var root int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		path = append(path, v)
+		onPath[v] = true
+		defer func() {
+			path = path[:len(path)-1]
+			onPath[v] = false
+		}()
+		for _, w := range adj[v] {
+			switch {
+			case w == root:
+				if len(out) >= maxCycles {
+					return false
+				}
+				out = append(out, append([]int(nil), path...))
+			case w > root && !onPath[w] && scc[w] == scc[root]:
+				if !dfs(w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for root = 0; root < n; root++ {
+		if !dfs(root) {
+			break
+		}
+	}
+	return out
+}
+
+// sccIDs labels each vertex with its strongly-connected-component id via
+// Tarjan's algorithm over the integer graph.
+func sccIDs(n int, succs func(int) []int) []int {
+	const unvisited = -1
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next, nComp := 0, 0
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs(v) {
+			switch {
+			case index[w] == unvisited:
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			case onStack[w]:
+				if index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+		}
+		if lowlink[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == unvisited {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// Cycles returns the elementary cycles of the package's intra-package
+// call graph (recursion groups), each as the node sequence starting at
+// the node earliest in declaration order. Dynamic calls and calls to
+// other packages contribute no edges.
+func (g *Graph) Cycles() [][]*Node {
+	idx := make(map[*types.Func]int, len(g.order))
+	for i, n := range g.order {
+		idx[n.Func] = i
+	}
+	succs := make([][]int, len(g.order))
+	for i, n := range g.order {
+		var dedup map[int]bool
+		for _, c := range n.Calls {
+			if j, ok := idx[c.Callee]; ok {
+				if dedup == nil {
+					dedup = make(map[int]bool)
+				}
+				if !dedup[j] {
+					dedup[j] = true
+					succs[i] = append(succs[i], j)
+				}
+			}
+		}
+	}
+	raw := EnumerateCycles(len(g.order), func(i int) []int { return succs[i] })
+	out := make([][]*Node, len(raw))
+	for i, cyc := range raw {
+		nodes := make([]*Node, len(cyc))
+		for j, v := range cyc {
+			nodes[j] = g.order[v]
+		}
+		out[i] = nodes
+	}
+	return out
+}

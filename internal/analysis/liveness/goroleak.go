@@ -1,0 +1,369 @@
+package liveness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/callgraph"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+const (
+	goroNS          = "goroleak"
+	daemonDirective = "rolosan:daemon"
+)
+
+// A GoroSummary is the "goroleak" fact of one function: whether every
+// path through it loops forever (NeverReturns), and whether it is
+// declared a deliberate process-lifetime daemon.
+type GoroSummary struct {
+	NeverReturns bool `json:"neverReturns,omitempty"`
+	Daemon       bool `json:"daemon,omitempty"`
+}
+
+// GoroLeak reports goroutines with no provable termination path. A `go`
+// statement must either run a body the analysis can see terminating — a
+// reachable return, a breakable or bounded loop, a select with an exit —
+// or carry a `//rolosan:daemon <reason>` directive (on the go statement
+// or on the spawned function's declaration) acknowledging that the
+// goroutine deliberately lives for the life of the process.
+var GoroLeak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: `report go statements spawning goroutines with no provable termination path
+
+A goroutine that can never terminate pins its stack, its captures, and —
+in this codebase — journal segments and experiment workers, forever. The
+check proves termination structurally: a function terminates if control
+can fall off its end, reach a return, or panic; an unconditional for loop
+with no break never does, nor does an empty select, nor a function whose
+every path calls a never-returning callee (a "goroleak" fact, so the
+obligation propagates from helpers to their spawners across packages).
+Deliberate daemons are declared, not silenced: //rolosan:daemon <reason>
+above the go statement or in the spawned function's doc comment records
+why the goroutine should outlive its spawner.`,
+	Run: runGoroLeak,
+}
+
+type goroLeak struct {
+	pass     *analysis.Pass
+	graph    *callgraph.Graph
+	local    map[*types.Func]*GoroSummary
+	imported map[*types.Func]*GoroSummary
+	missing  map[*types.Func]bool
+}
+
+func runGoroLeak(pass *analysis.Pass) error {
+	ga := &goroLeak{
+		pass:     pass,
+		graph:    callgraph.Build(pass.Files, pass.TypesInfo),
+		local:    make(map[*types.Func]*GoroSummary),
+		imported: make(map[*types.Func]*GoroSummary),
+		missing:  make(map[*types.Func]bool),
+	}
+	for _, comp := range ga.graph.SCCs() {
+		for round := 0; round <= len(comp); round++ {
+			changed := false
+			for _, node := range comp {
+				sum := ga.summarize(node)
+				if !reflect.DeepEqual(ga.local[node.Func], sum) {
+					changed = true
+				}
+				ga.local[node.Func] = sum
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	for _, node := range ga.graph.All() {
+		if s := ga.local[node.Func]; s != nil && (s.NeverReturns || s.Daemon) {
+			pass.ExportFact(goroNS, node.Func, s)
+		}
+	}
+	for _, f := range pass.Files {
+		ga.checkFile(f)
+	}
+	return nil
+}
+
+func (ga *goroLeak) summarize(node *callgraph.Node) *GoroSummary {
+	sum := &GoroSummary{}
+	reason, ok := declDaemonReason(node.Decl)
+	if ok && reason != "" {
+		sum.Daemon = true
+	}
+	sum.NeverReturns = !ga.terminates(node.Decl.Body)
+	return sum
+}
+
+func (ga *goroLeak) forFunc(fn *types.Func) *GoroSummary {
+	if fn == nil {
+		return nil
+	}
+	if ga.graph.Nodes[fn] != nil {
+		return ga.local[fn]
+	}
+	if s, ok := ga.imported[fn]; ok {
+		return s
+	}
+	if ga.missing[fn] {
+		return nil
+	}
+	var s GoroSummary
+	if ga.pass.ImportFact(goroNS, fn, &s) {
+		ga.imported[fn] = &s
+		return &s
+	}
+	ga.missing[fn] = true
+	return nil
+}
+
+// terminates reports whether control entering the body can ever leave the
+// function: fall off the end, hit a return, or panic. It errs toward
+// termination — anything it cannot model (labeled loops, goto) gets the
+// benefit of the doubt — so every report means "no exit path exists at
+// all".
+func (ga *goroLeak) terminates(body *ast.BlockStmt) bool {
+	t := &termWalk{ga: ga}
+	return t.block(body.List) || t.sawExit
+}
+
+type termWalk struct {
+	ga      *goroLeak
+	sawExit bool // a return or panic is syntactically present (reachably or not, the doubt goes to termination)
+}
+
+// block folds completion over a statement sequence: the sequence
+// completes only if every statement lets control continue past it. All
+// statements are visited regardless, so exits in code after an infinite
+// loop still register as doubt.
+func (t *termWalk) block(list []ast.Stmt) bool {
+	completes := true
+	for _, s := range list {
+		completes = t.stmt(s) && completes
+	}
+	return completes
+}
+
+// stmt reports whether control can continue past s.
+func (t *termWalk) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		t.sawExit = true
+		return false
+	case *ast.BlockStmt:
+		return t.block(s.List)
+	case *ast.IfStmt:
+		thenDone := t.block(s.Body.List)
+		elseDone := true
+		if s.Else != nil {
+			elseDone = t.stmt(s.Else)
+		}
+		return thenDone || elseDone
+	case *ast.ForStmt:
+		t.block(s.Body.List) // visit for exits
+		if s.Cond != nil {
+			return true
+		}
+		return hasLoopBreak(s.Body)
+	case *ast.RangeStmt:
+		t.block(s.Body.List)
+		return true
+	case *ast.SelectStmt:
+		if len(s.Body.List) == 0 {
+			return false
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				t.block(cc.Body)
+			}
+		}
+		return true
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				t.block(cc.Body)
+			}
+		}
+		return true
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				t.block(cc.Body)
+			}
+		}
+		return true
+	case *ast.LabeledStmt:
+		// A labeled loop may be left by a labeled break we do not track;
+		// give it the benefit of the doubt, but still visit it for exits.
+		t.stmt(s.Stmt)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the sequence; whether they terminate
+		// the function is the enclosing construct's question.
+		return false
+	case *ast.ExprStmt:
+		if cfg.IsPanicStmt(s) {
+			t.sawExit = true
+			return false
+		}
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if callee := callgraph.StaticCallee(t.ga.pass.TypesInfo, call); callee != nil {
+				if sum := t.ga.forFunc(callee); sum != nil && sum.NeverReturns && !sum.Daemon {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// hasLoopBreak reports whether body contains an unlabeled break binding
+// to this loop — not one swallowed by a nested loop, switch, or select.
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkFile checks every go statement in the file, however deeply nested.
+func (ga *goroLeak) checkFile(f *ast.File) {
+	sites, reasonless := daemonSites(ga.pass.Fset, f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		line := ga.pass.Fset.Position(g.Pos()).Line
+		bad := reasonless[line] || reasonless[line-1]
+		if !bad && (sites[line] || sites[line-1]) {
+			return true
+		}
+		leaks, what := ga.spawnLeaks(g)
+		if leaks {
+			ga.reportLeak(g, what, bad)
+		} else if bad {
+			ga.pass.Reportf(g.Pos(), "bad-directive",
+				"//rolosan:daemon needs a reason: say why this goroutine should outlive its spawner")
+		}
+		return true
+	})
+	ga.checkDeclDirectives(f)
+}
+
+// spawnLeaks decides whether the go statement spawns a goroutine with no
+// provable termination path, and names what runs.
+func (ga *goroLeak) spawnLeaks(g *ast.GoStmt) (bool, string) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return !ga.terminates(fun.Body), "its body"
+	default:
+		callee := callgraph.StaticCallee(ga.pass.TypesInfo, g.Call)
+		if callee == nil {
+			return false, ""
+		}
+		sum := ga.forFunc(callee)
+		if sum != nil && sum.NeverReturns && !sum.Daemon {
+			return true, callee.Name()
+		}
+		return false, ""
+	}
+}
+
+func (ga *goroLeak) reportLeak(g *ast.GoStmt, what string, badDirective bool) {
+	msg := "goroutine never terminates: " + what + " has no return, no breakable loop, and no completing path; " +
+		"give it a stop signal (context or done channel) or declare it with //rolosan:daemon <reason>"
+	if badDirective {
+		msg += " (the directive above is missing its reason)"
+	}
+	file := ga.pass.Fset.File(g.Pos())
+	var fixes []analysis.SuggestedFix
+	if file != nil && !badDirective {
+		lineStart := file.LineStart(ga.pass.Fset.Position(g.Pos()).Line)
+		fixes = []analysis.SuggestedFix{{
+			Message: "declare the goroutine a daemon (then justify the TODO)",
+			Edits: []analysis.TextEdit{{
+				Pos:     lineStart,
+				End:     lineStart,
+				NewText: "//rolosan:daemon TODO: justify this process-lifetime goroutine\n",
+			}},
+		}}
+	}
+	ga.pass.Report(analysis.Diagnostic{
+		Pos:            g.Pos(),
+		Category:       "unterminated",
+		Message:        msg,
+		SuggestedFixes: fixes,
+	})
+}
+
+// checkDeclDirectives reports reasonless //rolosan:daemon directives on
+// function declarations (site directives are judged at the go statement).
+func (ga *goroLeak) checkDeclDirectives(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if reason, ok := declDaemonReason(fd); ok && reason == "" {
+			ga.pass.Reportf(fd.Name.Pos(), "bad-directive",
+				"//rolosan:daemon on %s needs a reason: say why the goroutine running it should outlive its spawner", fd.Name.Name)
+		}
+	}
+}
+
+// declDaemonReason extracts the daemon directive from a declaration's doc
+// comment.
+func declDaemonReason(decl *ast.FuncDecl) (string, bool) {
+	if decl == nil || decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		if rest, ok := directiveText(c, daemonDirective); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// daemonSites maps each line carrying a reasoned //rolosan:daemon
+// directive (covering a go statement on that line or the next) and,
+// separately, the lines of reasonless ones.
+func daemonSites(fset *token.FileSet, f *ast.File) (sites, reasonless map[int]bool) {
+	sites = make(map[int]bool)
+	reasonless = make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := directiveText(c, daemonDirective)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if strings.TrimSpace(rest) == "" {
+				reasonless[line] = true
+			} else {
+				sites[line] = true
+			}
+		}
+	}
+	return sites, reasonless
+}

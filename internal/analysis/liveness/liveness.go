@@ -1,0 +1,211 @@
+// Package liveness is rololint's deadlock-and-liveness analyzer family:
+// three interprocedural checks that prove the concurrency in the tree
+// makes progress, complementing the raceguard family, which proves it is
+// mutually exclusive. Raceguard answers "is this access protected?";
+// liveness answers "can this program keep running?" — no lock-order
+// cycles (lockorder), no blocking channel operations inside critical
+// sections and no channel loops nothing ever ends (chanmisuse), and no
+// goroutine without a provable termination path (goroleak).
+//
+// All three build on the PR-7 interprocedural layer: per-function
+// summaries computed bottom-up over callgraph SCCs and shipped across
+// packages as facts ("lockorder", "chanmisuse", "goroleak" namespaces),
+// so a helper that takes a lock, blocks on a channel, closes its
+// argument, or loops forever carries that behavior to every caller, in
+// this package and in every importer.
+//
+// Lock identity here is class-based (lockdep-style), unlike raceguard's
+// per-instance textual chains: the mutex field `mu` of any value of type
+// T is the lock class "(pkg.T).mu", and a package-level mutex chain is
+// "pkg.chain". Two goroutines deadlock by acquiring two *instances* in
+// opposite orders just as surely as one pair, so the order graph must
+// merge instances — exactly what canonicalID does.
+//
+// Directives:
+//
+//	//rolosan:lockorder A < B   declare intended acquisition order;
+//	                            lockorder flags B-held-acquiring-A edges
+//	                            even before a cycle closes
+//	//rolosan:daemon <reason>   exempt a deliberately process-lifetime
+//	                            goroutine (or the function it runs) from
+//	                            goroleak's termination obligation
+package liveness
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// canonicalID renders the package-independent lock-class identity of a
+// selector chain: "(pkg.Type).field" keyed by the owner type of the final
+// field for chains rooted at locals, parameters, or receivers, and
+// "pkg.chain" for chains rooted at package-level variables. Chains it
+// cannot name this way — bare local mutex values, unnamed owner structs,
+// promoted fields — yield ok=false and stay out of the order graph.
+func canonicalID(root types.Object, text string) (string, bool) {
+	if root == nil || text == "" {
+		return "", false
+	}
+	if v, ok := root.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + text, true
+	}
+	segs := strings.Split(text, ".")
+	if len(segs) < 2 {
+		return "", false
+	}
+	t := root.Type()
+	for i := 1; i < len(segs)-1; i++ {
+		f := fieldOf(t, segs[i])
+		if f == nil {
+			return "", false
+		}
+		t = f.Type()
+	}
+	owner := namedOf(t)
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return "", false
+	}
+	last := segs[len(segs)-1]
+	if fieldOf(t, last) == nil {
+		return "", false
+	}
+	return "(" + owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + ")." + last, true
+}
+
+// fieldOf resolves a direct (non-promoted) struct field by name, looking
+// through one pointer indirection.
+func fieldOf(t types.Type, name string) *types.Var {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// namedOf strips one pointer indirection and returns the named type, or
+// nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// displayID shortens a canonical lock-class or channel-field ID for
+// diagnostics: the package path collapses to its base element, so
+// "(github.com/x/y/internal/journal.AsyncSink).mu" reads
+// "(journal.AsyncSink).mu".
+func displayID(id string) string {
+	if strings.HasPrefix(id, "(") {
+		if i := strings.IndexByte(id, ')'); i > 0 {
+			inner := id[1:i]
+			if j := strings.LastIndexByte(inner, '.'); j > 0 {
+				return "(" + pathBase(inner[:j]) + "." + inner[j+1:] + ")" + id[i+1:]
+			}
+		}
+		return id
+	}
+	if k := strings.LastIndexByte(id, '/'); k >= 0 {
+		return id[k+1:]
+	}
+	return id
+}
+
+func pathBase(path string) string {
+	return path[strings.LastIndexByte(path, '/')+1:]
+}
+
+// sameTree reports whether two packages share the leading import-path
+// segment — a cheap stand-in for "same module". Blocks facts are trusted
+// only within the tree under analysis: the Go runtime coordinates its GC
+// and signal handling over literal channels, so when a driver computes
+// facts for the standard library (go vet does), much of it — fmt.Sprintf
+// via reflect, for one — would otherwise summarize as "may block on
+// channel traffic". Those channels are scheduler internals no caller can
+// unblock; findings about them are noise.
+func sameTree(a, b *types.Package) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return firstSegment(a.Path()) == firstSegment(b.Path())
+}
+
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// rootOf resolves the base identifier of a selector chain to its object.
+func rootOf(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj returns the object of a plain identifier expression, or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// funcBodies yields every function body in the file — declarations and
+// function literals — with the declaration (nil for literals). Literal
+// bodies are visited separately from their enclosing functions because
+// they run at another time: lock state never flows into them.
+func funcBodies(file *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n, n.Body)
+			}
+		case *ast.FuncLit:
+			fn(nil, n.Body)
+		}
+		return true
+	})
+}
+
+// directiveText strips the comment marker and returns the text after the
+// given directive prefix, or ok=false. Only line comments carry
+// directives (the same convention as //lint:allow).
+func directiveText(c *ast.Comment, directive string) (string, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return "", false
+	}
+	return strings.CutPrefix(strings.TrimSpace(text), directive)
+}

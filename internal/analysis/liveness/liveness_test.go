@@ -1,0 +1,20 @@
+package liveness_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/liveness"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", liveness.LockOrder, "fix/lockorder")
+}
+
+func TestChanMisuse(t *testing.T) {
+	analysistest.Run(t, "testdata", liveness.ChanMisuse, "fix/chanmisuse")
+}
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", liveness.GoroLeak, "fix/goroleak")
+}

@@ -1,0 +1,516 @@
+package liveness
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/callgraph"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+	"github.com/rolo-storage/rolo/internal/analysis/raceguard"
+)
+
+const (
+	orderNS            = "lockorder"
+	lockorderDirective = "rolosan:lockorder"
+)
+
+// An OrderSite is one lock-class acquisition a function (or anything it
+// calls) performs: the canonical class ID and the source site
+// ("file.go:12") of the actual acquisition, however deep in the call
+// chain it happens.
+type OrderSite struct {
+	ID   string `json:"id"`
+	Site string `json:"site"`
+}
+
+// An OrderEdge records that the function acquires To while holding From,
+// directly or transitively; Site is where To is acquired.
+type OrderEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Site string `json:"site"`
+}
+
+// An OrderSummary is the "lockorder" fact of one function: what it
+// acquires and which lock-order edges it closes, including everything its
+// callees contribute. Summaries are canonical — class IDs, not instance
+// chains — so they compose across call and package boundaries.
+type OrderSummary struct {
+	Acquires []OrderSite `json:"acquires,omitempty"`
+	Edges    []OrderEdge `json:"edges,omitempty"`
+}
+
+// LockOrder reports potential deadlocks: cycles in the package's global
+// lock-order graph, each with a full witness path naming the acquisition
+// site of every edge, and violations of declared `//rolosan:lockorder
+// A < B` orderings even when no cycle has closed yet.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `report lock-order cycles (potential deadlocks) and declared-order violations
+
+Every mutex acquisition is classified by lock class — "(pkg.Type).field"
+for a field mutex of any instance of Type, "pkg.chain" for a package-level
+mutex — and an edge A -> B is recorded whenever B is acquired while A is
+held, with helper acquisitions counted through the same per-function
+summaries the lockcontract analyzer exports. A cycle in the resulting
+graph means two goroutines can acquire the classes in conflicting orders
+and deadlock; the report walks the cycle edge by edge with each
+acquisition site. "//rolosan:lockorder A < B" declares the intended order
+and turns any B-before-A edge into a finding without waiting for the
+reverse edge to appear.`,
+	Run: runLockOrder,
+}
+
+type lockOrder struct {
+	pass     *analysis.Pass
+	model    *raceguard.LockModel
+	local    map[*types.Func]*OrderSummary
+	anchored map[*types.Func][]anchorEdge
+	imported map[*types.Func]*OrderSummary
+	missing  map[*types.Func]bool
+}
+
+// An anchorEdge is a summary edge plus the local position that witnessed
+// it (the acquisition site, or the call site that imported it), giving
+// cycle reports an anchor inside the package under analysis.
+type anchorEdge struct {
+	from, to, site string
+	pos            token.Pos
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	lo := &lockOrder{
+		pass:     pass,
+		model:    raceguard.NewLockModel(pass),
+		local:    make(map[*types.Func]*OrderSummary),
+		anchored: make(map[*types.Func][]anchorEdge),
+		imported: make(map[*types.Func]*OrderSummary),
+		missing:  make(map[*types.Func]bool),
+	}
+	// Re-export the lock summaries so importers' lockorder runs see
+	// helper-acquired locks even when lockcontract is not in the suite.
+	lo.model.ExportFacts()
+	// Bottom-up over SCCs, iterating each component to a fixed point so
+	// recursion groups converge (edges only accumulate, so the chain is
+	// finite).
+	for _, comp := range lo.model.Graph().SCCs() {
+		for round := 0; round <= len(comp); round++ {
+			changed := false
+			for _, node := range comp {
+				sum, anchors := lo.summarize(node)
+				if !reflect.DeepEqual(lo.local[node.Func], sum) {
+					changed = true
+				}
+				lo.local[node.Func] = sum
+				lo.anchored[node.Func] = anchors
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	for _, node := range lo.model.Graph().All() {
+		if s := lo.local[node.Func]; s != nil && (len(s.Acquires) > 0 || len(s.Edges) > 0) {
+			pass.ExportFact(orderNS, node.Func, s)
+		}
+	}
+	edges := lo.assemble()
+	lo.reportCycles(edges)
+	lo.checkDirectives(edges)
+	return nil
+}
+
+// An orderEvent is one acquisition-bearing operation inside a statement:
+// a direct Lock/RLock (one site) or a call whose summary acquires
+// (the callee's sites and transitive edges).
+type orderEvent struct {
+	acquires []OrderSite
+	edges    []OrderEdge
+	pos      token.Pos
+}
+
+// summarize computes one function's OrderSummary and its locally-anchored
+// edges. Each statement is visited with the set of lock classes that may
+// be held just before it (per-chain summary-aware dataflow), and every
+// acquisition event at that point — direct or through a callee — closes
+// an edge from each held class.
+func (lo *lockOrder) summarize(node *callgraph.Node) (*OrderSummary, []anchorEdge) {
+	body := node.Decl.Body
+	chains := lo.model.Chains(body)
+	for _, r := range lo.model.Requires(node.Decl) {
+		seen := false
+		for _, c := range chains {
+			if c.Text == r.Text {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			chains = append(chains, r)
+		}
+	}
+	ids := make(map[string]string)
+	for _, c := range chains {
+		if id, ok := canonicalID(c.Root, c.Text); ok {
+			ids[c.Text] = id
+		}
+	}
+
+	sum := &OrderSummary{}
+	var anchors []anchorEdge
+	acqSeen := make(map[string]bool)
+	edgeSeen := make(map[[2]string]bool)
+	addAcq := func(s OrderSite) {
+		if !acqSeen[s.ID] {
+			acqSeen[s.ID] = true
+			sum.Acquires = append(sum.Acquires, s)
+		}
+	}
+	addEdge := func(from, to, site string, pos token.Pos) {
+		k := [2]string{from, to}
+		if !edgeSeen[k] {
+			edgeSeen[k] = true
+			sum.Edges = append(sum.Edges, OrderEdge{From: from, To: to, Site: site})
+			anchors = append(anchors, anchorEdge{from: from, to: to, site: site, pos: pos})
+		}
+	}
+	merge := func(ev orderEvent, held []string) {
+		for _, a := range ev.acquires {
+			addAcq(a)
+			for _, h := range held {
+				addEdge(h, a.ID, a.Site, ev.pos)
+			}
+		}
+		for _, e := range ev.edges {
+			addEdge(e.From, e.To, e.Site, ev.pos)
+		}
+	}
+
+	g := cfg.Build(body)
+	if g.Unanalyzable {
+		// Degraded mode (labeled break, goto, …): acquisitions and callee
+		// edges still count — they are held-context-independent — but no
+		// new edges are inferred here.
+		for _, ev := range lo.events(body, ids) {
+			merge(ev, nil)
+		}
+		normalizeSummary(sum)
+		return sum, anchors
+	}
+
+	// One solve per tracked chain, plus a chain-less solve whose domain is
+	// the set of reachable blocks.
+	reach := lo.model.States(g, node.Decl, "")
+	states := make(map[string]map[*cfg.Block]cfg.Set, len(ids))
+	for text := range ids {
+		states[text] = lo.model.States(g, node.Decl, text)
+	}
+
+	for _, blk := range g.Blocks {
+		if _, ok := reach[blk]; !ok {
+			continue
+		}
+		cur := make(map[string]cfg.Set, len(states))
+		for text, sets := range states {
+			cur[text] = sets[blk]
+		}
+		for _, s := range blk.Stmts {
+			if evs := lo.events(s, ids); len(evs) > 0 {
+				heldSet := make(map[string]bool)
+				for text, set := range cur {
+					if set.Has(raceguard.StateLocked) || set.Has(raceguard.StateRLocked) {
+						heldSet[ids[text]] = true
+					}
+				}
+				held := make([]string, 0, len(heldSet))
+				for id := range heldSet {
+					held = append(held, id)
+				}
+				sort.Strings(held)
+				for _, ev := range evs {
+					merge(ev, held)
+				}
+			}
+			for text := range cur {
+				cur[text] = lo.model.Fold(text, s, cur[text])
+			}
+		}
+	}
+	normalizeSummary(sum)
+	return sum, anchors
+}
+
+// events collects the acquisition events inside one statement (or body),
+// skipping function literals, go statements, and defers: those run at
+// another time, under another goroutine's lock state.
+func (lo *lockOrder) events(n ast.Node, ids map[string]string) []orderEvent {
+	info := lo.pass.TypesInfo
+	var evs []orderEvent
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if chain, method, ok := raceguard.LockOp(info, x); ok {
+				if method == "Lock" || method == "RLock" {
+					if id, ok := ids[chain]; ok {
+						evs = append(evs, orderEvent{
+							acquires: []OrderSite{{ID: id, Site: lo.site(x.Pos())}},
+							pos:      x.Pos(),
+						})
+					}
+				}
+				return true
+			}
+			if callee := callgraph.StaticCallee(info, x); callee != nil {
+				if s := lo.forFunc(callee); s != nil && (len(s.Acquires) > 0 || len(s.Edges) > 0) {
+					evs = append(evs, orderEvent{acquires: s.Acquires, edges: s.Edges, pos: x.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// forFunc returns the best-known summary of fn: the in-flight local one
+// for functions of this package, the imported fact for everything else.
+func (lo *lockOrder) forFunc(fn *types.Func) *OrderSummary {
+	if fn == nil {
+		return nil
+	}
+	if lo.model.Graph().Nodes[fn] != nil {
+		return lo.local[fn]
+	}
+	if s, ok := lo.imported[fn]; ok {
+		return s
+	}
+	if lo.missing[fn] {
+		return nil
+	}
+	var s OrderSummary
+	if lo.pass.ImportFact(orderNS, fn, &s) {
+		lo.imported[fn] = &s
+		return &s
+	}
+	lo.missing[fn] = true
+	return nil
+}
+
+func normalizeSummary(s *OrderSummary) {
+	sort.Slice(s.Acquires, func(i, j int) bool { return s.Acquires[i].ID < s.Acquires[j].ID })
+	sort.Slice(s.Edges, func(i, j int) bool {
+		a, b := s.Edges[i], s.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+}
+
+func (lo *lockOrder) site(pos token.Pos) string {
+	p := lo.pass.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// A pkgEdge is one edge of the package-level lock-order graph with its
+// local anchor. The first witness of an edge wins, and functions are
+// visited in declaration order, so the anchor is deterministic.
+type pkgEdge struct {
+	site string
+	pos  token.Pos
+}
+
+// pkgEdges is the assembled package-level lock-order graph.
+type pkgEdges struct {
+	table map[[2]string]pkgEdge
+	ids   map[string]bool
+}
+
+func newPkgEdges() *pkgEdges {
+	return &pkgEdges{table: make(map[[2]string]pkgEdge), ids: make(map[string]bool)}
+}
+
+func (pe *pkgEdges) add(from, to, site string, pos token.Pos) {
+	k := [2]string{from, to}
+	if _, ok := pe.table[k]; ok {
+		return
+	}
+	pe.table[k] = pkgEdge{site: site, pos: pos}
+	pe.ids[from] = true
+	pe.ids[to] = true
+}
+
+// cycles enumerates the graph's elementary cycles as canonical ID
+// sequences: vertices indexed in sorted-ID order, so every cycle starts
+// at its alphabetically-smallest class and the output is independent of
+// edge insertion order.
+func (pe *pkgEdges) cycles() [][]string {
+	ids := make([]string, 0, len(pe.ids))
+	for id := range pe.ids {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	index := make(map[string]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	succs := make([][]int, len(ids))
+	for k := range pe.table {
+		i := index[k[0]]
+		succs[i] = append(succs[i], index[k[1]])
+	}
+	raw := callgraph.EnumerateCycles(len(ids), func(i int) []int { return succs[i] })
+	out := make([][]string, len(raw))
+	for i, cyc := range raw {
+		names := make([]string, len(cyc))
+		for j, v := range cyc {
+			names[j] = ids[v]
+		}
+		out[i] = names
+	}
+	return out
+}
+
+// witness renders one cycle's report message, walking the cycle edge by
+// edge with each acquisition site.
+func (pe *pkgEdges) witness(names []string) string {
+	parts := make([]string, len(names))
+	for i, from := range names {
+		to := names[(i+1)%len(names)]
+		e := pe.table[[2]string{from, to}]
+		parts[i] = fmt.Sprintf("%s -> %s at %s", displayID(from), displayID(to), e.site)
+	}
+	return "potential deadlock: lock-order cycle: " + strings.Join(parts, "; ")
+}
+
+// anchor returns the earliest local position among the cycle's edges.
+func (pe *pkgEdges) anchor(names []string) token.Pos {
+	min := token.NoPos
+	for i, from := range names {
+		e := pe.table[[2]string{from, names[(i+1)%len(names)]}]
+		if min == token.NoPos || e.pos < min {
+			min = e.pos
+		}
+	}
+	return min
+}
+
+func (lo *lockOrder) assemble() *pkgEdges {
+	pe := newPkgEdges()
+	for _, node := range lo.model.Graph().All() {
+		for _, e := range lo.anchored[node.Func] {
+			pe.add(e.from, e.to, e.site, e.pos)
+		}
+	}
+	return pe
+}
+
+func cycleKey(names []string) string { return strings.Join(names, "|") }
+
+// reportCycles reports every elementary cycle of the package graph,
+// except cycles already wholly visible to a single imported package —
+// those were reported where they were closed, and re-reporting them in
+// every importer would bury the new information.
+func (lo *lockOrder) reportCycles(pe *pkgEdges) {
+	if len(pe.ids) == 0 {
+		return
+	}
+	byOrigin := make(map[string]*pkgEdges)
+	for fn, s := range lo.imported {
+		if fn.Pkg() == nil {
+			continue
+		}
+		origin := byOrigin[fn.Pkg().Path()]
+		if origin == nil {
+			origin = newPkgEdges()
+			byOrigin[fn.Pkg().Path()] = origin
+		}
+		for _, e := range s.Edges {
+			origin.add(e.From, e.To, e.Site, token.NoPos)
+		}
+	}
+	suppressed := make(map[string]bool)
+	for _, origin := range byOrigin {
+		for _, cyc := range origin.cycles() {
+			suppressed[cycleKey(cyc)] = true
+		}
+	}
+	for _, cyc := range pe.cycles() {
+		if suppressed[cycleKey(cyc)] {
+			continue
+		}
+		lo.pass.Report(analysis.Diagnostic{
+			Pos:      pe.anchor(cyc),
+			Category: "cycle",
+			Message:  pe.witness(cyc),
+		})
+	}
+}
+
+// checkDirectives parses the package's //rolosan:lockorder declarations
+// and reports every edge that contradicts one.
+func (lo *lockOrder) checkDirectives(pe *pkgEdges) {
+	for _, f := range lo.pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := directiveText(c, lockorderDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) != 3 || fields[1] != "<" {
+					lo.pass.Reportf(c.Pos(), "bad-directive",
+						"malformed directive %q: want //rolosan:lockorder A < B", strings.TrimSpace(c.Text))
+					continue
+				}
+				from, okFrom := lo.resolveOperand(fields[0])
+				if !okFrom {
+					lo.pass.Reportf(c.Pos(), "bad-directive",
+						"cannot resolve %q in //rolosan:lockorder: want Type.field or a package-level mutex chain of this package", fields[0])
+					continue
+				}
+				to, okTo := lo.resolveOperand(fields[2])
+				if !okTo {
+					lo.pass.Reportf(c.Pos(), "bad-directive",
+						"cannot resolve %q in //rolosan:lockorder: want Type.field or a package-level mutex chain of this package", fields[2])
+					continue
+				}
+				if e, ok := pe.table[[2]string{to, from}]; ok {
+					lo.pass.Reportf(e.pos, "violation",
+						"acquires %s while %s is held at %s, violating declared order //rolosan:lockorder %s < %s",
+						displayID(from), displayID(to), e.site, fields[0], fields[2])
+				}
+			}
+		}
+	}
+}
+
+// resolveOperand maps a directive operand to a canonical lock-class ID:
+// "Type.field" names a mutex field of a package-local type, anything
+// rooted at a package-level variable names that chain.
+func (lo *lockOrder) resolveOperand(op string) (string, bool) {
+	pkg := lo.pass.Pkg
+	if pkg == nil || op == "" {
+		return "", false
+	}
+	base, rest, dotted := strings.Cut(op, ".")
+	switch obj := pkg.Scope().Lookup(base).(type) {
+	case *types.TypeName:
+		if !dotted || strings.Contains(rest, ".") || fieldOf(obj.Type(), rest) == nil {
+			return "", false
+		}
+		return "(" + pkg.Path() + "." + obj.Name() + ")." + rest, true
+	case *types.Var:
+		return pkg.Path() + "." + op, true
+	}
+	return "", false
+}

@@ -1,0 +1,129 @@
+package liveness
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The witness path is user-facing output: its rendering must be byte-for-
+// byte deterministic regardless of the order edges were discovered in.
+func TestWitnessRenderingDeterministic(t *testing.T) {
+	type edge struct{ from, to, site string }
+	edges := []edge{
+		{"(pkg/a.T).mu", "(pkg/b.U).mu", "a.go:10"},
+		{"(pkg/b.U).mu", "pkg/a.regMu", "b.go:20"},
+		{"pkg/a.regMu", "(pkg/a.T).mu", "a.go:30"},
+		{"(pkg/c.V).x", "(pkg/c.V).y", "c.go:5"},
+		{"(pkg/c.V).y", "(pkg/c.V).x", "c.go:9"},
+		{"(pkg/a.T).mu", "(pkg/c.V).x", "a.go:40"}, // acyclic bridge
+	}
+	golden := []string{
+		"potential deadlock: lock-order cycle: (a.T).mu -> (b.U).mu at a.go:10; (b.U).mu -> a.regMu at b.go:20; a.regMu -> (a.T).mu at a.go:30",
+		"potential deadlock: lock-order cycle: (c.V).x -> (c.V).y at c.go:5; (c.V).y -> (c.V).x at c.go:9",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		shuffled := append([]edge(nil), edges...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		pe := newPkgEdges()
+		for i, e := range shuffled {
+			pe.add(e.from, e.to, e.site, token.Pos(i+1))
+		}
+		var got []string
+		for _, cyc := range pe.cycles() {
+			got = append(got, pe.witness(cyc))
+		}
+		if strings.Join(got, "\n") != strings.Join(golden, "\n") {
+			t.Fatalf("trial %d: witness rendering diverged:\n--- got ---\n%s\n--- want ---\n%s",
+				trial, strings.Join(got, "\n"), strings.Join(golden, "\n"))
+		}
+	}
+}
+
+func TestDisplayID(t *testing.T) {
+	cases := []struct{ id, want string }{
+		{"(github.com/x/y/internal/journal.AsyncSink).mu", "(journal.AsyncSink).mu"},
+		{"(fix/lockorder.pair).a", "(lockorder.pair).a"},
+		{"(p.T).mu", "(p.T).mu"},
+		{"github.com/x/y/internal/experiments.names.mu", "experiments.names.mu"},
+		{"fix/lockorder.regMu", "lockorder.regMu"},
+		{"p.regMu", "p.regMu"},
+	}
+	for _, c := range cases {
+		if got := displayID(c.id); got != c.want {
+			t.Errorf("displayID(%q) = %q, want %q", c.id, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalID(t *testing.T) {
+	const src = `package p
+
+import "sync"
+
+type inner struct{ mu sync.Mutex }
+
+type outer struct {
+	mu sync.Mutex
+	in inner
+}
+
+var regMu sync.Mutex
+
+func f(o *outer, local sync.Mutex) {
+	_ = o
+	_ = local
+	_ = regMu
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := pkg.Scope()
+	var paramO, paramLocal types.Object
+	for _, obj := range info.Defs {
+		switch {
+		case obj == nil:
+		case obj.Name() == "o":
+			paramO = obj
+		case obj.Name() == "local":
+			paramLocal = obj
+		}
+	}
+	cases := []struct {
+		root types.Object
+		text string
+		want string
+		ok   bool
+	}{
+		{paramO, "o.mu", "(example.com/p.outer).mu", true},
+		{paramO, "o.in.mu", "(example.com/p.inner).mu", true},
+		{scope.Lookup("regMu"), "regMu", "example.com/p.regMu", true},
+		{paramLocal, "local", "", false}, // bare local mutex has no class
+		{paramO, "o.missing", "", false},
+		{nil, "o.mu", "", false},
+	}
+	for _, c := range cases {
+		got, ok := canonicalID(c.root, c.text)
+		if got != c.want || ok != c.ok {
+			t.Errorf("canonicalID(%v, %q) = %q, %v; want %q, %v", c.root, c.text, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package chanlib is a dependency fixture for chanmisuse: its "blocks"
+// and "closes" facts must reach importing fixture packages.
+package chanlib
+
+// Fill sends three values and closes the channel: a blocking function
+// whose first parameter is eventually closed.
+func Fill(ch chan int) {
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// Pump sends forever and never closes: blocking, no close fact.
+func Pump(ch chan int) {
+	for i := 0; ; i++ {
+		ch <- i
+	}
+}
+
+// Await blocks until the channel yields.
+func Await(done chan struct{}) {
+	<-done
+}

@@ -1,0 +1,166 @@
+// Package chanmisuse exercises the chanmisuse analyzer: blocking channel
+// operations inside critical sections (directly, via helper-held locks,
+// and via blocking callees from another package), ranges over channels
+// nothing closes, and sends no goroutine can receive.
+package chanmisuse
+
+import (
+	"sync"
+
+	"fix/chanlib"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *box) lock() { s.mu.Lock() }
+
+func (s *box) unlock() { s.mu.Unlock() }
+
+func sendUnderLock(s *box) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func sendUnderLockWaived(s *box) {
+	s.mu.Lock()
+	s.ch <- 1 //lint:allow chanmisuse:send-under-lock fixture exercises the waiver path
+	s.mu.Unlock()
+}
+
+func recvUnderLock(s *box) int {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while s\.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+func waitUnderLock(s *box, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// helperHeldSend blocks under a lock acquired by a summarized helper.
+func helperHeldSend(s *box) {
+	s.lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.unlock()
+}
+
+// callUnderLock blocks through an imported callee whose fact says it
+// blocks on channel traffic.
+func callUnderLock(s *box, done chan struct{}) {
+	s.mu.Lock()
+	chanlib.Await(done) // want `call to Await while s\.mu is held may block`
+	s.mu.Unlock()
+}
+
+// sendOutsideLock moves the send after the unlock: no finding.
+func sendOutsideLock(s *box) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// closedByProducer is the healthy shape: the one sender closes the
+// channel when it finishes, so the range terminates.
+func closedByProducer() {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+	}()
+	for v := range ch {
+		work(v)
+	}
+}
+
+// crossClosed relies on an imported closer: chanlib.Fill's fact says it
+// closes its first parameter.
+func crossClosed() {
+	ch := make(chan int)
+	go chanlib.Fill(ch)
+	for v := range ch {
+		work(v)
+	}
+}
+
+// crossUnclosed hands the channel to an imported sender that never
+// closes it: the range can never terminate.
+func crossUnclosed() {
+	ch := make(chan int)
+	go chanlib.Pump(ch)
+	for v := range ch { // want `range over ch never terminates`
+		work(v)
+	}
+}
+
+// escapedChan is returned to the caller, so its lifecycle is not ours to
+// judge: no finding.
+func escapedChan() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}
+
+// src's channel field is closed nowhere in this package.
+type src struct {
+	c chan int
+}
+
+func (s *src) loop() {
+	for v := range s.c { // want `range over \(chanmisuse\.src\)\.c may never terminate`
+		work(v)
+	}
+}
+
+func (s *src) loopWaived() {
+	for v := range s.c { //lint:allow chanmisuse:unclosed-range the producer harness closes it
+		work(v)
+	}
+}
+
+// sink's channel field is closed by finish, so ranging over it is fine.
+type sink struct {
+	c chan int
+}
+
+func (s *sink) loop() {
+	for v := range s.c {
+		work(v)
+	}
+}
+
+func (s *sink) finish() { close(s.c) }
+
+// selfReceive sends on an unbuffered channel that never leaves this
+// goroutine: guaranteed deadlock.
+func selfReceive() {
+	ch := make(chan int)
+	ch <- 1 // want `send on ch always blocks`
+}
+
+// bufferedSend has capacity, so the send completes: no finding.
+func bufferedSend() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+// receiverExists hands the channel to another goroutine: no finding.
+func receiverExists() {
+	ch := make(chan int)
+	go func() {
+		work(<-ch)
+	}()
+	ch <- 1
+}
+
+func work(int) {}

@@ -1,0 +1,16 @@
+package chanmisuse
+
+// produceAndDrain ranges over a channel whose only sender is one spawned
+// goroutine and which nothing closes: the mechanical fix defers the close
+// at the top of that goroutine.
+func produceAndDrain() {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			ch <- i
+		}
+	}()
+	for v := range ch { // want `range over ch never terminates`
+		work(v)
+	}
+}

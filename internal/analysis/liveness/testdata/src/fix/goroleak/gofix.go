@@ -1,0 +1,13 @@
+package goroleak
+
+// spawnForFix exists for the golden test: the mechanical fix declares the
+// goroutine a daemon with a TODO reason to justify.
+func spawnForFix() {
+	go looper() // want `goroutine never terminates: looper has no return`
+}
+
+func looper() {
+	for {
+		tick()
+	}
+}

@@ -1,0 +1,105 @@
+// Package goroleak exercises the goroleak analyzer: go statements whose
+// goroutines have no provable termination path — literal bodies, local
+// helpers that loop forever (the obligation propagates to the spawner),
+// and imported never-returns functions — plus the daemon directive in its
+// reasoned, reasonless, and declaration forms.
+package goroleak
+
+import "fix/gorolib"
+
+// spinLit spawns a literal with no exit path.
+func spinLit() {
+	go func() { // want `goroutine never terminates: its body has no return`
+		for {
+			tick()
+		}
+	}()
+}
+
+// workerLit checks its done channel every iteration: provably
+// terminating, no finding.
+func workerLit(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tick()
+		}
+	}()
+}
+
+// boundedLit completes a counted loop: no finding.
+func boundedLit() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			tick()
+		}
+	}()
+}
+
+// spin loops forever; spawning it leaks, and the leak is the spawner's.
+func spin() {
+	for {
+		tick()
+	}
+}
+
+func spawnSpin() {
+	go spin() // want `goroutine never terminates: spin has no return`
+}
+
+// deep never returns because everything after its call to spin is
+// unreachable: the obligation propagates two levels.
+func deep() {
+	spin()
+}
+
+func spawnDeep() {
+	go deep() // want `goroutine never terminates: deep has no return`
+}
+
+func spawnSpinWaived() {
+	go spin() //lint:allow goroleak:unterminated fixture exercises the waiver path
+}
+
+// spawnImported leaks through a cross-package fact.
+func spawnImported() {
+	go gorolib.Forever() // want `goroutine never terminates: Forever has no return`
+}
+
+// spawnDaemonFact is clean: gorolib.Pump declares itself a daemon.
+func spawnDaemonFact(ch chan int) {
+	go gorolib.Pump(ch)
+}
+
+// spawnDeclaredDaemon is clean: the site directive takes the obligation.
+func spawnDeclaredDaemon() {
+	//rolosan:daemon fixture daemon justified for the test lifetime
+	go gorolib.Forever()
+}
+
+// spawnReasonlessDaemon carries a directive with no reason: it does not
+// take the obligation, and the missing reason is called out.
+func spawnReasonlessDaemon() {
+	//rolosan:daemon
+	go gorolib.Forever() // want `goroutine never terminates: Forever has no return, no breakable loop, and no completing path; give it a stop signal \(context or done channel\) or declare it with //rolosan:daemon <reason> \(the directive above is missing its reason\)`
+}
+
+// badDaemon declares itself a daemon without saying why.
+//
+//rolosan:daemon
+func badDaemon() { // want `//rolosan:daemon on badDaemon needs a reason`
+	for {
+		tick()
+	}
+}
+
+// spawnDynamic spawns through a function value: out of scope, no finding.
+func spawnDynamic(fn func()) {
+	go fn()
+}
+
+func tick() {}

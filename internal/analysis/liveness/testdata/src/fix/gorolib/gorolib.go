@@ -1,0 +1,28 @@
+// Package gorolib is a dependency fixture for goroleak: its
+// never-returns and daemon facts must reach importing fixture packages.
+package gorolib
+
+// Forever spins with no exit path: a never-returns fact.
+func Forever() {
+	for {
+		step()
+	}
+}
+
+// Pump drains its channel for the life of the process, by declaration.
+//
+//rolosan:daemon metrics pump runs for the process lifetime
+func Pump(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// Bounded returns once the budget is spent.
+func Bounded(n int) {
+	for i := 0; i < n; i++ {
+		step()
+	}
+}
+
+func step() {}

@@ -1,0 +1,49 @@
+// Package locklib is a dependency fixture for lockorder: its per-function
+// acquisition summaries and order edges must reach importing fixture
+// packages as "lockorder" facts, and the cycle its Inner methods close
+// internally must be reported here, not re-reported by importers.
+package locklib
+
+import "sync"
+
+// Pair is a two-lock structure whose documented order is A before B.
+type Pair struct {
+	A, B sync.Mutex
+}
+
+// AB acquires A then B — the canonical order (edge A -> B in the fact).
+func (p *Pair) AB() {
+	p.A.Lock()
+	p.B.Lock()
+	p.B.Unlock()
+	p.A.Unlock()
+}
+
+// LockA acquires A and leaves it held (an acquisition in the fact).
+func (p *Pair) LockA() { p.A.Lock() }
+
+// UnlockA releases A.
+func (p *Pair) UnlockA() { p.A.Unlock() }
+
+// Inner closes a lock-order cycle entirely inside this package: CD and DC
+// disagree about the order of C and D. The cycle belongs to this
+// package's report; importers that call both must stay quiet about it.
+type Inner struct {
+	C, D sync.Mutex
+}
+
+// CD acquires C then D.
+func (i *Inner) CD() {
+	i.C.Lock()
+	i.D.Lock()
+	i.D.Unlock()
+	i.C.Unlock()
+}
+
+// DC acquires D then C.
+func (i *Inner) DC() {
+	i.D.Lock()
+	i.C.Lock()
+	i.C.Unlock()
+	i.D.Unlock()
+}

@@ -1,0 +1,159 @@
+package raceguard
+
+// This file exports the lock-state machinery to the liveness analyzer
+// family (internal/analysis/liveness). Lockorder keys its lock-order
+// graph off the same per-function summaries guardedby and lockcontract
+// compute — so a helper that acquires a mutex counts as holding it at the
+// next acquisition site — and chanmisuse's blocking-under-lock check
+// reuses the any-mutex dataflow gocapture uses. Exporting the model keeps
+// the two families agreeing about what "the lock is held here" means.
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/callgraph"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// Lock-state lattice values of the forward may-analysis, re-exported for
+// sibling analyzer families. A block's state set containing StateLocked
+// or StateRLocked means "some path reaches here with the lock held".
+const (
+	StateUnheld  = stUnheld
+	StateRLocked = stRLocked
+	StateLocked  = stLocked
+)
+
+// LockOp classifies a statically-resolved call as a lock-state operation
+// (Lock, Unlock, RLock, RUnlock) on a sync.Mutex or sync.RWMutex,
+// returning the rendered receiver chain ("m.mu") and the method name.
+func LockOp(info *types.Info, call *ast.CallExpr) (chain, method string, ok bool) {
+	return lockMethod(info, call)
+}
+
+// AnyLockStates solves the any-mutex lock-state analysis over a built
+// CFG: the chain-agnostic mode where any Lock sets the state and any
+// Unlock clears it. entry is the function-entry state (ContractEntry for
+// declarations with lock contracts, cfg.Only(StateUnheld) otherwise).
+func AnyLockStates(info *types.Info, g *cfg.Graph, entry cfg.Set) map[*cfg.Block]cfg.Set {
+	return g.Solve(entry, func(s ast.Stmt, in cfg.Set) cfg.Set {
+		return lockTransfer(info, "", s, in)
+	}, nil)
+}
+
+// FoldAnyLock folds one statement over the any-mutex state set, reaching
+// a statement's program point from its block's entry set.
+func FoldAnyLock(info *types.Info, s ast.Stmt, in cfg.Set) cfg.Set {
+	return lockTransfer(info, "", s, in)
+}
+
+// ContractEntry returns the any-mutex entry state of a declaration: a
+// function declared `//rolosan:requires mu` starts with that lock held.
+func ContractEntry(info *types.Info, decl *ast.FuncDecl) cfg.Set {
+	recvName, _ := receiver(info, decl)
+	if len(declaredRequires(decl, recvName)) > 0 {
+		return cfg.Only(stLocked)
+	}
+	return cfg.Only(stUnheld)
+}
+
+// A Chain is one mutex chain as rendered inside a function ("s.mu",
+// "journalNames.mu"), with the object its base identifier resolves to.
+type Chain struct {
+	Text string
+	Root types.Object
+}
+
+// A LockModel is the summary-aware lock-state dataflow of one package:
+// the call graph, the per-function LockSummary facts (local and
+// imported), and per-chain state solving that interprets helper calls
+// whose summaries acquire or release a chain.
+type LockModel struct {
+	sm *summaries
+}
+
+// NewLockModel computes the package's lock summaries (the same ones
+// lockcontract exports as facts) and wraps them for external use.
+func NewLockModel(pass *analysis.Pass) *LockModel {
+	return &LockModel{sm: computeSummaries(pass)}
+}
+
+// Graph returns the package call graph underlying the model.
+func (m *LockModel) Graph() *callgraph.Graph { return m.sm.graph }
+
+// ExportFacts publishes the model's per-function lock summaries in the
+// "lockcontract" namespace, exactly as the lockcontract analyzer does.
+// Liveness analyzers call this so their cross-package lock reasoning
+// works even when they run alone (analysistest); when lockcontract runs
+// too, the re-export writes identical content and is harmless.
+func (m *LockModel) ExportFacts() {
+	for _, node := range m.sm.graph.All() {
+		if s := m.sm.local[node.Func]; s != nil && !s.empty() {
+			m.sm.pass.ExportFact(lockNS, node.Func, s)
+		}
+	}
+}
+
+// Chains returns the distinct mutex chains the body operates on, directly
+// or through summarized callees, sorted by rendered text.
+func (m *LockModel) Chains(body *ast.BlockStmt) []Chain {
+	cis := m.sm.candidateChains(body)
+	out := make([]Chain, len(cis))
+	for i, ci := range cis {
+		out[i] = Chain{Text: ci.text, Root: ci.root}
+	}
+	return out
+}
+
+// Requires returns the chains a declaration's `//rolosan:requires`
+// contract names, rendered as seen inside the function, with resolved
+// roots (the receiver object for receiver-rooted chains, the package
+// scope's variable for package-level ones; nil when unresolvable).
+func (m *LockModel) Requires(decl *ast.FuncDecl) []Chain {
+	recvName, recvObj := receiver(m.sm.pass.TypesInfo, decl)
+	var out []Chain
+	for _, r := range declaredRequires(decl, recvName) {
+		text := localChain(r, recvName)
+		var root types.Object
+		if recvObj != nil && (text == recvName || len(text) > len(recvName) && text[:len(recvName)+1] == recvName+".") {
+			root = recvObj
+		} else if base, _, _ := cutChain(text); base != "" && m.sm.pass.Pkg != nil {
+			root = m.sm.pass.Pkg.Scope().Lookup(base)
+		}
+		out = append(out, Chain{Text: text, Root: root})
+	}
+	return out
+}
+
+// cutChain splits a rendered chain into its base identifier and the rest.
+func cutChain(text string) (base, rest string, dotted bool) {
+	for i := 0; i < len(text); i++ {
+		if text[i] == '.' {
+			return text[:i], text[i+1:], true
+		}
+	}
+	return text, "", false
+}
+
+// Entry returns the lock-state entry set of one chain in decl: chains the
+// declaration requires start locked, everything else unheld.
+func (m *LockModel) Entry(decl *ast.FuncDecl, chain string) cfg.Set {
+	recvName, _ := receiver(m.sm.pass.TypesInfo, decl)
+	return entrySet(declaredRequires(decl, recvName), recvName, chain)
+}
+
+// States solves the summary-aware lock-state analysis of one chain over
+// the declaration's built CFG, with the declaration's contract as the
+// entry state. Callers fold with Fold to reach statement granularity.
+func (m *LockModel) States(g *cfg.Graph, decl *ast.FuncDecl, chain string) map[*cfg.Block]cfg.Set {
+	return m.sm.states(g, chain, m.Entry(decl, chain))
+}
+
+// Fold folds one statement over the lock-state set for chain,
+// interpreting both direct Lock/Unlock calls and calls to functions whose
+// summaries acquire or release the chain.
+func (m *LockModel) Fold(chain string, s ast.Stmt, in cfg.Set) cfg.Set {
+	return m.sm.transfer(chain, s, in)
+}

@@ -36,6 +36,12 @@ type StandaloneOptions struct {
 	// SrcRoot anchors the SARIF report's relative artifact URIs;
 	// defaults to the working directory.
 	SrcRoot string
+	// Allows switches the run into waiver-audit mode: instead of
+	// findings, print every //lint:allow directive in the target
+	// packages with its rule, live/stale status, and reason. The exit
+	// code is informational (always 0 unless the load fails) — the
+	// lintallow meta-check, not this listing, is the enforcement path.
+	Allows bool
 }
 
 // RunStandalone loads the packages matching the go list patterns and
@@ -56,10 +62,30 @@ type StandaloneOptions struct {
 // The exit-code convention matches RunUnitchecker: 0 clean, 1 driver
 // error, 2 findings.
 func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer, opts StandaloneOptions) int {
-	findings, err := analyzePatterns(patterns, analyzers)
+	findings, allows, err := analyzePatterns(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
 		return 1
+	}
+	if opts.Allows {
+		for _, r := range allows {
+			status := "stale (suppresses nothing)"
+			switch {
+			case r.Hits == 1:
+				status = "live (suppresses 1 finding)"
+			case r.Hits > 1:
+				status = fmt.Sprintf("live (suppresses %d findings)", r.Hits)
+			case r.Reason == "":
+				status = "inert (no reason given)"
+			}
+			reason := r.Reason
+			if reason == "" {
+				reason = "<none>"
+			}
+			fmt.Fprintf(w, "%s:%d: lint:allow %s — %s — reason: %s\n",
+				r.Pos.Filename, r.Pos.Line, r.Rule, status, reason)
+		}
+		return 0
 	}
 	if opts.SARIF != nil {
 		root := opts.SrcRoot
@@ -91,14 +117,14 @@ func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer, opts S
 	return 0
 }
 
-func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, []AllowRecord, error) {
 	// One walk over the dependency closure: -deps emits every package
 	// after all of its dependencies (the topological order the fact
 	// propagation needs) and marks non-target packages DepOnly; -export
 	// populates .Export from the build cache, compiling as needed.
 	pkgs, err := goList(append([]string{"-deps", "-export"}, patterns...))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	exports := make(map[string]string)
 	for _, p := range pkgs {
@@ -122,6 +148,7 @@ func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error
 
 	facts := make(Facts)
 	var all []Finding
+	var allows []AllowRecord
 	for _, p := range pkgs {
 		if p.Standard || len(p.GoFiles) == 0 || IsFixturePath(p.Dir) {
 			continue
@@ -132,17 +159,18 @@ func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error
 		}
 		unit, err := TypecheckFiles(fset, p.ImportPath, files, imp, "")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		findings, exported, err := RunAnalyzersFacts(unit, analyzers, facts)
+		findings, exported, records, err := RunAnalyzersAudit(unit, analyzers, facts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for k, v := range exported {
 			facts[k] = v
 		}
 		if !p.DepOnly {
 			all = append(all, findings...)
+			allows = append(allows, records...)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -155,7 +183,14 @@ func analyzePatterns(patterns []string, analyzers []*Analyzer) ([]Finding, error
 		}
 		return a.Pos.Column < b.Pos.Column
 	})
-	return all, nil
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return all, allows, nil
 }
 
 // goList runs `go list -json` with the given extra arguments and decodes

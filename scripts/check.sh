@@ -64,6 +64,15 @@ fi
 if want lint; then
 	stage "build rololint" go build -o bin/rololint ./cmd/rololint
 	stage "go vet -vettool=bin/rololint ./..." go vet -vettool=bin/rololint ./...
+	# Both drivers must agree: the standalone loader and the vettool
+	# protocol analyze the same packages with the same fact propagation,
+	# so their finding sets on ./... must be identical once the vettool's
+	# extra _test.go coverage is set aside. A divergence means one driver
+	# is dropping facts (or loading packages the other does not see).
+	stage "driver parity: standalone vs vettool finding sets" \
+		sh -c 'std=$(./bin/rololint ./... 2>&1 | sed "s#^$(pwd)/##" | grep -E "^[^ ]+\.go:[0-9]+:[0-9]+: " | sort -u); \
+			vet=$(go vet -vettool=bin/rololint ./... 2>&1 | grep -E "^[^ ]+\.go:[0-9]+:[0-9]+: " | grep -v "_test\.go:" | sort -u); \
+			[ "$std" = "$vet" ] || { echo "driver parity broken:" >&2; echo "--- standalone only or both" >&2; echo "$std" >&2; echo "--- vettool (non-test)" >&2; echo "$vet" >&2; exit 1; }'
 	# -fix must be a fixed point on the gate-clean tree: it exits 0 and
 	# rewrites nothing (compared by content hash over the tracked .go
 	# files, so a locally dirty tree doesn't false-fail the stage). The
