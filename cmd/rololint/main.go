@@ -1,5 +1,5 @@
 // Command rololint is the repository's static-analysis gate: a
-// multichecker for the fifteen analyzers under internal/analysis that
+// multichecker for the eighteen analyzers under internal/analysis that
 // enforce simulation determinism, telemetry discipline, sim-time hygiene,
 // error propagation, resource Close obligations (resourcelifecycle),
 // phase-log pairing, power-state-machine legality (statetransition), the
@@ -7,20 +7,27 @@
 // concurrency discipline of the parallel experiment runner — mutex-guarded
 // field access (guardedby), interprocedural lock contracts (lockcontract),
 // goroutine capture hygiene (gocapture) and goroutine join pairing
-// (waitpairing) — and the liveness family: global lock-order cycles with
+// (waitpairing) — the liveness family: global lock-order cycles with
 // deadlock witness paths (lockorder), blocking channel operations under
 // mutexes and channels nothing closes (chanmisuse), and goroutines with no
-// provable termination path (goroleak). A sixteenth entry, the lintallow
-// meta-check, audits the waivers themselves: a //lint:allow that
-// suppresses nothing, lacks a reason, or names an unknown analyzer is a
-// finding.
+// provable termination path (goroleak) — and the valueflow family, built
+// on the SSA-lite value lattice: dereferences of provably or possibly nil
+// values (nilness), arithmetic and assignment mixing time/byte/block/
+// sector units (unitflow), and allocation sizes, indexes and append
+// growth tainted by trace/CSV/flag/env input without a bound check
+// (taintbounds). A nineteenth entry, the lintallow meta-check, audits the
+// waivers themselves: a //lint:allow that suppresses nothing, lacks a
+// reason, or names an unknown analyzer is a finding.
 //
-// The liveness analyzers understand two declaration directives:
+// The analyzers understand three declaration directives:
 //
 //	//rolosan:lockorder A < B   // declared acquisition order; violations
 //	                            // are findings even before a cycle closes
 //	//rolosan:daemon <reason>   // this goroutine intentionally runs for
 //	                            // the process lifetime
+//	//rolosan:unit <name>       // tags a type, package-level var, const
+//	                            // or struct field with a unit dimension
+//	                            // for unitflow ("time", "bytes", ...)
 //
 // placed on (or above) the relevant line, or in a function's doc comment
 // for //rolosan:daemon.
@@ -43,16 +50,21 @@
 // Standalone mode additionally hosts the remediation and reporting modes:
 //
 //	rololint -fix ./...            # apply suggested fixes in place
+//	rololint -fix -diff ./...      # dry run: print unified diffs instead
 //	rololint -sarif report.sarif ./...  # write a SARIF 2.1.0 report
 //	rololint -allows ./...         # audit every //lint:allow waiver
 //
 // -fix applies each finding's first suggested fix, leaves the files
 // gofmt-clean, and is idempotent (an applied fix never reproduces its
-// diagnostic); CI verifies that property. -sarif writes the report to
+// diagnostic); CI verifies that property. When two findings' fixes
+// overlap, the earlier one is applied and the skipped fix is reported —
+// rerunning -fix picks it up. -fix -diff applies nothing and prints the
+// unified diff of what -fix would change. -sarif writes the report to
 // the named file ("-" for stdout) for GitHub code-scanning upload.
 // -allows prints every waiver with its rule, live/stale status, and
-// reason — an informational listing; the lintallow meta-check is the
-// enforcement path.
+// reason, and exits 2 when any waiver is stale or inert — the audit
+// stage scripts/check.sh runs; the lintallow meta-check reports the
+// same conditions inside the normal gate.
 //
 // Individual analyzers can be selected the same way as with go vet:
 //
@@ -78,13 +90,16 @@ import (
 	"github.com/rolo-storage/rolo/internal/analysis/errpropagation"
 	"github.com/rolo-storage/rolo/internal/analysis/invariantguard"
 	"github.com/rolo-storage/rolo/internal/analysis/liveness"
+	"github.com/rolo-storage/rolo/internal/analysis/nilness"
 	"github.com/rolo-storage/rolo/internal/analysis/phasepairing"
 	"github.com/rolo-storage/rolo/internal/analysis/raceguard"
 	"github.com/rolo-storage/rolo/internal/analysis/resourcelifecycle"
 	"github.com/rolo-storage/rolo/internal/analysis/simdeterminism"
 	"github.com/rolo-storage/rolo/internal/analysis/simtimeunits"
 	"github.com/rolo-storage/rolo/internal/analysis/statetransition"
+	"github.com/rolo-storage/rolo/internal/analysis/taintbounds"
 	"github.com/rolo-storage/rolo/internal/analysis/telemetryguard"
+	"github.com/rolo-storage/rolo/internal/analysis/unitflow"
 )
 
 // suite lists every analyzer in the gate, in reporting order.
@@ -104,6 +119,9 @@ var suite = []*analysis.Analyzer{
 	liveness.LockOrder,
 	liveness.ChanMisuse,
 	liveness.GoroLeak,
+	nilness.Analyzer,
+	unitflow.Analyzer,
+	taintbounds.Analyzer,
 	analysis.LintAllow,
 }
 
@@ -116,6 +134,7 @@ func run(args []string) int {
 	versionFlag := fs.String("V", "", "print version and exit (-V=full for a build ID)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
 	fixFlag := fs.Bool("fix", false, "apply suggested fixes in place (standalone mode only)")
+	diffFlag := fs.Bool("diff", false, "with -fix: apply nothing, print unified diffs of what -fix would change")
 	sarifFlag := fs.String("sarif", "", "write a SARIF 2.1.0 report to the named `file`, \"-\" for stdout (standalone mode only)")
 	allowsFlag := fs.Bool("allows", false, "audit //lint:allow waivers: list each with rule, live/stale status, and reason (standalone mode only)")
 	enabled := make(map[string]*bool, len(suite))
@@ -155,6 +174,10 @@ func run(args []string) int {
 	}
 
 	rest := fs.Args()
+	if *diffFlag && !*fixFlag {
+		fmt.Fprintln(os.Stderr, "rololint: -diff only modifies -fix; run `rololint -fix -diff ./...`")
+		return 2
+	}
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		if *fixFlag || *sarifFlag != "" || *allowsFlag {
 			fmt.Fprintln(os.Stderr, "rololint: -fix, -sarif, and -allows are standalone-mode flags; run `rololint -fix ./...` directly")
@@ -166,7 +189,7 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	opts := analysis.StandaloneOptions{Fix: *fixFlag, Allows: *allowsFlag}
+	opts := analysis.StandaloneOptions{Fix: *fixFlag, Diff: *diffFlag, Allows: *allowsFlag}
 	switch *sarifFlag {
 	case "":
 	case "-":

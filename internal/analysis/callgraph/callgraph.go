@@ -169,13 +169,12 @@ func (g *Graph) SCCs() [][]*Node {
 				continue // dynamic or cross-package
 			}
 			sw, seen := states[w]
-			switch {
-			case !seen:
+			if !seen {
 				strongconnect(w)
 				if lw := states[w].lowlink; lw < sv.lowlink {
 					sv.lowlink = lw
 				}
-			case sw.onStack:
+			} else if sw.onStack {
 				if sw.index < sv.lowlink {
 					sv.lowlink = sw.index
 				}

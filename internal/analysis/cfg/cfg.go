@@ -12,10 +12,13 @@
 // conditions simply carry no Cond and refine nothing, which keeps the
 // analysis sound (over-approximate).
 //
-// Constructs the builder does not model — goto, labeled break/continue,
-// type switches and select — mark the whole graph Unanalyzable; callers
-// must then assume the full value set everywhere in the function, again
-// erring on the side of over-approximation.
+// Labeled for/range/switch statements are modeled: a labeled break or
+// continue resolves to the labeled construct's exit or post block, so the
+// nested-loop escape idioms survive analysis. Constructs the builder does
+// not model — goto, labels on plain statements, type switches and select —
+// mark the whole graph Unanalyzable; callers must then assume the full
+// value set everywhere in the function, again erring on the side of
+// over-approximation.
 package cfg
 
 import (
@@ -38,6 +41,16 @@ type Block struct {
 type Edge struct {
 	To   *Block
 	Cond *Cond
+
+	// If, when non-nil, is the raw boolean condition controlling a two-way
+	// branch (an if statement or a for-loop test): the edge is taken when
+	// If evaluates to true (Branch > 0) or false (Branch < 0). Unlike Cond,
+	// which only exists for normalized `x == C` / `x != C` comparisons, If
+	// carries every branch condition, so value-flow analyses can interpret
+	// richer forms (bare booleans, nil checks, relational bounds) without
+	// widening the Cond vocabulary the set-based analyzers consume.
+	If     ast.Expr
+	Branch int8
 }
 
 // A Cond states that, along its edge, Expr is equal to one of Vals
@@ -79,6 +92,27 @@ type builder struct {
 	cur   *Block // nil while the current point is unreachable
 	loops []loopCtx
 	brks  []*Block // innermost breakable targets (loops and switches)
+
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be built; the loop/switch builders consume it, registering
+	// their break (and, for loops, continue) targets under it.
+	pendingLabel string
+	// labeled maps active labels to their targets. cont is nil for labeled
+	// switches (continue may not name a switch label in valid Go). Labels
+	// are function-unique, so entries are never overwritten.
+	labeled map[string]loopCtx
+}
+
+// takeLabel consumes the pending label, registering targets under it.
+func (b *builder) takeLabel(brk, cont *Block) {
+	if b.pendingLabel == "" {
+		return
+	}
+	if b.labeled == nil {
+		b.labeled = make(map[string]loopCtx)
+	}
+	b.labeled[b.pendingLabel] = loopCtx{brk: brk, cont: cont}
+	b.pendingLabel = ""
 }
 
 func (b *builder) newBlock() *Block {
@@ -98,6 +132,13 @@ func (b *builder) unsupported(what string) {
 func edge(from, to *Block, cond *Cond) {
 	if from != nil {
 		from.Succs = append(from.Succs, Edge{To: to, Cond: cond})
+	}
+}
+
+// condEdge links from → to as one arm of a two-way boolean branch.
+func condEdge(from, to *Block, cond *Cond, ifExpr ast.Expr, branch int8) {
+	if from != nil {
+		from.Succs = append(from.Succs, Edge{To: to, Cond: cond, If: ifExpr, Branch: branch})
 	}
 }
 
@@ -140,10 +181,19 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.unsupported("select")
 		b.emit(s)
 	case *ast.LabeledStmt:
-		// A label only matters as a goto / labeled-branch target, which
-		// the builder does not model.
-		b.unsupported("label")
-		b.stmt(s.Stmt)
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt:
+			// The loop/switch builder registers its targets under the
+			// label, so `break L` / `continue L` resolve structurally.
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+			b.pendingLabel = ""
+		default:
+			// A label on any other statement only matters as a goto or
+			// unmodeled-branch target.
+			b.unsupported("label")
+			b.stmt(s.Stmt)
+		}
 	case *ast.ReturnStmt:
 		b.emit(s)
 		b.cur = nil
@@ -184,8 +234,21 @@ func isPanicCall(e ast.Expr) bool {
 }
 
 func (b *builder) branchStmt(s *ast.BranchStmt) {
-	if s.Label != nil {
-		b.unsupported("labeled " + s.Tok.String())
+	if s.Label != nil && s.Tok != token.GOTO {
+		ctx, ok := b.labeled[s.Label.Name]
+		if !ok || (s.Tok == token.CONTINUE && ctx.cont == nil) {
+			// A forward-referenced label (legal only for goto, handled
+			// below) or a malformed tree.
+			b.unsupported("labeled " + s.Tok.String())
+			b.cur = nil
+			return
+		}
+		switch s.Tok {
+		case token.BREAK:
+			edge(b.cur, ctx.brk, nil)
+		case token.CONTINUE:
+			edge(b.cur, ctx.cont, nil)
+		}
 		b.cur = nil
 		return
 	}
@@ -218,7 +281,7 @@ func (b *builder) ifStmt(s *ast.IfStmt) {
 	onTrue, onFalse := normalizeCond(s.Cond)
 
 	thenBlk := b.newBlock()
-	edge(condBlk, thenBlk, onTrue)
+	condEdge(condBlk, thenBlk, onTrue, s.Cond, 1)
 	join := b.newBlock()
 
 	b.cur = thenBlk
@@ -227,12 +290,12 @@ func (b *builder) ifStmt(s *ast.IfStmt) {
 
 	if s.Else != nil {
 		elseBlk := b.newBlock()
-		edge(condBlk, elseBlk, onFalse)
+		condEdge(condBlk, elseBlk, onFalse, s.Cond, -1)
 		b.cur = elseBlk
 		b.stmt(s.Else)
 		edge(b.cur, join, nil)
 	} else {
-		edge(condBlk, join, onFalse)
+		condEdge(condBlk, join, onFalse, s.Cond, -1)
 	}
 	b.cur = join
 }
@@ -256,12 +319,13 @@ func (b *builder) forStmt(s *ast.ForStmt) {
 	body := b.newBlock()
 	if s.Cond != nil {
 		onTrue, onFalse := normalizeCond(s.Cond)
-		edge(condBlk, body, onTrue)
-		edge(condBlk, exit, onFalse)
+		condEdge(condBlk, body, onTrue, s.Cond, 1)
+		condEdge(condBlk, exit, onFalse, s.Cond, -1)
 	} else {
 		edge(condBlk, body, nil)
 	}
 
+	b.takeLabel(exit, post)
 	b.loops = append(b.loops, loopCtx{brk: exit, cont: post})
 	b.brks = append(b.brks, exit)
 	b.cur = body
@@ -287,6 +351,7 @@ func (b *builder) rangeStmt(s *ast.RangeStmt) {
 	edge(head, body, nil)
 	edge(head, exit, nil)
 
+	b.takeLabel(exit, head)
 	b.loops = append(b.loops, loopCtx{brk: exit, cont: head})
 	b.brks = append(b.brks, exit)
 	b.cur = body
@@ -305,6 +370,7 @@ func (b *builder) switchStmt(s *ast.SwitchStmt) {
 	b.emitExpr(s.Tag)
 	dispatch := b.cur
 	exit := b.newBlock()
+	b.takeLabel(exit, nil)
 
 	// First pass: create the body block of every clause so fallthrough
 	// can link forward.

@@ -246,11 +246,10 @@ func TestBreakAndContinue(t *testing.T) {
 
 func TestUnanalyzableConstructs(t *testing.T) {
 	for name, body := range map[string]string{
-		"goto":           "goto done\ndone:\nprobe()",
-		"labeled break":  "L:\nfor {\nbreak L\n}",
-		"select":         "select {}",
-		"type switch":    "switch any(x).(type) {\ncase int:\n}",
-		"labeled branch": "L:\nfor {\ncontinue L\n}",
+		"goto":               "goto done\ndone:\nprobe()",
+		"select":             "select {}",
+		"type switch":        "switch any(x).(type) {\ncase int:\n}",
+		"labeled plain stmt": "L:\nprobe()",
 	} {
 		t.Run(name, func(t *testing.T) {
 			g := buildFunc(t, body)
@@ -258,6 +257,33 @@ func TestUnanalyzableConstructs(t *testing.T) {
 				t.Errorf("%s: graph not marked unanalyzable", name)
 			}
 		})
+	}
+}
+
+func TestBranchRoleEdges(t *testing.T) {
+	// Every two-way branch must annotate its edges with the raw condition
+	// and a true/false role, even when the condition is not a normalized
+	// equality — value-flow refinement interprets `if ok` shapes itself.
+	g := buildFunc(t, `
+		if ok() {
+			x = A
+		} else {
+			x = B
+		}
+	`)
+	var roles []int8
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.If != nil {
+				roles = append(roles, e.Branch)
+				if e.Cond != nil {
+					t.Errorf("non-equality condition carries a normalized Cond")
+				}
+			}
+		}
+	}
+	if len(roles) != 2 || roles[0] != 1 || roles[1] != -1 {
+		t.Fatalf("branch roles = %v, want [1 -1]", roles)
 	}
 }
 

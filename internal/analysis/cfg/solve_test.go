@@ -1,9 +1,10 @@
 package cfg
 
-// Solver edge cases the interprocedural summary propagation leans on:
-// panic-terminated paths, loops with no exit (whose exit blocks must stay
-// unreached rather than absorb a zero-value set), and the labeled
-// break/continue constructs the builder declines to model.
+// Solver edge cases the interprocedural summary propagation and the SSA
+// φ-placement lean on: panic-terminated paths, loops with no exit (whose
+// exit blocks must stay unreached rather than absorb a zero-value set),
+// labeled break/continue across nested loops, range-over-int loops, and
+// fallthrough-merged switch cases.
 
 import (
 	"testing"
@@ -89,40 +90,109 @@ func TestForeverLoopWithBreakReachesExit(t *testing.T) {
 	want(t, probeSets(t, g), Only(1))
 }
 
-func TestLabeledBreakUnanalyzable(t *testing.T) {
+func TestLabeledBreakCrossesNestedLoops(t *testing.T) {
+	// `break L` from the inner loop exits the outer loop directly: the
+	// probe must see only the state at the break, never the inner loop's
+	// other assignments. SSA φ-placement relies on this edge landing on
+	// the outer exit block.
 	g := buildFunc(t, `
+		x = A
 	L:
 		for {
 			for {
+				x = B
 				break L
 			}
 		}
 		probe()
 	`)
-	if !g.Unanalyzable {
-		t.Fatal("labeled break should mark the graph unanalyzable")
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
 	}
-	if g.Reason == "" {
-		t.Fatal("unanalyzable graph carries no reason")
-	}
-	// Solving an unanalyzable graph must still terminate; callers are
-	// expected to check Unanalyzable and over-approximate, but the solver
-	// itself stays total.
-	_ = g.Solve(Full(3), transfer, refine)
+	want(t, probeSets(t, g), Only(1))
 }
 
-func TestLabeledContinueUnanalyzable(t *testing.T) {
+func TestLabeledContinueCrossesNestedLoops(t *testing.T) {
+	// `continue L` restarts the outer loop from inside the inner one; the
+	// outer head therefore joins the entry state with the continue state,
+	// and the only way out is the labeled break with x == B.
 	g := buildFunc(t, `
+		x = A
 	L:
 		for {
 			for {
-				continue L
+				if x == A {
+					x = B
+					continue L
+				}
+				break L
 			}
 		}
+		probe()
 	`)
-	if !g.Unanalyzable {
-		t.Fatal("labeled continue should mark the graph unanalyzable")
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
 	}
+	want(t, probeSets(t, g), Only(1))
+}
+
+func TestLabeledSwitchBreakInLoop(t *testing.T) {
+	// The lockdep-style scan idiom: a labeled break on the *switch* label
+	// leaves the switch only; the loop keeps spinning until the loop-level
+	// labeled break fires. Here `break L` names the loop, so the case-A
+	// edge is the only loop exit.
+	g := buildFunc(t, `
+		x = B
+	L:
+		for {
+			switch x {
+			case A:
+				break L
+			}
+			x = A
+		}
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	want(t, probeSets(t, g), Only(0))
+}
+
+func TestRangeOverInt(t *testing.T) {
+	// go1.22 range-over-int builds the same head/body/exit shape as any
+	// range loop: zero iterations are possible, so the exit joins the
+	// pre-loop state with the body's.
+	g := buildFunc(t, `
+		x = C
+		for range 3 {
+			x = A
+		}
+		probe()
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	want(t, probeSets(t, g), Only(0).With(2))
+}
+
+func TestFallthroughMergesStates(t *testing.T) {
+	// A fallthrough body is a second predecessor of the next case: the
+	// probe joins the fallen-through {C} with the direct-dispatch {B} —
+	// exactly the φ a value-flow analysis must place there.
+	g := buildFunc(t, `
+		switch x {
+		case A:
+			x = C
+			fallthrough
+		case B:
+			probe()
+		}
+	`)
+	if g.Unanalyzable {
+		t.Fatalf("unanalyzable: %s", g.Reason)
+	}
+	want(t, probeSets(t, g), Only(1).With(2))
 }
 
 func TestPanicInsideBranchKeepsOtherPaths(t *testing.T) {

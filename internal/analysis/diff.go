@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders a unified diff (three lines of context) between
+// two versions of one file, in the `diff -u` format patch and code
+// review tools understand. It returns "" when the contents are equal.
+//
+// The line-level alignment is a longest-common-subsequence computed by
+// dynamic programming over the lines that remain after stripping the
+// common prefix and suffix; autofix diffs are a handful of lines in
+// files of a few hundred, so the quadratic core never sees large inputs.
+func UnifiedDiff(name string, a, b []byte) string {
+	if bytes.Equal(a, b) {
+		return ""
+	}
+	alines := splitLines(a)
+	blines := splitLines(b)
+
+	// Strip common prefix/suffix so the DP table covers only the
+	// changed middle.
+	pre := 0
+	for pre < len(alines) && pre < len(blines) && alines[pre] == blines[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(alines)-pre && suf < len(blines)-pre &&
+		alines[len(alines)-1-suf] == blines[len(blines)-1-suf] {
+		suf++
+	}
+	ma := alines[pre : len(alines)-suf]
+	mb := blines[pre : len(blines)-suf]
+
+	// ops over the middle: 0 = same, -1 = delete from a, +1 = insert
+	// from b, in order.
+	type op struct {
+		kind int
+		text string
+	}
+	var mid []op
+	lcs := lcsTable(ma, mb)
+	for i, j := 0, 0; i < len(ma) || j < len(mb); {
+		switch {
+		case i < len(ma) && j < len(mb) && ma[i] == mb[j]:
+			mid = append(mid, op{0, ma[i]})
+			i++
+			j++
+		case i < len(ma) && (j == len(mb) || lcs[i+1][j] >= lcs[i][j+1]):
+			// Deletions before insertions, matching `diff -u`.
+			mid = append(mid, op{-1, ma[i]})
+			i++
+		default:
+			mid = append(mid, op{+1, mb[j]})
+			j++
+		}
+	}
+
+	// Full op stream with the stripped prefix/suffix restored as context.
+	ops := make([]op, 0, pre+len(mid)+suf)
+	for _, l := range alines[:pre] {
+		ops = append(ops, op{0, l})
+	}
+	ops = append(ops, mid...)
+	for _, l := range alines[len(alines)-suf:] {
+		ops = append(ops, op{0, l})
+	}
+
+	// Group into hunks: runs of changes padded with up to three context
+	// lines, merged when their context would touch.
+	const ctx = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", name, name)
+	aline, bline := 1, 1 // 1-based line numbers into a and b
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == 0 {
+			aline++
+			bline++
+			i++
+			continue
+		}
+		// Start of a hunk: back up for leading context.
+		start := i
+		lead := 0
+		for lead < ctx && start > 0 && ops[start-1].kind == 0 {
+			start--
+			lead++
+		}
+		// Extend to the end of the hunk: include runs of context up to
+		// 2*ctx long between changes, stop when a longer calm stretch
+		// (or the end) follows.
+		end := i
+		for j := i; j < len(ops); {
+			if ops[j].kind != 0 {
+				end = j + 1
+				j++
+				continue
+			}
+			calm := 0
+			for j+calm < len(ops) && ops[j+calm].kind == 0 {
+				calm++
+			}
+			if j+calm == len(ops) || calm > 2*ctx {
+				break
+			}
+			j += calm
+			end = j
+		}
+		trail := 0
+		for trail < ctx && end+trail < len(ops) && ops[end+trail].kind == 0 {
+			trail++
+		}
+
+		hunk := ops[start : end+trail]
+		aStart, bStart := aline-lead, bline-lead
+		aCount, bCount := 0, 0
+		for _, o := range hunk {
+			if o.kind <= 0 {
+				aCount++
+			}
+			if o.kind >= 0 {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%s +%s @@\n", span(aStart, aCount), span(bStart, bCount))
+		for _, o := range hunk {
+			switch o.kind {
+			case 0:
+				sb.WriteString(" " + o.text + "\n")
+			case -1:
+				sb.WriteString("-" + o.text + "\n")
+			case +1:
+				sb.WriteString("+" + o.text + "\n")
+			}
+		}
+		aline, bline = aStart+aCount, bStart+bCount
+		i = end + trail
+	}
+	return sb.String()
+}
+
+// span renders one side of a @@ header the way `diff -u` does: a bare
+// line number when the count is 1, and the line before the gap when the
+// hunk has no lines on that side.
+func span(start, count int) string {
+	switch count {
+	case 0:
+		return fmt.Sprintf("%d,0", start-1)
+	case 1:
+		return fmt.Sprintf("%d", start)
+	}
+	return fmt.Sprintf("%d,%d", start, count)
+}
+
+// splitLines splits on '\n' without producing a phantom final element
+// for the customary trailing newline.
+func splitLines(src []byte) []string {
+	s := string(src)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// lcsTable fills the standard LCS length table: lcs[i][j] is the length
+// of the longest common subsequence of a[i:] and b[j:].
+func lcsTable(a, b []string) [][]int {
+	lcs := make([][]int, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	return lcs
+}

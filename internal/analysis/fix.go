@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"go/format"
 	"os"
@@ -21,13 +22,24 @@ type AppliedFix struct {
 	Message string
 }
 
+// A SkippedFix describes a fix the engine scheduled around: its edits
+// overlap a fix from an earlier finding, so applying both in one pass
+// would corrupt the file. The finding itself stays unfixed (and is
+// reported); a subsequent run, after the first fix has shifted the
+// source, gets a clean shot at it.
+type SkippedFix struct {
+	Finding Finding
+	Message string // the message of the fix that was skipped
+}
+
 // scheduleFixes picks the edits to apply for a finding list: each
 // finding's first fix, unless one of its edits overlaps an edit already
 // scheduled (findings arrive position-sorted, so the earliest finding
-// wins and later overlapping fixes are left for a subsequent run).
-// Two pure insertions at distinct offsets never conflict; two insertions
-// at the same offset do (their order would be ambiguous).
-func scheduleFixes(findings []Finding) (perFile map[string][]FixEdit, remaining []Finding, applied []AppliedFix) {
+// wins and later overlapping fixes are skipped, reported, and left for a
+// subsequent run). Two pure insertions at distinct offsets never
+// conflict; two insertions at the same offset do (their order would be
+// ambiguous).
+func scheduleFixes(findings []Finding) (perFile map[string][]FixEdit, remaining []Finding, applied []AppliedFix, skipped []SkippedFix) {
 	perFile = make(map[string][]FixEdit)
 	overlaps := func(a, b FixEdit) bool {
 		if a.Filename != b.Filename {
@@ -58,6 +70,7 @@ func scheduleFixes(findings []Finding) (perFile map[string][]FixEdit, remaining 
 		}
 		if conflict {
 			remaining = append(remaining, f)
+			skipped = append(skipped, SkippedFix{Finding: f, Message: fix.Message})
 			continue
 		}
 		for _, e := range fix.Edits {
@@ -65,7 +78,7 @@ func scheduleFixes(findings []Finding) (perFile map[string][]FixEdit, remaining 
 		}
 		applied = append(applied, AppliedFix{Finding: f, Message: fix.Message})
 	}
-	return perFile, remaining, applied
+	return perFile, remaining, applied, skipped
 }
 
 // applyEdits applies the edits (any order, non-overlapping) to src.
@@ -83,49 +96,85 @@ func applyEdits(src []byte, edits []FixEdit) ([]byte, error) {
 	return out, nil
 }
 
-// ApplyFixes applies the first suggested fix of every finding that has
-// one and rewrites the edited files gofmt-formatted, returning the
-// findings that had no applicable fix alongside a report of what was
-// applied.
-func ApplyFixes(findings []Finding) (remaining []Finding, applied []AppliedFix, err error) {
-	perFile, remaining, applied := scheduleFixes(findings)
-	if len(perFile) == 0 {
-		return remaining, nil, nil
-	}
-	files := make([]string, 0, len(perFile))
+// renderFixes computes the gofmt-formatted post-fix content of every
+// file the scheduled edits touch, without writing anything.
+func renderFixes(perFile map[string][]FixEdit) (files []string, before, after map[string][]byte, err error) {
+	files = make([]string, 0, len(perFile))
 	for name := range perFile {
 		files = append(files, name)
 	}
 	sort.Strings(files)
+	before = make(map[string][]byte, len(files))
+	after = make(map[string][]byte, len(files))
 	for _, name := range files {
 		src, rerr := os.ReadFile(name)
 		if rerr != nil {
-			return remaining, applied, fmt.Errorf("fix %s: %w", name, rerr)
+			return nil, nil, nil, fmt.Errorf("fix %s: %w", name, rerr)
 		}
 		out, aerr := applyEdits(src, perFile[name])
 		if aerr != nil {
-			return remaining, applied, fmt.Errorf("fix %s: %w", name, aerr)
+			return nil, nil, nil, fmt.Errorf("fix %s: %w", name, aerr)
 		}
 		formatted, ferr := format.Source(out)
 		if ferr != nil {
-			return remaining, applied, fmt.Errorf("fix %s: result does not parse: %w", name, ferr)
+			return nil, nil, nil, fmt.Errorf("fix %s: result does not parse: %w", name, ferr)
 		}
+		before[name] = src
+		after[name] = formatted
+	}
+	return files, before, after, nil
+}
+
+// ApplyFixes applies the first suggested fix of every finding that has
+// one and rewrites the edited files gofmt-formatted, returning the
+// findings that had no applicable fix alongside reports of what was
+// applied and which fixes were skipped because their edits overlap an
+// earlier finding's fix.
+func ApplyFixes(findings []Finding) (remaining []Finding, applied []AppliedFix, skipped []SkippedFix, err error) {
+	perFile, remaining, applied, skipped := scheduleFixes(findings)
+	if len(perFile) == 0 {
+		return remaining, nil, skipped, nil
+	}
+	files, _, after, err := renderFixes(perFile)
+	if err != nil {
+		return remaining, applied, skipped, err
+	}
+	for _, name := range files {
 		mode := os.FileMode(0o644)
 		if info, serr := os.Stat(name); serr == nil {
 			mode = info.Mode()
 		}
-		if werr := os.WriteFile(name, formatted, mode); werr != nil {
-			return remaining, applied, fmt.Errorf("fix %s: %w", name, werr)
+		if werr := os.WriteFile(name, after[name], mode); werr != nil {
+			return remaining, applied, skipped, fmt.Errorf("fix %s: %w", name, werr)
 		}
 	}
-	return remaining, applied, nil
+	return remaining, applied, skipped, nil
+}
+
+// PreviewFixes is the dry-run twin of ApplyFixes: it schedules the same
+// fixes, renders the edited files in memory, and returns a unified diff
+// of what ApplyFixes would write, leaving the tree untouched.
+func PreviewFixes(findings []Finding) (remaining []Finding, applied []AppliedFix, skipped []SkippedFix, diff string, err error) {
+	perFile, remaining, applied, skipped := scheduleFixes(findings)
+	if len(perFile) == 0 {
+		return remaining, nil, skipped, "", nil
+	}
+	files, before, after, err := renderFixes(perFile)
+	if err != nil {
+		return remaining, applied, skipped, "", err
+	}
+	var b bytes.Buffer
+	for _, name := range files {
+		b.WriteString(UnifiedDiff(name, before[name], after[name]))
+	}
+	return remaining, applied, skipped, b.String(), nil
 }
 
 // ApplyFixesToSource applies the scheduled fixes that touch only filename
 // to src in memory, returning the gofmt-formatted result and whether
 // anything changed — the analysistest harness's golden-file path.
 func ApplyFixesToSource(filename string, src []byte, findings []Finding) ([]byte, bool, error) {
-	perFile, _, _ := scheduleFixes(findings)
+	perFile, _, _, _ := scheduleFixes(findings)
 	edits := perFile[filename]
 	if len(edits) == 0 {
 		return src, false, nil

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkFinding(file string, start, end int, newText, msg string) Finding {
+	return Finding{
+		Analyzer: "demo",
+		Category: "cat",
+		Message:  msg,
+		Fixes: []Fix{{
+			Message: "fix: " + msg,
+			Edits:   []FixEdit{{Filename: file, Start: start, End: end, NewText: newText}},
+		}},
+	}
+}
+
+func TestScheduleFixesReportsOverlapSkips(t *testing.T) {
+	findings := []Finding{
+		mkFinding("p.go", 10, 20, "first", "one"),
+		mkFinding("p.go", 15, 25, "second", "two"), // overlaps the first
+		mkFinding("p.go", 30, 35, "third", "three"),
+		{Analyzer: "demo", Message: "no fix at all"},
+	}
+	perFile, remaining, applied, skipped := scheduleFixes(findings)
+	if len(applied) != 2 || applied[0].Finding.Message != "one" || applied[1].Finding.Message != "three" {
+		t.Fatalf("applied = %+v, want the first and third findings", applied)
+	}
+	if len(skipped) != 1 || skipped[0].Finding.Message != "two" {
+		t.Fatalf("skipped = %+v, want exactly the overlapping second finding", skipped)
+	}
+	// The skipped finding stays in remaining, so it is still reported
+	// and still counts toward the exit code.
+	var msgs []string
+	for _, f := range remaining {
+		msgs = append(msgs, f.Message)
+	}
+	if strings.Join(msgs, ",") != "two,no fix at all" {
+		t.Fatalf("remaining = %v, want the skipped and the fixless finding", msgs)
+	}
+	if n := len(perFile["p.go"]); n != 2 {
+		t.Fatalf("%d edits scheduled, want 2", n)
+	}
+}
+
+func TestScheduleFixesInsertionsAtSameOffsetConflict(t *testing.T) {
+	findings := []Finding{
+		mkFinding("p.go", 10, 10, "a", "one"),
+		mkFinding("p.go", 10, 10, "b", "two"),
+	}
+	_, _, applied, skipped := scheduleFixes(findings)
+	if len(applied) != 1 || len(skipped) != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1 and 1 (same-offset insertions are ambiguous)",
+			len(applied), len(skipped))
+	}
+}
+
+func TestPreviewFixesLeavesTreeUntouched(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "p.go")
+	src := "package p\n\nvar x = 1\n"
+	if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, "1")
+	findings := []Finding{mkFinding(name, off, off+1, "2", "bump")}
+	remaining, applied, skipped, diff, err := PreviewFixes(findings)
+	if err != nil {
+		t.Fatalf("PreviewFixes: %v", err)
+	}
+	if len(remaining) != 0 || len(applied) != 1 || len(skipped) != 0 {
+		t.Fatalf("remaining=%d applied=%d skipped=%d, want 0/1/0", len(remaining), len(applied), len(skipped))
+	}
+	if !strings.Contains(diff, "-var x = 1") || !strings.Contains(diff, "+var x = 2") {
+		t.Fatalf("diff missing the edit:\n%s", diff)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != src {
+		t.Fatalf("PreviewFixes rewrote the file:\n%s", got)
+	}
+}
+
+func TestUnifiedDiffAgainstGNUDiff(t *testing.T) {
+	// The renderer must agree with `diff -u` on hunk headers and
+	// content (modulo the file-header lines, which carry timestamps in
+	// GNU diff). Skip silently where diff is unavailable.
+	if _, err := exec.LookPath("diff"); err != nil {
+		t.Skip("no diff binary on PATH")
+	}
+	cases := []struct{ name, a, b string }{
+		{"mid-change", "a\nb\nc\nd\ne\nf\ng\nh\n", "a\nb\nc\nX\ne\nf\ng\nh\n"},
+		{"insert", "a\nb\nc\n", "a\nb\nnew\nc\n"},
+		{"delete-head", "a\nb\nc\nd\ne\n", "b\nc\nd\ne\n"},
+		{"append-tail", "a\nb\n", "a\nb\nc\nd\n"},
+		{"two-hunks", "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n11\n12\n13\n14\n15\n",
+			"1\nX\n3\n4\n5\n6\n7\n8\n9\n10\n11\n12\n13\nY\n15\n"},
+		{"near-hunks-merge", "1\n2\n3\n4\n5\n6\n7\n8\n",
+			"1\nX\n3\n4\n5\nY\n7\n8\n"},
+		{"everything", "a\n", "b\nc\n"},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			af := filepath.Join(dir, "a")
+			bf := filepath.Join(dir, "b")
+			if err := os.WriteFile(af, []byte(tc.a), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(bf, []byte(tc.b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			out, _ := exec.Command("diff", "-u", af, bf).Output() // exits 1 on difference
+			want := stripHeader(string(out))
+			got := stripHeader(UnifiedDiff("p.go", []byte(tc.a), []byte(tc.b)))
+			if got != want {
+				t.Errorf("UnifiedDiff disagrees with diff -u:\n--- ours\n%s--- GNU\n%s", got, want)
+			}
+		})
+	}
+	if d := UnifiedDiff("p.go", []byte("same\n"), []byte("same\n")); d != "" {
+		t.Errorf("equal inputs produced a diff:\n%s", d)
+	}
+}
+
+// stripHeader drops the two file-header lines of a unified diff.
+func stripHeader(d string) string {
+	lines := strings.SplitN(d, "\n", 3)
+	if len(lines) < 3 {
+		return ""
+	}
+	return lines[2]
+}

@@ -1,0 +1,207 @@
+// Package nilness flags dereferences of values the valueflow lattice
+// proves nil or possibly nil.
+//
+// The analyzer judges the ssa package's dereference sites — pointer
+// dereferences, field accesses through pointers, map writes, calls of
+// function values and method calls through pointer bases — against the
+// edge-refined value lattice. Two categories:
+//
+//   - deref: the base is provably nil on every path reaching the site
+//     (a nil constant, the zero value of a declared-but-unassigned
+//     pointer, the failed branch of a comma-ok).
+//   - maybe: the base may be nil and the analysis holds positive
+//     evidence: the value component of an unchecked map lookup or type
+//     assertion, an explicit nil flowing into a join, or a callee whose
+//     summary says the result is nil when its error is non-nil. Plain
+//     unknown values are never flagged — no evidence, no finding.
+//
+// The refinement pass understands the idioms that discharge the
+// obligation: `if p == nil { return }`, `if err != nil { return }`
+// (paired with a (T, error) callee whose summary proves T non-nil on the
+// no-error path), comma-ok checks, guards that end in panic or a
+// no-return call (log.Fatalf), and short-circuit guards
+// (`p != nil && p.f()`). A third category, arg, fires when a provably or
+// possibly nil value is passed to a parameter the callee dereferences
+// before any guard (the NonNilRequired precondition of its valueflow
+// summary, imported across packages as facts).
+//
+// Where the shape is unambiguous — the base is a plain identifier, the
+// dereference sits in a statement of its own, and the enclosing function
+// has no results — the suggested fix inserts `if x == nil { return }`
+// above the statement. Applying it makes the base non-nil at the site,
+// so the fix is idempotent.
+//
+// Scope: all non-test files.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+	"github.com/rolo-storage/rolo/internal/analysis/valueflow"
+)
+
+// Analyzer is the nilness check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of provably or possibly nil values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	res := valueflow.Compute(pass)
+	for _, fr := range res.Funcs {
+		if fr.SSA.Unanalyzable || analysis.IsTestFile(pass.Fset, fr.SSA.Node.Pos()) {
+			continue
+		}
+		checkDerefs(pass, res, fr)
+		checkArgs(pass, res, fr)
+	}
+	return nil
+}
+
+func checkDerefs(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	for _, d := range fr.SSA.Derefs {
+		if !fr.Reached(d.Block) {
+			continue
+		}
+		a := res.SiteAbstract(fr, d.Base, d.Block, d.Guards)
+		switch a.Nil {
+		case valueflow.IsNil:
+			pass.Report(analysis.Diagnostic{
+				Pos:            d.Expr.Pos(),
+				Category:       "deref",
+				Message:        d.What + " of nil value " + baseName(d),
+				SuggestedFixes: guardFix(fr.SSA, d),
+			})
+		case valueflow.MaybeNil:
+			origin := a.NilOrigin
+			if origin == "" {
+				origin = "may be nil"
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos:            d.Expr.Pos(),
+				Category:       "maybe",
+				Message:        d.What + " of possibly nil value " + baseName(d) + ": " + origin,
+				SuggestedFixes: guardFix(fr.SSA, d),
+			})
+		}
+	}
+}
+
+// checkArgs flags nil-ish arguments passed to parameters the callee
+// dereferences unconditionally (its summary's NonNilRequired).
+func checkArgs(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	for _, cs := range fr.SSA.Calls {
+		if cs.Callee == nil || !fr.Reached(cs.Block) {
+			continue
+		}
+		s := res.SummaryOf(cs.Callee)
+		if s == nil {
+			continue
+		}
+		// Params lists the receiver first for methods; Args excludes it.
+		shift := 0
+		if cs.Recv != nil {
+			shift = 1
+		}
+		for i, arg := range cs.Args {
+			pi := i + shift
+			if arg == nil || pi >= len(s.Params) || !s.Params[pi].NonNilRequired {
+				continue
+			}
+			a := fr.AbstractAt(arg, cs.Block)
+			switch a.Nil {
+			case valueflow.IsNil:
+				pass.Reportf(cs.Site.Pos(), "arg",
+					"nil argument %d to %s, which dereferences it unconditionally",
+					i+1, cs.Callee.Name())
+			case valueflow.MaybeNil:
+				origin := a.NilOrigin
+				if origin == "" {
+					origin = "may be nil"
+				}
+				pass.Reportf(cs.Site.Pos(), "arg",
+					"possibly nil argument %d to %s, which dereferences it unconditionally: %s",
+					i+1, cs.Callee.Name(), origin)
+			}
+		}
+	}
+}
+
+// baseName renders the dereferenced base for the message.
+func baseName(d *ssa.DerefSite) string {
+	if id := baseIdent(d); id != nil {
+		return id.Name
+	}
+	if d.Base != nil && d.Base.Var != nil {
+		return d.Base.Var.Name()
+	}
+	return "expression"
+}
+
+// baseIdent returns the base as a plain identifier, if it is one.
+func baseIdent(d *ssa.DerefSite) *ast.Ident {
+	var x ast.Expr
+	switch e := ast.Unparen(d.Expr).(type) {
+	case *ast.StarExpr:
+		x = e.X
+	case *ast.SelectorExpr:
+		x = e.X
+	case *ast.IndexExpr:
+		x = e.X
+	case *ast.CallExpr:
+		x = e.Fun
+	default:
+		return nil
+	}
+	id, _ := ast.Unparen(x).(*ast.Ident)
+	return id
+}
+
+// guardFix builds the insert-a-guard fix when the shape is unambiguous:
+// the base is a plain identifier, the site is in a statement directly
+// inside a block, no short-circuit guard is active, and the enclosing
+// function has no results (so a bare `return` is valid).
+func guardFix(f *ssa.Func, d *ssa.DerefSite) []analysis.SuggestedFix {
+	if len(d.Guards) > 0 || f.Sig == nil || f.Sig.Results().Len() > 0 {
+		return nil
+	}
+	id := baseIdent(d)
+	if id == nil {
+		return nil
+	}
+	stmt := enclosingBlockStmt(f.Node, d.Expr.Pos())
+	if stmt == nil {
+		return nil
+	}
+	return []analysis.SuggestedFix{{
+		Message: "guard " + id.Name + " against nil before the " + d.What,
+		Edits: []analysis.TextEdit{{
+			Pos:     stmt.Pos(),
+			End:     stmt.Pos(),
+			NewText: "if " + id.Name + " == nil {\nreturn\n}\n",
+		}},
+	}}
+}
+
+// enclosingBlockStmt finds the innermost statement containing pos whose
+// parent is a plain block — the insertion point for a guard. Inspect
+// visits outer blocks before the blocks nested inside them, so the last
+// match is the innermost.
+func enclosingBlockStmt(root ast.Node, pos token.Pos) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		if bs, ok := n.(*ast.BlockStmt); ok {
+			for _, s := range bs.List {
+				if s.Pos() <= pos && pos < s.End() {
+					found = s
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/nilness"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", nilness.Analyzer,
+		"fix/basic",    // in-function patterns, refinement idioms, waiver
+		"fix/guardfix", // golden autofix: inserted nil guards
+		"fix/xpkg",     // cross-package summaries via facts (dep: nildep)
+	)
+}

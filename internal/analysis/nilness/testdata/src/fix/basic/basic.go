@@ -1,0 +1,122 @@
+// Package basic exercises the in-function nilness patterns: definite
+// nils, evidence-backed maybes, and the refinement idioms that discharge
+// them.
+package basic
+
+import "log"
+
+type node struct {
+	next *node
+	val  int
+}
+
+type errBoom struct{}
+
+func (*errBoom) Error() string { return "boom" }
+
+func mk(ok bool) (*node, error) {
+	if ok {
+		return &node{}, nil
+	}
+	return nil, &errBoom{}
+}
+
+func definiteNil() int {
+	var p *node
+	return p.val // want `field access of nil value p`
+}
+
+func nilConstant() {
+	var f func()
+	f() // want `call of function value of nil value f`
+}
+
+func errChecked(ok bool) int {
+	n, err := mk(ok)
+	if err != nil {
+		return 0
+	}
+	return n.val // err checked: n proven non-nil
+}
+
+func errUnchecked(ok bool) int {
+	n, _ := mk(ok)
+	return n.val // want `field access of possibly nil value n`
+}
+
+func nilGuard(p *node) int {
+	if p == nil {
+		return -1
+	}
+	return p.val // guarded: fine
+}
+
+func fatalGuard(p *node) int {
+	if p == nil {
+		log.Fatal("nil p")
+	}
+	return p.val // log.Fatal never returns: fine
+}
+
+func shortCircuit(p *node) bool {
+	return p != nil && p.val > 0 // guard conjunct: fine
+}
+
+func mapLookupChecked(m map[string]*node) int {
+	n, ok := m["k"]
+	if !ok {
+		return 0
+	}
+	return n.val // ok checked: fine
+}
+
+func mapLookupUnchecked(m map[string]*node) int {
+	n, _ := m["k"]
+	return n.val // want `field access of possibly nil value n: .*map lookup`
+}
+
+func mapLookupSingle(m map[string]*node) int {
+	n := m["k"]
+	return n.val // single-result lookup carries no evidence: not flagged
+}
+
+func assertUnchecked(x any) int {
+	n, _ := x.(*node)
+	return n.val // want `field access of possibly nil value n: .*type assertion`
+}
+
+func assertChecked(x any) int {
+	n, ok := x.(*node)
+	if !ok {
+		return 0
+	}
+	return n.val // ok checked: fine
+}
+
+func nilMapWrite() {
+	var m map[string]int
+	m["k"] = 1 // want `write into map of nil value m`
+}
+
+func joinMaybe(ok bool) int {
+	var p *node
+	if ok {
+		p = &node{}
+	}
+	return p.val // want `field access of possibly nil value p`
+}
+
+func joinBothArms(ok bool) int {
+	var p *node
+	if ok {
+		p = &node{}
+	} else {
+		p = &node{val: 1}
+	}
+	return p.val // assigned on both arms: fine
+}
+
+func waived() int {
+	var p *node
+	return p.val //lint:allow nilness:deref demonstrating the waiver path
+}

@@ -1,0 +1,16 @@
+// Package guardfix exercises the insert-a-guard autofix: the base is a
+// plain identifier, the deref is a statement of its own, and the
+// function has no results.
+package guardfix
+
+type rec struct{ n int }
+
+func reset() {
+	var r *rec
+	r.n = 0 // want `field access of nil value r`
+}
+
+func drop(m map[string]*rec) {
+	r, _ := m["k"]
+	r.n = 0 // want `field access of possibly nil value r`
+}

@@ -1,0 +1,24 @@
+// Package xpkg consumes nildep's summaries through the fact layer: the
+// err-check idiom discharges the imported maybe-nil, skipping the check
+// keeps it, and passing nil to a NonNilRequired parameter is flagged at
+// the call site.
+package xpkg
+
+import "nildep"
+
+func checked(ok bool) int {
+	b, err := nildep.Open(ok)
+	if err != nil {
+		return 0
+	}
+	return b.N // imported NonNilWhenNoErr fact: fine
+}
+
+func unchecked(ok bool) int {
+	b, _ := nildep.Open(ok)
+	return b.N // want `field access of possibly nil value b`
+}
+
+func nilArg() int {
+	return nildep.Use(nil) // want `nil argument 1 to Use`
+}

@@ -1,0 +1,21 @@
+// Package nildep is the cross-package dependency fixture: its summaries
+// (the NonNilRequired parameter of Use, the nil-iff-error contract of
+// Open) travel to the importing package as valueflow facts.
+package nildep
+
+type Buf struct{ N int }
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "fail" }
+
+// Use dereferences b before any guard: a NonNilRequired precondition.
+func Use(b *Buf) int { return b.N }
+
+// Open returns a non-nil Buf exactly when it succeeds.
+func Open(ok bool) (*Buf, error) {
+	if ok {
+		return &Buf{}, nil
+	}
+	return nil, &failErr{}
+}

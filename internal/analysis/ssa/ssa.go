@@ -1,0 +1,1275 @@
+// Package ssa lowers Go function bodies into a lightweight
+// static-single-assignment form built on the cfg package's basic blocks.
+//
+// The IR is deliberately smaller than golang.org/x/tools/go/ssa: it exists
+// to feed the valueflow lattice (nilness, constant intervals, units, taint),
+// not to compile code. Each local variable that is never address-taken or
+// captured by a closure becomes a chain of immutable virtual registers
+// (Values); φ-nodes are placed at CFG joins using Braun-style on-demand
+// construction (seal blocks as their predecessors complete, leave
+// incomplete φs for back edges, fill them once the loop body is built).
+// Trivial φs are kept rather than eliminated — a φ whose operands all agree
+// joins to the same lattice point, so the only cost is a few extra Values.
+//
+// Alongside the registers, construction collects the syntactic sites the
+// analyzers care about: pointer/map/func dereferences (Derefs), allocation
+// sizes and index/slice bounds (Bounds), calls with their argument and
+// result registers (Calls), and return sites (Returns). Each site carries
+// the short-circuit guard context it was evaluated under, so `p != nil &&
+// p.f()` does not read as an unguarded dereference.
+//
+// Functions whose CFG is Unanalyzable (goto, select, type switches, labels
+// on plain statements) yield a Func with Unanalyzable set and no blocks;
+// callers must treat every value in them as unknown.
+package ssa
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis/callgraph"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+)
+
+// Kind discriminates how a Value was produced.
+type Kind uint8
+
+const (
+	// Unknown is an opaque value: a global, a field or element load, a
+	// channel receive, an untracked variable, or any expression form the
+	// builder does not model. Unknowns carry no lattice evidence.
+	Unknown  Kind = iota
+	Param         // function parameter or receiver; Var and Index identify it
+	Zero          // zero value of a declared-but-unassigned variable
+	Const         // constant expression; ConstVal holds the value
+	NilConst      // the predeclared nil
+	Phi           // join of Args, parallel to Block.Preds
+	Call          // result of a call; single result, or the tuple root
+	Extract       // Index'th component of the tuple in Args[0]
+	BinOp         // Op applied to Args[0], Args[1]
+	UnOp          // Op applied to Args[0] (not &, * or <-)
+	Convert       // conversion of Args[0]; units survive conversions
+	Alloc         // non-nil producer: &x, new, make, composite/func literal,
+	// func identifier, bound method value, address-of
+	Load     // memory load: *p, x.f, m[k], s[i]
+	RangeVar // per-iteration key (Index 0) or element (Index 1) of a
+	// range loop; Args[0] is the ranged operand's value when available
+	Assert  // single-form type assertion x.(T): panics unless it holds
+	SliceOp // s[lo:hi]: Args are base, lo, hi (nil entries elided)
+	LenOf   // len(x) or cap(x): Args[0] is x
+)
+
+var kindNames = [...]string{
+	"unknown", "param", "zero", "const", "nil", "phi", "call", "extract",
+	"binop", "unop", "convert", "alloc", "load", "rangevar", "assert",
+	"sliceop", "lenof",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// CommaKind tags the two Extracts of a comma-ok form.
+type CommaKind uint8
+
+const (
+	NotCommaOk CommaKind = iota
+	MapOk                // v, ok := m[k]
+	AssertOk             // v, ok := x.(T)
+	RecvOk               // v, ok := <-ch
+)
+
+// A Value is one virtual register.
+type Value struct {
+	ID    int
+	Kind  Kind
+	Type  types.Type // may be nil (void calls, some synthetics)
+	Expr  ast.Expr   // defining expression, when one exists
+	Op    token.Token
+	Args  []*Value
+	Index int        // Extract result index; Param position; RangeVar role
+	Block *Block     // defining block; nil for Params, Zeros, Unknowns
+	Var   *types.Var // Param: the object; Phi/Zero/Unknown: the variable
+	Uses  []*Value   // values listing this one among their Args
+
+	ConstVal constant.Value // Const only
+
+	// Pair links the two Extracts of a comma-ok form to each other, and
+	// CommaOk says which form; refinement of the ok boolean then narrows
+	// its partner (present/absent, asserted/failed).
+	Pair    *Value
+	CommaOk CommaKind
+}
+
+// A Block mirrors one cfg.Block, adding predecessor links and φ-nodes.
+// Blocks[i] corresponds to Graph.Blocks[i].
+type Block struct {
+	Index int
+	CFG   *cfg.Block
+	Preds []*Block // in edge order; φ operands are parallel to this
+	Phis  []*Value
+}
+
+// A Guard records one short-circuit conjunct in force at a site: within
+// `a && b`, b is evaluated only with Cond=a, Sense=true; within `a || b`,
+// only with Sense=false.
+type Guard struct {
+	Cond  ast.Expr
+	Sense bool
+}
+
+// A DerefSite is an expression that dereferences Base: *p, a field access
+// through a pointer, a write into a map, or a call of a function value.
+type DerefSite struct {
+	Expr   ast.Expr
+	Base   *Value
+	Block  *Block
+	What   string // "pointer dereference", "field access", ...
+	Guards []Guard
+}
+
+// BoundKind classifies a size or index use.
+type BoundKind uint8
+
+const (
+	MakeLen BoundKind = iota
+	MakeCap
+	Index        // s[i] on a slice, array or string
+	SliceBound   // lo/hi/max of s[lo:hi:max]
+	AppendSpread // append(s, x...): Val is x, whose interval is its length
+)
+
+var boundNames = [...]string{"make-len", "make-cap", "index", "slice-bound", "append-spread"}
+
+func (k BoundKind) String() string {
+	if int(k) < len(boundNames) {
+		return boundNames[k]
+	}
+	return "bound?"
+}
+
+// A BoundSite is a use of Val as an allocation size or index into Base.
+type BoundSite struct {
+	Kind   BoundKind
+	Expr   ast.Expr // the size/index expression
+	Val    *Value
+	Base   *Value // indexed/sliced operand; nil for make
+	Block  *Block
+	Guards []Guard
+}
+
+// A CallSite records one call with its argument and result registers.
+type CallSite struct {
+	Site    *ast.CallExpr
+	Callee  *types.Func // static callee, or nil
+	Args    []*Value    // excluding the receiver
+	Recv    *Value      // receiver value for method calls, else nil
+	Result  *Value      // the Call value (single result or tuple root)
+	Results []*Value    // Extracts when the tuple is destructured
+	Block   *Block
+}
+
+// A ReturnSite is one return statement with its resolved result registers.
+type ReturnSite struct {
+	Stmt  *ast.ReturnStmt
+	Block *Block
+	Vals  []*Value // one per result; named results read at the return
+}
+
+// A Func is the SSA form of one function or function literal.
+type Func struct {
+	Node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Name string
+	Fn   *types.Func // nil for literals
+	Sig  *types.Signature
+
+	G      *cfg.Graph
+	Blocks []*Block // parallel to G.Blocks
+	Entry  *Block
+
+	Params    []*Value // receiver first when present
+	Values    []*Value
+	ExprValue map[ast.Expr]*Value
+
+	Calls   []*CallSite
+	Derefs  []*DerefSite
+	Bounds  []*BoundSite
+	Returns []*ReturnSite
+	Lits    []*ast.FuncLit // nested literals, built separately
+
+	Unanalyzable bool
+	Reason       string
+}
+
+// BlockFor returns the SSA block mirroring cb.
+func (f *Func) BlockFor(cb *cfg.Block) *Block {
+	if cb == nil || cb.Index >= len(f.Blocks) {
+		return nil
+	}
+	return f.Blocks[cb.Index]
+}
+
+// Build constructs the SSA form of node, which must be an *ast.FuncDecl or
+// *ast.FuncLit with a body. It returns nil when node has no body or no
+// recorded type, and a Func with Unanalyzable set when the CFG cannot be
+// modeled.
+func Build(info *types.Info, node ast.Node) *Func {
+	var body *ast.BlockStmt
+	f := &Func{Node: node, ExprValue: make(map[ast.Expr]*Value)}
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+		fn, _ := info.Defs[n.Name].(*types.Func)
+		if body == nil || fn == nil {
+			return nil
+		}
+		f.Fn = fn
+		f.Sig = fn.Type().(*types.Signature)
+		f.Name = n.Name.Name
+	case *ast.FuncLit:
+		body = n.Body
+		sig, _ := info.Types[n].Type.(*types.Signature)
+		if sig == nil {
+			return nil
+		}
+		f.Sig = sig
+		f.Name = "func literal"
+	default:
+		return nil
+	}
+
+	f.G = cfg.Build(body)
+	if f.G.Unanalyzable {
+		f.Unanalyzable = true
+		f.Reason = f.G.Reason
+		return f
+	}
+
+	b := &builder{info: info, fn: f}
+	b.mirrorBlocks()
+	b.scan(body)
+	b.seedParams()
+	for _, blk := range rpo(f) {
+		b.processBlock(blk)
+	}
+	b.fillIncomplete()
+	return f
+}
+
+type rangeInfo struct {
+	x    ast.Expr // ranged operand
+	role int      // 0 key, 1 value
+	val  *Value   // lazily created RangeVar
+}
+
+type builder struct {
+	info *types.Info
+	fn   *Func
+
+	tracked   map[*types.Var]bool
+	rangeVars map[*types.Var]*rangeInfo
+
+	localDef  []map[*types.Var]*Value // per block: last in-block write
+	entryVal  []map[*types.Var]*Value // per block: memoized entry value
+	processed []bool
+	filling   bool // final fill phase: every block counts as sealed
+
+	incomplete []*Value // φs awaiting operands (FIFO)
+
+	cur    *Block
+	guards []Guard
+}
+
+func (b *builder) mirrorBlocks() {
+	g := b.fn.G
+	n := len(g.Blocks)
+	b.fn.Blocks = make([]*Block, n)
+	b.localDef = make([]map[*types.Var]*Value, n)
+	b.entryVal = make([]map[*types.Var]*Value, n)
+	b.processed = make([]bool, n)
+	for i, cb := range g.Blocks {
+		b.fn.Blocks[i] = &Block{Index: i, CFG: cb}
+		b.localDef[i] = make(map[*types.Var]*Value)
+		b.entryVal[i] = make(map[*types.Var]*Value)
+	}
+	for _, cb := range g.Blocks {
+		from := b.fn.Blocks[cb.Index]
+		for _, e := range cb.Succs {
+			to := b.fn.Blocks[e.To.Index]
+			to.Preds = append(to.Preds, from)
+		}
+	}
+	b.fn.Entry = b.fn.Blocks[g.Entry.Index]
+}
+
+// rpo returns the reachable blocks in reverse postorder from the entry.
+func rpo(f *Func) []*Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		seen[blk.Index] = true
+		for _, e := range blk.CFG.Succs {
+			s := f.Blocks[e.To.Index]
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, blk)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// scan walks the body once to decide which variables are tracked: locals
+// and parameters that are never address-taken and never written inside a
+// nested function literal. Read-only capture by a literal is harmless —
+// the literal cannot change the variable between this function's
+// statements — so it does not untrack. Writes under a literal that is
+// the direct callee of a defer statement do not untrack either: a
+// deferred closure runs at function exit, after every load in the body.
+// Range-defined loop variables are recorded so reads yield per-iteration
+// RangeVar values; assign-mode range variables are untracked (their
+// per-iteration writes happen outside any block).
+func (b *builder) scan(body *ast.BlockStmt) {
+	b.tracked = make(map[*types.Var]bool)
+	b.rangeVars = make(map[*types.Var]*rangeInfo)
+
+	// Parameters, receiver and named results.
+	sig := b.fn.Sig
+	if r := sig.Recv(); r != nil {
+		b.tracked[r] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		b.tracked[sig.Params().At(i)] = true
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); v.Name() != "" && v.Name() != "_" {
+			b.tracked[v] = true
+		}
+	}
+
+	// Locals declared directly in this body (not inside nested literals).
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred literal's writes land at function exit, after
+			// the last load of the body: its free variables stay
+			// tracked. Argument expressions evaluate at the defer
+			// statement itself, so those are still walked.
+			if _, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			// Free variables a literal can write may change at any time
+			// relative to this function's statements: untrack those.
+			b.untrackMutated(n.Body)
+			return false
+		case *ast.Ident:
+			if v, ok := b.info.Defs[n].(*types.Var); ok {
+				b.tracked[v] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := b.info.Uses[id].(*types.Var); ok {
+						delete(b.tracked, v)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			b.scanRange(n)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// untrackMutated removes from the tracked set every outer variable the
+// literal body can write: assignment targets, inc/dec operands,
+// assign-mode range variables, and address-taken variables (a leaked
+// pointer permits writes from anywhere). Reads are left alone.
+func (b *builder) untrackMutated(body ast.Node) {
+	drop := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := b.info.Uses[id].(*types.Var); ok {
+				delete(b.tracked, v)
+			}
+		}
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				drop(lhs)
+			}
+		case *ast.IncDecStmt:
+			drop(m.X)
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				drop(m.X)
+			}
+		case *ast.RangeStmt:
+			if m.Tok == token.ASSIGN {
+				drop(m.Key)
+				drop(m.Value)
+			}
+		}
+		return true
+	})
+}
+
+func (b *builder) scanRange(s *ast.RangeStmt) {
+	note := func(e ast.Expr, role int) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if s.Tok == token.DEFINE {
+			if v, ok := b.info.Defs[id].(*types.Var); ok {
+				b.rangeVars[v] = &rangeInfo{x: s.X, role: role}
+			}
+		} else if v, ok := b.info.Uses[id].(*types.Var); ok {
+			// Assign-mode range writes bypass the block statements.
+			delete(b.tracked, v)
+		}
+	}
+	if s.Key != nil {
+		note(s.Key, 0)
+	}
+	if s.Value != nil {
+		note(s.Value, 1)
+	}
+}
+
+func (b *builder) seedParams() {
+	entry := b.fn.Entry
+	pos := 0
+	add := func(v *types.Var) {
+		p := b.newValue(Param, v.Type(), nil)
+		p.Var = v
+		p.Index = pos
+		p.Block = nil
+		pos++
+		b.fn.Params = append(b.fn.Params, p)
+		if b.tracked[v] {
+			b.localDef[entry.Index][v] = p
+		}
+	}
+	sig := b.fn.Sig
+	if r := sig.Recv(); r != nil {
+		add(r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		add(sig.Params().At(i))
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		v := sig.Results().At(i)
+		if b.tracked[v] {
+			z := b.newValue(Zero, v.Type(), nil)
+			z.Var = v
+			z.Block = nil
+			b.localDef[entry.Index][v] = z
+		}
+	}
+}
+
+func (b *builder) newValue(k Kind, t types.Type, e ast.Expr, args ...*Value) *Value {
+	v := &Value{ID: len(b.fn.Values), Kind: k, Type: t, Expr: e, Index: -1, Block: b.cur}
+	for _, a := range args {
+		v.Args = append(v.Args, a)
+		if a != nil {
+			a.Uses = append(a.Uses, v)
+		}
+	}
+	b.fn.Values = append(b.fn.Values, v)
+	return v
+}
+
+func (b *builder) unknownFor(v *types.Var) *Value {
+	u := b.newValue(Unknown, v.Type(), nil)
+	u.Var = v
+	return u
+}
+
+// sealedNow reports whether blk's entry state is final: every predecessor
+// has been processed (or we are in the terminal fill phase).
+func (b *builder) sealedNow(blk *Block) bool {
+	if b.filling {
+		return true
+	}
+	for _, p := range blk.Preds {
+		if !b.processed[p.Index] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *builder) newPhi(v *types.Var, blk *Block) *Value {
+	phi := b.newValue(Phi, v.Type(), nil)
+	phi.Var = v
+	phi.Block = blk
+	blk.Phis = append(blk.Phis, phi)
+	return phi
+}
+
+// read returns the register holding v at the current point of blk's
+// statement walk.
+func (b *builder) read(v *types.Var, blk *Block) *Value {
+	if val, ok := b.localDef[blk.Index][v]; ok {
+		return val
+	}
+	return b.readEntry(v, blk)
+}
+
+// readAtEnd returns the register holding v at the end of blk.
+func (b *builder) readAtEnd(v *types.Var, blk *Block) *Value {
+	if val, ok := b.localDef[blk.Index][v]; ok {
+		return val
+	}
+	return b.readEntry(v, blk)
+}
+
+// readEntry returns the register holding v on entry to blk, creating φs
+// as needed (incomplete ones while blk still has unprocessed predecessors).
+func (b *builder) readEntry(v *types.Var, blk *Block) *Value {
+	if val, ok := b.entryVal[blk.Index][v]; ok {
+		return val
+	}
+	var val *Value
+	switch {
+	case !b.sealedNow(blk):
+		phi := b.newPhi(v, blk)
+		b.incomplete = append(b.incomplete, phi)
+		val = phi
+	case len(blk.Preds) == 0:
+		if ri, ok := b.rangeVars[v]; ok {
+			val = b.rangeValue(v, ri)
+		} else {
+			val = b.unknownFor(v)
+		}
+	case len(blk.Preds) == 1:
+		b.entryVal[blk.Index][v] = nil // cycle guard; overwritten below
+		val = b.readAtEnd(v, blk.Preds[0])
+	default:
+		phi := b.newPhi(v, blk)
+		b.entryVal[blk.Index][v] = phi // break cycles before recursing
+		b.fillPhi(phi)
+		val = phi
+	}
+	b.entryVal[blk.Index][v] = val
+	return val
+}
+
+func (b *builder) fillPhi(phi *Value) {
+	for _, p := range phi.Block.Preds {
+		op := b.readAtEnd(phi.Var, p)
+		phi.Args = append(phi.Args, op)
+		if op != nil {
+			op.Uses = append(op.Uses, phi)
+		}
+	}
+}
+
+func (b *builder) fillIncomplete() {
+	b.filling = true
+	// Filling may enqueue further φs; the slice grows as we go.
+	for i := 0; i < len(b.incomplete); i++ {
+		phi := b.incomplete[i]
+		if len(phi.Args) == 0 {
+			b.fillPhi(phi)
+		}
+	}
+	b.filling = false
+}
+
+// rangeValue returns (creating on first use) the per-iteration register of
+// a range-defined loop variable.
+func (b *builder) rangeValue(v *types.Var, ri *rangeInfo) *Value {
+	if ri.val == nil {
+		rv := b.newValue(RangeVar, v.Type(), nil, b.fn.ExprValue[ast.Unparen(ri.x)])
+		rv.Var = v
+		rv.Index = ri.role
+		rv.Block = nil
+		ri.val = rv
+	}
+	return ri.val
+}
+
+func (b *builder) write(v *types.Var, val *Value) {
+	if b.tracked[v] && val != nil {
+		b.localDef[b.cur.Index][v] = val
+	}
+}
+
+func (b *builder) processBlock(blk *Block) {
+	b.cur = blk
+	for _, s := range blk.CFG.Stmts {
+		b.stmt(s)
+	}
+	b.processed[blk.Index] = true
+}
+
+// ---- statements ----
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		b.assign(s)
+	case *ast.IncDecStmt:
+		b.incDec(s)
+	case *ast.DeclStmt:
+		b.declStmt(s)
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.ReturnStmt:
+		b.ret(s)
+	case *ast.DeferStmt:
+		b.expr(s.Call)
+	case *ast.GoStmt:
+		b.expr(s.Call)
+	case *ast.SendStmt:
+		b.expr(s.Chan)
+		b.expr(s.Value)
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) incDec(s *ast.IncDecStmt) {
+	old := b.expr(s.X)
+	op := token.ADD
+	if s.Tok == token.DEC {
+		op = token.SUB
+	}
+	one := b.newValue(Const, types.Typ[types.Int], nil)
+	one.ConstVal = constant.MakeInt64(1)
+	nv := b.newValue(BinOp, b.info.TypeOf(s.X), nil, old, one)
+	nv.Op = op
+	if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+		if v, ok := b.info.Uses[id].(*types.Var); ok {
+			b.write(v, nv)
+		}
+	}
+}
+
+func (b *builder) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == 0 {
+			for _, name := range vs.Names {
+				v, ok := b.info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				z := b.newValue(Zero, v.Type(), nil)
+				z.Var = v
+				b.write(v, z)
+			}
+			continue
+		}
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			b.multiAssign(exprsOf(vs.Names), vs.Values[0])
+			continue
+		}
+		for i, name := range vs.Names {
+			if i >= len(vs.Values) {
+				break
+			}
+			val := b.expr(vs.Values[i])
+			b.writeIdent(name, val)
+		}
+	}
+}
+
+func exprsOf(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (b *builder) assign(s *ast.AssignStmt) {
+	switch {
+	case len(s.Rhs) == 1 && len(s.Lhs) > 1:
+		b.multiAssign(s.Lhs, s.Rhs[0])
+	case s.Tok == token.ASSIGN || s.Tok == token.DEFINE:
+		// Parallel assignment: evaluate every RHS before any write.
+		vals := make([]*Value, len(s.Rhs))
+		for i, r := range s.Rhs {
+			vals[i] = b.expr(r)
+		}
+		for i, l := range s.Lhs {
+			b.writeLhs(l, vals[i])
+		}
+	default:
+		// Compound assignment: x op= y.
+		old := b.expr(s.Lhs[0])
+		rhs := b.expr(s.Rhs[0])
+		nv := b.newValue(BinOp, b.info.TypeOf(s.Lhs[0]), nil, old, rhs)
+		nv.Op = compoundOp(s.Tok)
+		if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+			if v, ok := b.info.Uses[id].(*types.Var); ok {
+				b.write(v, nv)
+			}
+		}
+	}
+}
+
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}
+
+// multiAssign handles `a, b, ... = rhs` for tuple calls and the three
+// comma-ok forms.
+func (b *builder) multiAssign(lhs []ast.Expr, rhs ast.Expr) {
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		root := b.expr(r)
+		if root == nil {
+			break
+		}
+		var results []*Value
+		sig := callSignature(b.info, r)
+		for i, l := range lhs {
+			var t types.Type
+			if sig != nil && i < sig.Results().Len() {
+				t = sig.Results().At(i).Type()
+			}
+			ex := b.newValue(Extract, t, nil, root)
+			ex.Index = i
+			results = append(results, ex)
+			b.writeLhs(l, ex)
+		}
+		// Pair the leading value with a trailing error for err-branch
+		// refinement of the common (T, error) shape.
+		if len(results) == 2 && isErrorType(results[1].Type) {
+			link(results[0], results[1], NotCommaOk)
+		}
+		if cs := b.callSiteFor(root); cs != nil {
+			cs.Results = results
+		}
+	case *ast.IndexExpr:
+		base := b.expr(r.X)
+		idx := b.expr(r.Index)
+		if isMap(b.info.TypeOf(r.X)) && len(lhs) == 2 {
+			load := b.newValue(Load, b.info.TypeOf(rhs), rhs, base, idx)
+			b.fn.ExprValue[rhs] = load
+			b.commaOk(lhs, load, b.info.TypeOf(rhs), MapOk)
+			return
+		}
+		for _, l := range lhs {
+			b.writeLhs(l, nil)
+		}
+	case *ast.TypeAssertExpr:
+		x := b.expr(r.X)
+		if len(lhs) == 2 {
+			root := b.newValue(Assert, b.info.TypeOf(rhs), rhs, x)
+			b.fn.ExprValue[rhs] = root
+			b.commaOk(lhs, root, b.info.TypeOf(rhs), AssertOk)
+			return
+		}
+	case *ast.UnaryExpr:
+		if r.Op == token.ARROW {
+			x := b.expr(r.X)
+			if len(lhs) == 2 {
+				root := b.newValue(Unknown, b.info.TypeOf(rhs), rhs, x)
+				b.fn.ExprValue[rhs] = root
+				b.commaOk(lhs, root, b.info.TypeOf(rhs), RecvOk)
+				return
+			}
+		}
+		for _, l := range lhs {
+			b.writeLhs(l, nil)
+		}
+	default:
+		for _, l := range lhs {
+			b.writeLhs(l, nil)
+		}
+	}
+}
+
+func (b *builder) commaOk(lhs []ast.Expr, root *Value, vt types.Type, kind CommaKind) {
+	// In a comma-ok context go/types records the (T, bool) tuple as the
+	// expression type; the value component is its first element.
+	if tup, ok := vt.(*types.Tuple); ok && tup.Len() == 2 {
+		vt = tup.At(0).Type()
+	}
+	val := b.newValue(Extract, vt, nil, root)
+	val.Index = 0
+	ok := b.newValue(Extract, types.Typ[types.Bool], nil, root)
+	ok.Index = 1
+	link(val, ok, kind)
+	b.writeLhs(lhs[0], val)
+	b.writeLhs(lhs[1], ok)
+}
+
+func link(val, ok *Value, kind CommaKind) {
+	val.Pair, ok.Pair = ok, val
+	val.CommaOk, ok.CommaOk = kind, kind
+}
+
+func (b *builder) callSiteFor(root *Value) *CallSite {
+	for i := len(b.fn.Calls) - 1; i >= 0; i-- {
+		if b.fn.Calls[i].Result == root {
+			return b.fn.Calls[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) writeLhs(lhs ast.Expr, val *Value) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		b.writeIdent(l, val)
+	case *ast.StarExpr:
+		base := b.expr(l.X)
+		b.deref(l, base, "store through pointer")
+	case *ast.SelectorExpr:
+		b.expr(l) // records the field-access deref itself
+	case *ast.IndexExpr:
+		base := b.expr(l.X)
+		idx := b.expr(l.Index)
+		t := b.info.TypeOf(l.X)
+		switch {
+		case isMap(t):
+			b.deref(l, base, "write into map")
+		case indexable(t):
+			b.bound(Index, l.Index, idx, base)
+		}
+	default:
+		b.expr(lhs)
+	}
+}
+
+func (b *builder) writeIdent(id *ast.Ident, val *Value) {
+	if id.Name == "_" {
+		return
+	}
+	if v, ok := b.info.Defs[id].(*types.Var); ok {
+		if val == nil {
+			val = b.unknownFor(v)
+		}
+		b.write(v, val)
+		return
+	}
+	if v, ok := b.info.Uses[id].(*types.Var); ok {
+		if val == nil {
+			val = b.unknownFor(v)
+		}
+		b.write(v, val)
+	}
+}
+
+func (b *builder) ret(s *ast.ReturnStmt) {
+	site := &ReturnSite{Stmt: s, Block: b.cur}
+	n := b.fn.Sig.Results().Len()
+	switch {
+	case len(s.Results) == 0 && n > 0:
+		// Bare return with named results.
+		for i := 0; i < n; i++ {
+			v := b.fn.Sig.Results().At(i)
+			if b.tracked[v] {
+				site.Vals = append(site.Vals, b.read(v, b.cur))
+			} else {
+				site.Vals = append(site.Vals, b.unknownFor(v))
+			}
+		}
+	case len(s.Results) == 1 && n > 1:
+		// return f() forwarding a tuple.
+		root := b.expr(s.Results[0])
+		for i := 0; i < n; i++ {
+			ex := b.newValue(Extract, b.fn.Sig.Results().At(i).Type(), nil, root)
+			ex.Index = i
+			site.Vals = append(site.Vals, ex)
+		}
+	default:
+		for _, r := range s.Results {
+			site.Vals = append(site.Vals, b.expr(r))
+		}
+	}
+	b.fn.Returns = append(b.fn.Returns, site)
+}
+
+// ---- expressions ----
+
+func (b *builder) deref(e ast.Expr, base *Value, what string) {
+	if base == nil {
+		return
+	}
+	b.fn.Derefs = append(b.fn.Derefs, &DerefSite{
+		Expr: e, Base: base, Block: b.cur, What: what,
+		Guards: append([]Guard(nil), b.guards...),
+	})
+}
+
+func (b *builder) bound(k BoundKind, e ast.Expr, val, base *Value) {
+	if val == nil {
+		return
+	}
+	b.fn.Bounds = append(b.fn.Bounds, &BoundSite{
+		Kind: k, Expr: e, Val: val, Base: base, Block: b.cur,
+		Guards: append([]Guard(nil), b.guards...),
+	})
+}
+
+// expr builds (and memoizes) the register for e.
+func (b *builder) expr(e ast.Expr) *Value {
+	if e == nil {
+		return nil
+	}
+	if v, ok := b.fn.ExprValue[e]; ok {
+		return v
+	}
+	v := b.expr1(e)
+	b.fn.ExprValue[e] = v
+	return v
+}
+
+func (b *builder) expr1(e ast.Expr) *Value {
+	t := b.info.TypeOf(e)
+	if tv, ok := b.info.Types[e]; ok && tv.Value != nil {
+		c := b.newValue(Const, t, e)
+		c.ConstVal = tv.Value
+		return c
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return b.expr(e.X)
+	case *ast.Ident:
+		return b.ident(e, t)
+	case *ast.BasicLit:
+		// Constant-folded above; reached only for malformed trees.
+		return b.newValue(Const, t, e)
+	case *ast.BinaryExpr:
+		return b.binary(e, t)
+	case *ast.UnaryExpr:
+		return b.unary(e, t)
+	case *ast.StarExpr:
+		base := b.expr(e.X)
+		b.deref(e, base, "pointer dereference")
+		return b.newValue(Load, t, e, base)
+	case *ast.SelectorExpr:
+		return b.selector(e, t)
+	case *ast.IndexExpr:
+		return b.index(e, t)
+	case *ast.IndexListExpr:
+		return b.newValue(Unknown, t, e) // generic instantiation
+	case *ast.SliceExpr:
+		return b.sliceExpr(e, t)
+	case *ast.CallExpr:
+		return b.call(e, t)
+	case *ast.TypeAssertExpr:
+		if e.Type == nil {
+			return b.newValue(Unknown, t, e)
+		}
+		x := b.expr(e.X)
+		return b.newValue(Assert, t, e, x)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			b.expr(el)
+		}
+		return b.newValue(Alloc, t, e)
+	case *ast.KeyValueExpr:
+		b.expr(e.Key)
+		b.expr(e.Value)
+		return b.newValue(Unknown, t, e)
+	case *ast.FuncLit:
+		b.fn.Lits = append(b.fn.Lits, e)
+		return b.newValue(Alloc, t, e)
+	}
+	return b.newValue(Unknown, t, e)
+}
+
+func (b *builder) ident(e *ast.Ident, t types.Type) *Value {
+	switch obj := b.info.Uses[e].(type) {
+	case *types.Nil:
+		return b.newValue(NilConst, t, e)
+	case *types.Var:
+		if b.tracked[obj] {
+			// Range-defined variables are tracked too: their read chain
+			// bottoms out in a per-iteration RangeVar at the entry.
+			return b.read(obj, b.cur)
+		}
+		return b.opaqueVar(obj, t, e)
+	case *types.Func:
+		return b.newValue(Alloc, t, e) // function values are non-nil
+	}
+	return b.newValue(Unknown, t, e)
+}
+
+func (b *builder) opaqueVar(v *types.Var, t types.Type, e ast.Expr) *Value {
+	u := b.newValue(Unknown, t, e)
+	u.Var = v
+	return u
+}
+
+func (b *builder) binary(e *ast.BinaryExpr, t types.Type) *Value {
+	x := b.expr(e.X)
+	switch e.Op {
+	case token.LAND, token.LOR:
+		// The right operand only evaluates under the left's verdict.
+		b.guards = append(b.guards, Guard{Cond: e.X, Sense: e.Op == token.LAND})
+		y := b.expr(e.Y)
+		b.guards = b.guards[:len(b.guards)-1]
+		v := b.newValue(BinOp, t, e, x, y)
+		v.Op = e.Op
+		return v
+	}
+	y := b.expr(e.Y)
+	v := b.newValue(BinOp, t, e, x, y)
+	v.Op = e.Op
+	return v
+}
+
+func (b *builder) unary(e *ast.UnaryExpr, t types.Type) *Value {
+	switch e.Op {
+	case token.AND:
+		b.expr(e.X) // &x.f still dereferences x
+		return b.newValue(Alloc, t, e)
+	case token.ARROW:
+		x := b.expr(e.X)
+		return b.newValue(Unknown, t, e, x)
+	}
+	x := b.expr(e.X)
+	v := b.newValue(UnOp, t, e, x)
+	v.Op = e.Op
+	return v
+}
+
+func (b *builder) selector(e *ast.SelectorExpr, t types.Type) *Value {
+	if id, ok := e.X.(*ast.Ident); ok {
+		if _, isPkg := b.info.Uses[id].(*types.PkgName); isPkg {
+			// Qualified reference: constants were folded above; functions
+			// are non-nil; package variables are opaque.
+			if _, ok := b.info.Uses[e.Sel].(*types.Func); ok {
+				return b.newValue(Alloc, t, e)
+			}
+			return b.newValue(Unknown, t, e)
+		}
+	}
+	base := b.expr(e.X)
+	sel := b.info.Selections[e]
+	if sel != nil && sel.Kind() == types.FieldVal {
+		if sel.Indirect() || isPointer(b.info.TypeOf(e.X)) {
+			b.deref(e, base, "field access")
+		}
+		return b.newValue(Load, t, e, base)
+	}
+	if sel != nil && sel.Kind() == types.MethodVal {
+		// A bound-method value; selecting it does not dereference.
+		return b.newValue(Alloc, t, e, base)
+	}
+	return b.newValue(Unknown, t, e, base)
+}
+
+func (b *builder) index(e *ast.IndexExpr, t types.Type) *Value {
+	if tv, ok := b.info.Types[e]; ok && tv.IsType() {
+		return b.newValue(Unknown, t, e)
+	}
+	base := b.expr(e.X)
+	idx := b.expr(e.Index)
+	bt := b.info.TypeOf(e.X)
+	if indexable(bt) {
+		b.bound(Index, e.Index, idx, base)
+	}
+	return b.newValue(Load, t, e, base, idx)
+}
+
+func (b *builder) sliceExpr(e *ast.SliceExpr, t types.Type) *Value {
+	base := b.expr(e.X)
+	lo := b.expr(e.Low)
+	hi := b.expr(e.High)
+	mx := b.expr(e.Max)
+	for _, p := range []struct {
+		e ast.Expr
+		v *Value
+	}{{e.Low, lo}, {e.High, hi}, {e.Max, mx}} {
+		if p.v != nil {
+			b.bound(SliceBound, p.e, p.v, base)
+		}
+	}
+	return b.newValue(SliceOp, t, e, base, lo, hi)
+}
+
+func (b *builder) call(e *ast.CallExpr, t types.Type) *Value {
+	// Conversion: T(x).
+	if tv, ok := b.info.Types[e.Fun]; ok && tv.IsType() {
+		x := b.expr(e.Args[0])
+		return b.newValue(Convert, t, e, x)
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+		if _, ok := b.info.Uses[id].(*types.Builtin); ok {
+			return b.builtin(e, id.Name, t)
+		}
+	}
+
+	funVal := b.expr(e.Fun)
+	// Calling a possibly-nil function value panics. Method calls and
+	// direct calls of declared functions are exempt.
+	if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+		if v, ok := b.info.Uses[id].(*types.Var); ok && b.tracked[v] {
+			b.deref(e, funVal, "call of function value")
+		}
+	}
+
+	args := make([]*Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = b.expr(a)
+	}
+
+	cv := b.newValue(Call, t, e)
+	cs := &CallSite{Site: e, Callee: callgraph.StaticCallee(b.info, e), Args: args, Result: cv, Block: b.cur}
+	if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+		if s := b.info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			cs.Recv = b.fn.ExprValue[sel.X]
+			// Calling through a nil pointer panics either at the receiver
+			// load (value receivers) or, almost always, inside the method.
+			if isPointer(b.info.TypeOf(sel.X)) {
+				b.deref(e, cs.Recv, "method call")
+			}
+		}
+	}
+	if sig := callSignature(b.info, e); sig != nil && sig.Results().Len() == 1 {
+		cs.Results = []*Value{cv}
+	}
+	b.fn.Calls = append(b.fn.Calls, cs)
+	return cv
+}
+
+func (b *builder) builtin(e *ast.CallExpr, name string, t types.Type) *Value {
+	switch name {
+	case "len", "cap":
+		x := b.expr(e.Args[0])
+		return b.newValue(LenOf, t, e, x)
+	case "make":
+		var sizes []*Value
+		for _, a := range e.Args[1:] {
+			sizes = append(sizes, b.expr(a))
+		}
+		if len(sizes) > 0 {
+			b.bound(MakeLen, e.Args[1], sizes[0], nil)
+		}
+		if len(sizes) > 1 {
+			b.bound(MakeCap, e.Args[2], sizes[1], nil)
+		}
+		return b.newValue(Alloc, t, e, sizes...)
+	case "new":
+		return b.newValue(Alloc, t, e)
+	case "append":
+		var args []*Value
+		for _, a := range e.Args {
+			args = append(args, b.expr(a))
+		}
+		if e.Ellipsis.IsValid() && len(args) > 0 {
+			last := args[len(args)-1]
+			b.bound(AppendSpread, e.Args[len(e.Args)-1], last, args[0])
+		}
+		return b.newValue(Unknown, t, e, args...)
+	default:
+		for _, a := range e.Args {
+			b.expr(a)
+		}
+		return b.newValue(Unknown, t, e)
+	}
+}
+
+// ---- type helpers ----
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func indexable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}

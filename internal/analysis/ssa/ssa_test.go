@@ -1,0 +1,411 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildFn type-checks src (appended to a package clause) and builds the
+// SSA form of the function named name.
+func buildFn(t *testing.T, src, name string) *Func {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			f := Build(info, fd)
+			if f == nil {
+				t.Fatalf("Build returned nil for %s", name)
+			}
+			return f
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+// sinkArgs returns the argument registers of every call to sink, in order.
+func sinkArgs(t *testing.T, f *Func) []*Value {
+	t.Helper()
+	var out []*Value
+	for _, cs := range f.Calls {
+		if cs.Callee != nil && cs.Callee.Name() == "sink" {
+			out = append(out, cs.Args...)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no sink call found")
+	}
+	return out
+}
+
+// phiClosure collects the non-φ values reachable through φ operands.
+func phiClosure(v *Value) []*Value {
+	seen := map[*Value]bool{}
+	var out []*Value
+	var walk func(*Value)
+	walk = func(v *Value) {
+		if v == nil || seen[v] {
+			return
+		}
+		seen[v] = true
+		if v.Kind != Phi {
+			out = append(out, v)
+			return
+		}
+		for _, a := range v.Args {
+			walk(a)
+		}
+	}
+	walk(v)
+	return out
+}
+
+const prelude = `
+func sink(args ...any) {}
+func cond() bool { return false }
+`
+
+func TestStraightLineRegisters(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f() {
+	x := 1
+	y := x + 2
+	sink(y)
+}`, "f")
+	arg := sinkArgs(t, f)[0]
+	if arg.Kind != BinOp || arg.Op != token.ADD {
+		t.Fatalf("sink arg = %v %v, want binop +", arg.Kind, arg.Op)
+	}
+	if arg.Args[0].Kind != Const || arg.Args[1].Kind != Const {
+		t.Errorf("operands = %v, %v, want const, const", arg.Args[0].Kind, arg.Args[1].Kind)
+	}
+}
+
+func TestPhiAtIfJoin(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f() {
+	x := 1
+	if cond() {
+		x = 2
+	}
+	sink(x)
+}`, "f")
+	arg := sinkArgs(t, f)[0]
+	if arg.Kind != Phi {
+		t.Fatalf("sink arg = %v, want phi", arg.Kind)
+	}
+	if len(arg.Args) != 2 {
+		t.Fatalf("phi has %d operands, want 2", len(arg.Args))
+	}
+	// Operand order is parallel to the join block's predecessors.
+	if len(arg.Block.Preds) != len(arg.Args) {
+		t.Errorf("phi operands (%d) not parallel to preds (%d)", len(arg.Args), len(arg.Block.Preds))
+	}
+	vals := map[int64]bool{}
+	for _, op := range arg.Args {
+		if op.Kind != Const {
+			t.Fatalf("phi operand = %v, want const", op.Kind)
+		}
+		c, _ := constInt(op)
+		vals[c] = true
+	}
+	if !vals[1] || !vals[2] {
+		t.Errorf("phi operands = %v, want {1, 2}", vals)
+	}
+}
+
+func constInt(v *Value) (int64, bool) {
+	if v.ConstVal == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(v.ConstVal))
+}
+
+func TestLoopHeaderPhi(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = 2
+	}
+	sink(x)
+}`, "f")
+	arg := sinkArgs(t, f)[0]
+	leaves := phiClosure(arg)
+	vals := map[int64]bool{}
+	for _, l := range leaves {
+		if c, ok := constInt(l); ok {
+			vals[c] = true
+		}
+	}
+	if !vals[1] || !vals[2] {
+		t.Errorf("loop join leaves = %v, want both 1 and 2 reachable", vals)
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(n int) int {
+	x := n + 1
+	if cond() {
+		x = x * 2
+	}
+	return x
+}`, "f")
+	for _, v := range f.Values {
+		for _, a := range v.Args {
+			if a == nil {
+				continue
+			}
+			found := false
+			for _, u := range a.Uses {
+				if u == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("v%d missing from uses of its operand v%d", v.ID, a.ID)
+			}
+		}
+	}
+}
+
+func TestCommaOkLinkage(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(m map[string]int, k string) {
+	v, ok := m[k]
+	sink(v, ok)
+}`, "f")
+	args := sinkArgs(t, f)
+	v, ok := args[0], args[1]
+	if v.Kind != Extract || ok.Kind != Extract {
+		t.Fatalf("kinds = %v, %v, want extract, extract", v.Kind, ok.Kind)
+	}
+	if v.CommaOk != MapOk || ok.CommaOk != MapOk {
+		t.Errorf("comma-ok kinds = %v, %v, want map-ok", v.CommaOk, ok.CommaOk)
+	}
+	if v.Pair != ok || ok.Pair != v {
+		t.Error("extracts not pair-linked")
+	}
+	if v.Index != 0 || ok.Index != 1 {
+		t.Errorf("indices = %d, %d, want 0, 1", v.Index, ok.Index)
+	}
+}
+
+func TestErrResultPairing(t *testing.T) {
+	f := buildFn(t, prelude+`
+type T struct{ n int }
+func g() (*T, error) { return nil, nil }
+func f() {
+	v, err := g()
+	sink(v, err)
+}`, "f")
+	args := sinkArgs(t, f)
+	v, errv := args[0], args[1]
+	if v.Pair != errv || errv.Pair != v {
+		t.Error("(T, error) extracts not pair-linked")
+	}
+}
+
+func TestDerefAndGuardContext(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(p *int) {
+	if p != nil && *p == 1 {
+		sink()
+	}
+	_ = *p
+}`, "f")
+	if len(f.Derefs) != 2 {
+		t.Fatalf("derefs = %d, want 2", len(f.Derefs))
+	}
+	guarded := f.Derefs[0]
+	if len(guarded.Guards) != 1 || !guarded.Guards[0].Sense {
+		t.Fatalf("guarded deref guards = %+v, want one true-sense conjunct", guarded.Guards)
+	}
+	if bare := f.Derefs[1]; len(bare.Guards) != 0 {
+		t.Errorf("bare deref carries guards %+v", bare.Guards)
+	}
+	if guarded.Base.Kind != Param {
+		t.Errorf("guarded deref base = %v, want param", guarded.Base.Kind)
+	}
+	// After the if-join the read is a (kept-trivial) φ over the same
+	// register: edge-refined joins rely on that φ being present.
+	bare := f.Derefs[1]
+	if leaves := phiClosure(bare.Base); len(leaves) != 1 || leaves[0] != guarded.Base {
+		t.Errorf("post-join deref does not join back to the param register: %v", leaves)
+	}
+}
+
+func TestMapWriteAndFieldDeref(t *testing.T) {
+	f := buildFn(t, prelude+`
+type S struct{ n int }
+func f(m map[string]int, p *S) {
+	m["k"] = 1
+	sink(p.n)
+}`, "f")
+	whats := map[string]int{}
+	for _, d := range f.Derefs {
+		whats[d.What]++
+	}
+	if whats["write into map"] != 1 || whats["field access"] != 1 {
+		t.Errorf("deref whats = %v", whats)
+	}
+}
+
+func TestBoundSites(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(n int, s []int, extra []int) {
+	b := make([]byte, n)
+	x := s[n]
+	y := s[1:n]
+	s = append(s, extra...)
+	sink(b, x, y, s)
+}`, "f")
+	kinds := map[BoundKind]int{}
+	for _, bs := range f.Bounds {
+		kinds[bs.Kind]++
+	}
+	if kinds[MakeLen] != 1 || kinds[Index] != 1 || kinds[SliceBound] != 2 || kinds[AppendSpread] != 1 {
+		t.Errorf("bound kinds = %v", kinds)
+	}
+	for _, bs := range f.Bounds {
+		if bs.Val == nil {
+			t.Errorf("%v site has nil value", bs.Kind)
+		}
+	}
+}
+
+func TestRangeVarValue(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(n int) {
+	for i := range n {
+		sink(i)
+	}
+}`, "f")
+	arg := sinkArgs(t, f)[0]
+	leaves := phiClosure(arg)
+	found := false
+	for _, l := range leaves {
+		if l.Kind == RangeVar && l.Index == 0 {
+			found = true
+			if len(l.Args) != 1 || l.Args[0] == nil || l.Args[0].Kind != Param {
+				t.Errorf("range var operand = %+v, want the ranged param", l.Args)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("range key read does not reach a RangeVar (leaves: %v)", leaves)
+	}
+}
+
+func TestAddressTakenUntracked(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f() {
+	x := 1
+	p := &x
+	*p = 2
+	sink(x)
+}`, "f")
+	arg := sinkArgs(t, f)[0]
+	if arg.Kind != Unknown {
+		t.Errorf("address-taken variable read = %v, want unknown", arg.Kind)
+	}
+}
+
+func TestClosureCaptureUntracked(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f() {
+	x := 1
+	g := func() { x = 2 }
+	g()
+	sink(x)
+}`, "f")
+	arg := sinkArgs(t, f)[0]
+	if arg.Kind != Unknown {
+		t.Errorf("captured variable read = %v, want unknown", arg.Kind)
+	}
+	if len(f.Lits) != 1 {
+		t.Errorf("nested literals = %d, want 1", len(f.Lits))
+	}
+}
+
+func TestNamedResultZeroAndBareReturn(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f() (err error) {
+	return
+}`, "f")
+	if len(f.Returns) != 1 || len(f.Returns[0].Vals) != 1 {
+		t.Fatalf("returns = %+v", f.Returns)
+	}
+	if got := f.Returns[0].Vals[0].Kind; got != Zero {
+		t.Errorf("bare return of untouched named result = %v, want zero", got)
+	}
+}
+
+func TestFuncValueCallDeref(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f(g func()) {
+	g()
+}`, "f")
+	found := false
+	for _, d := range f.Derefs {
+		if d.What == "call of function value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("call of a function-typed parameter not recorded as a deref site")
+	}
+}
+
+func TestUnanalyzableBody(t *testing.T) {
+	f := buildFn(t, prelude+`
+func f() {
+	goto done
+done:
+	sink()
+}`, "f")
+	if !f.Unanalyzable {
+		t.Fatal("goto body not marked unanalyzable")
+	}
+	if len(f.Blocks) != 0 {
+		t.Errorf("unanalyzable func has %d blocks, want none", len(f.Blocks))
+	}
+}
+
+func TestParamSeeding(t *testing.T) {
+	f := buildFn(t, prelude+`
+type R struct{}
+func (r *R) f(a int, b string) {
+	sink(a, b)
+}`, "f")
+	if len(f.Params) != 3 {
+		t.Fatalf("params = %d, want 3 (receiver + 2)", len(f.Params))
+	}
+	args := sinkArgs(t, f)
+	if args[0].Kind != Param || args[0].Index != 1 {
+		t.Errorf("a = %v index %d, want param index 1", args[0].Kind, args[0].Index)
+	}
+	if args[1].Kind != Param || args[1].Index != 2 {
+		t.Errorf("b = %v index %d, want param index 2", args[1].Kind, args[1].Index)
+	}
+}

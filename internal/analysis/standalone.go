@@ -28,9 +28,14 @@ type listPackage struct {
 // StandaloneOptions selects the standalone driver's output modes.
 type StandaloneOptions struct {
 	// Fix applies each finding's first suggested fix in place (gofmt-
-	// formatted), reporting what was fixed; only findings without an
-	// applicable fix count toward the exit code.
+	// formatted), reporting what was fixed and which fixes were skipped
+	// because they overlap an earlier finding's fix; only findings
+	// without an applied fix count toward the exit code.
 	Fix bool
+	// Diff turns Fix into a dry run: instead of rewriting files, print
+	// a unified diff of what Fix would change. The tree is untouched
+	// and the exit code is computed as if the fixes had been applied.
+	Diff bool
 	// SARIF, when non-nil, receives a SARIF 2.1.0 report of the run.
 	SARIF io.Writer
 	// SrcRoot anchors the SARIF report's relative artifact URIs;
@@ -38,9 +43,12 @@ type StandaloneOptions struct {
 	SrcRoot string
 	// Allows switches the run into waiver-audit mode: instead of
 	// findings, print every //lint:allow directive in the target
-	// packages with its rule, live/stale status, and reason. The exit
-	// code is informational (always 0 unless the load fails) — the
-	// lintallow meta-check, not this listing, is the enforcement path.
+	// packages with its rule, live/stale status, and reason, and exit 2
+	// if any waiver is stale or inert — so a CI audit stage fails the
+	// moment a waiver outlives the finding it suppressed. The lintallow
+	// meta-check reports the same conditions as findings inside the
+	// normal gate; this mode is the standalone audit of the waiver
+	// inventory.
 	Allows bool
 }
 
@@ -68,6 +76,7 @@ func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer, opts S
 		return 1
 	}
 	if opts.Allows {
+		bad := 0
 		for _, r := range allows {
 			status := "stale (suppresses nothing)"
 			switch {
@@ -78,12 +87,19 @@ func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer, opts S
 			case r.Reason == "":
 				status = "inert (no reason given)"
 			}
+			if r.Hits == 0 {
+				bad++
+			}
 			reason := r.Reason
 			if reason == "" {
 				reason = "<none>"
 			}
 			fmt.Fprintf(w, "%s:%d: lint:allow %s — %s — reason: %s\n",
 				r.Pos.Filename, r.Pos.Line, r.Rule, status, reason)
+		}
+		if bad > 0 {
+			fmt.Fprintf(w, "%d stale or inert waiver(s): remove them or restore their reasons\n", bad)
+			return 2
 		}
 		return 0
 	}
@@ -98,12 +114,32 @@ func RunStandalone(patterns []string, analyzers []*Analyzer, w io.Writer, opts S
 		}
 	}
 	if opts.Fix {
-		remaining, applied, err := ApplyFixes(findings)
-		for _, a := range applied {
-			fmt.Fprintf(w, "%s: fixed: %s\n", a.Finding.Pos, a.Message)
+		var remaining []Finding
+		var applied []AppliedFix
+		var skipped []SkippedFix
+		var ferr error
+		if opts.Diff {
+			var diff string
+			remaining, applied, skipped, diff, ferr = PreviewFixes(findings)
+			if diff != "" {
+				fmt.Fprint(w, diff)
+			}
+		} else {
+			remaining, applied, skipped, ferr = ApplyFixes(findings)
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rololint: %v\n", err)
+		verb := "fixed"
+		if opts.Diff {
+			verb = "would fix"
+		}
+		for _, a := range applied {
+			fmt.Fprintf(w, "%s: %s: %s\n", a.Finding.Pos, verb, a.Message)
+		}
+		for _, s := range skipped {
+			fmt.Fprintf(w, "%s: fix skipped (edits overlap an earlier finding's fix; rerun -fix after applying): %s\n",
+				s.Finding.Pos, s.Message)
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "rololint: %v\n", ferr)
 			return 1
 		}
 		findings = remaining

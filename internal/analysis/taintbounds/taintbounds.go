@@ -1,0 +1,159 @@
+// Package taintbounds flags allocation sizes, indexes, slice bounds and
+// append growth that derive from untrusted input without an intervening
+// bound check.
+//
+// Taint sources are the valueflow intrinsics: environment variables,
+// command-line flags and arguments, file and stream contents, scanned
+// and CSV input, and trace parsers (any Parse* in a package whose path
+// ends in "trace"). The taint travels with the value through the lattice
+// — arithmetic, conversions, strconv/strings/bytes/fmt helpers, loads
+// out of tainted containers, and function summaries across package
+// boundaries — until a branch bounds it: the edge refinement records
+// constant bounds as interval endpoints and comparisons against
+// non-constant expressions (i < len(s)) as checked bounds, either of
+// which discharges the obligation.
+//
+// Categories:
+//
+//   - alloc: make length/capacity with no upper bound check.
+//   - index: index or slice bound with no upper bound check.
+//   - append: append(dst, src...) where the spread's length is tainted
+//     and unbounded.
+//   - negative: the sink is bounded above but can still be negative —
+//     make and index panic on negative values. Where the shape is
+//     unambiguous the fix inserts `if x < 0 { return }` above the
+//     statement, which bounds the value below and so cannot reproduce
+//     the diagnostic.
+//
+// Every finding carries the value's interval as evidence. Clean
+// (untainted) values never trigger findings, whatever their interval.
+// Scope: all non-test files.
+package taintbounds
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+	"github.com/rolo-storage/rolo/internal/analysis/valueflow"
+)
+
+// Analyzer is the taint-to-bounds check.
+var Analyzer = &analysis.Analyzer{
+	Name: "taintbounds",
+	Doc:  "flag tainted allocation sizes, indexes and append growth with no bound check",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	res := valueflow.Compute(pass)
+	for _, fr := range res.Funcs {
+		if fr.SSA.Unanalyzable || analysis.IsTestFile(pass.Fset, fr.SSA.Node.Pos()) {
+			continue
+		}
+		checkBounds(pass, res, fr)
+	}
+	return nil
+}
+
+// noun names the sink for the finding message.
+func noun(k ssa.BoundKind) string {
+	switch k {
+	case ssa.MakeLen:
+		return "make length"
+	case ssa.MakeCap:
+		return "make capacity"
+	case ssa.Index:
+		return "index"
+	case ssa.SliceBound:
+		return "slice bound"
+	case ssa.AppendSpread:
+		return "appended length"
+	}
+	return "bound"
+}
+
+func category(k ssa.BoundKind) string {
+	switch k {
+	case ssa.MakeLen, ssa.MakeCap:
+		return "alloc"
+	case ssa.AppendSpread:
+		return "append"
+	}
+	return "index"
+}
+
+func checkBounds(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	for _, bs := range fr.SSA.Bounds {
+		if !fr.Reached(bs.Block) {
+			continue
+		}
+		a := res.SiteAbstract(fr, bs.Val, bs.Block, bs.Guards)
+		if a.Taint == "" {
+			continue
+		}
+		switch {
+		case !a.IV.BoundedAbove():
+			pass.Reportf(bs.Expr.Pos(), category(bs.Kind),
+				"%s derives from %s and has no upper bound check (interval %s)",
+				noun(bs.Kind), a.Taint, a.IV)
+		case bs.Kind != ssa.AppendSpread && !a.IV.BoundedBelow():
+			// A slice length is never negative, so append growth is exempt;
+			// make and index panic on a negative value.
+			pass.Report(analysis.Diagnostic{
+				Pos:      bs.Expr.Pos(),
+				Category: "negative",
+				Message: noun(bs.Kind) + " derives from " + a.Taint +
+					" and may be negative (interval " + a.IV.String() + ")",
+				SuggestedFixes: negGuardFix(fr.SSA, bs),
+			})
+		}
+	}
+}
+
+// negGuardFix builds the insert-a-guard fix when the shape is
+// unambiguous: the sink value is a plain identifier, the site is in a
+// statement directly inside a block, no short-circuit guard is active,
+// and the enclosing function has no results (so a bare `return` is
+// valid).
+func negGuardFix(f *ssa.Func, bs *ssa.BoundSite) []analysis.SuggestedFix {
+	if len(bs.Guards) > 0 || f.Sig == nil || f.Sig.Results().Len() > 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(bs.Expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	stmt := enclosingBlockStmt(f.Node, bs.Expr.Pos())
+	if stmt == nil {
+		return nil
+	}
+	return []analysis.SuggestedFix{{
+		Message: "guard " + id.Name + " against negative values before the " + noun(bs.Kind),
+		Edits: []analysis.TextEdit{{
+			Pos:     stmt.Pos(),
+			End:     stmt.Pos(),
+			NewText: "if " + id.Name + " < 0 {\nreturn\n}\n",
+		}},
+	}}
+}
+
+// enclosingBlockStmt finds the innermost statement containing pos whose
+// parent is a plain block — the insertion point for a guard. Inspect
+// visits outer blocks before the blocks nested inside them, so the last
+// match is the innermost.
+func enclosingBlockStmt(root ast.Node, pos token.Pos) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		if bs, ok := n.(*ast.BlockStmt); ok {
+			for _, s := range bs.List {
+				if s.Pos() <= pos && pos < s.End() {
+					found = s
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

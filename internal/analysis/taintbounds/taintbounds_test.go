@@ -1,0 +1,16 @@
+package taintbounds_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/taintbounds"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", taintbounds.Analyzer,
+		"fix/basic",  // sinks, checked idioms, waiver
+		"fix/negfix", // golden autofix: inserted negative guard
+		"fix/xpkg",   // cross-package taint summaries (dep: taintdep)
+	)
+}

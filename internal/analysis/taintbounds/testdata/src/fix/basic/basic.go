@@ -1,0 +1,76 @@
+// Package basic exercises the taint-to-bounds sinks: make sizes,
+// indexes, slice bounds and append spreads fed by environment, flag and
+// split input, with the checked idioms that discharge each, plus the
+// waiver path.
+package basic
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func badAlloc() []byte {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_BUF"))
+	return make([]byte, n) // want `make length derives from environment variable and has no upper bound check`
+}
+
+func okAlloc() []byte {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_BUF"))
+	if n < 0 || n > 1<<20 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func okCleanAlloc(n int) []byte {
+	// Untainted sizes are the caller's business, whatever their range.
+	return make([]byte, n)
+}
+
+func badCap() []int64 {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_SEGS"))
+	return make([]int64, 0, n) // want `make capacity derives from environment variable and has no upper bound check`
+}
+
+func badIndex(table []int64) int64 {
+	i, _ := strconv.Atoi(flag.Arg(0))
+	return table[i] // want `index derives from command-line argument and has no upper bound check`
+}
+
+func okIndex(table []int64) int64 {
+	i, _ := strconv.Atoi(flag.Arg(0))
+	if i < 0 || i >= len(table) {
+		return 0
+	}
+	return table[i]
+}
+
+func badSlice(buf []byte) []byte {
+	end, _ := strconv.Atoi(os.Getenv("ROLO_END"))
+	return buf[:end] // want `slice bound derives from environment variable and has no upper bound check`
+}
+
+func badAppend(dst []string) []string {
+	fields := strings.Split(os.Getenv("ROLO_FIELDS"), ",")
+	return append(dst, fields...) // want `appended length derives from environment variable and has no upper bound check`
+}
+
+func okAppendOne(dst []string) []string {
+	// Appending a single tainted element grows by one: not a spread.
+	return append(dst, os.Getenv("ROLO_NAME"))
+}
+
+func negOnly() []byte {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_N"))
+	if n > 64 {
+		n = 64
+	}
+	return make([]byte, n) // want `make length derives from environment variable and may be negative \(interval \[-∞, 64\]\)`
+}
+
+func waived() []byte {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_RAW"))
+	return make([]byte, n) //lint:allow taintbounds:alloc sized by the operator on purpose
+}

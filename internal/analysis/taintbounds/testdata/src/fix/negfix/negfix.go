@@ -1,0 +1,18 @@
+// Package negfix exercises the guard-against-negative autofix: the sink
+// is a plain identifier, bounded above but not below, the allocation is
+// a statement of its own, and the function has no results.
+package negfix
+
+import (
+	"os"
+	"strconv"
+)
+
+func grow() {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_SEGMENTS"))
+	if n > 64 {
+		n = 64
+	}
+	segs := make([][]byte, n) // want `make length derives from environment variable and may be negative`
+	_ = segs
+}

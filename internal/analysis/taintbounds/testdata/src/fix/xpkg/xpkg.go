@@ -1,0 +1,18 @@
+// Package xpkg consumes taintdep's summaries through the fact layer: the
+// imported result taint reaches a make sink here, and a local clamp
+// discharges it.
+package xpkg
+
+import "taintdep"
+
+func bad() [][]byte {
+	return make([][]byte, taintdep.SegmentCount()) // want `make length derives from environment variable and has no upper bound check`
+}
+
+func ok() [][]byte {
+	n := taintdep.SegmentCount()
+	if n < 0 || n > 128 {
+		n = 128
+	}
+	return make([][]byte, n)
+}

@@ -1,0 +1,15 @@
+// Package taintdep is the cross-package dependency fixture: the taint on
+// SegmentCount's result travels to the importing package in its
+// valueflow summary.
+package taintdep
+
+import (
+	"os"
+	"strconv"
+)
+
+// SegmentCount reads the segment budget from the environment.
+func SegmentCount() int {
+	n, _ := strconv.Atoi(os.Getenv("ROLO_SEGMENTS"))
+	return n
+}

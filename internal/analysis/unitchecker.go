@@ -7,6 +7,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"strings"
 )
 
 // vetConfig mirrors the JSON configuration the go command hands a
@@ -28,6 +29,18 @@ type vetConfig struct {
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// stdlibImportPath reports whether an import path names a standard-
+// library package, by the go command's own rule: the first path element
+// of a module path is a domain and contains a dot, a standard-library
+// path never does. "unsafe" and "C" fall out naturally.
+func stdlibImportPath(path string) bool {
+	elem := path
+	if i := strings.IndexByte(elem, '/'); i >= 0 {
+		elem = elem[:i]
+	}
+	return !strings.Contains(elem, ".")
 }
 
 // RunUnitchecker analyzes the single package unit described by the vet
@@ -79,8 +92,11 @@ func analyzeUnit(cfgPath string, analyzers []*Analyzer) ([]Finding, error) {
 	// Standard-library units carry no repository facts and must not be
 	// analyzed (several have "internal" path segments that would drag
 	// them into the analyzers' scope); fixture packages are deliberate
-	// violations. Both still owe the protocol a facts file.
-	if cfg.Standard[cfg.ImportPath] || cfg.ImportPath == "unsafe" || IsFixturePath(cfg.Dir) {
+	// violations. Both still owe the protocol a facts file. cfg.Standard
+	// covers only the unit's imports, never the unit itself, so the
+	// unit's own import path is classified the way the go command does
+	// it: a first path element without a dot is the standard library.
+	if cfg.Standard[cfg.ImportPath] || stdlibImportPath(cfg.ImportPath) || IsFixturePath(cfg.Dir) {
 		return nil, writeVetx(nil)
 	}
 

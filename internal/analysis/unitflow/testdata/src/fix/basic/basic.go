@@ -1,0 +1,86 @@
+// Package basic exercises the in-function unit checks: cross-unit
+// arithmetic and comparisons, directive-tagged variable and field
+// stores, call arguments, returns, and the waiver path.
+package basic
+
+// Duration counts simulated microseconds.
+//
+//rolosan:unit time
+type Duration int64
+
+// ByteCount counts payload bytes.
+//
+//rolosan:unit bytes
+type ByteCount int64
+
+func badAdd(t Duration, b ByteCount) int64 {
+	return int64(t) + int64(b) // want `cross-unit arithmetic mixes time and bytes`
+}
+
+func okAdd(a, b Duration) Duration {
+	return a + b
+}
+
+func okUnitless(t Duration, n int64) Duration {
+	return t + Duration(n)
+}
+
+func badCompare(t Duration, b ByteCount) bool {
+	return int64(t) < int64(b) // want `cross-unit comparison mixes time and bytes`
+}
+
+func okRatio(busy, window Duration, b ByteCount) int64 {
+	// Dividing two times cancels the unit: the ratio is dimensionless
+	// and may scale a byte count.
+	return int64(b) * (int64(busy) / int64(window))
+}
+
+// cursor is the next sector to write.
+//
+//rolosan:unit sectors
+var cursor int64
+
+func badStore(b ByteCount) {
+	cursor = int64(b) // want `assignment of bytes value to sectors variable cursor`
+}
+
+func okStore(n int64) {
+	cursor = n // dimensionless: fine
+}
+
+type header struct {
+	// start is the first sector of the segment.
+	//
+	//rolosan:unit sectors
+	start int64
+}
+
+func badField(h *header, b ByteCount) {
+	h.start = int64(b) // want `assignment of bytes value to sectors field start`
+}
+
+func okField(h *header) {
+	h.start = cursor
+}
+
+func scale(d Duration) Duration { return 2 * d }
+
+func badArg(b ByteCount) Duration {
+	return scale(Duration(int64(b))) // want `argument 1 to scale carries bytes, parameter expects time`
+}
+
+func okArg(t Duration) Duration {
+	return scale(t)
+}
+
+func badReturn(t Duration) ByteCount {
+	return ByteCount(int64(t)) // want `returning time value as bytes result`
+}
+
+func okReturn(b ByteCount) ByteCount {
+	return b + 1
+}
+
+func waived(t Duration, b ByteCount) int64 {
+	return int64(t) + int64(b) //lint:allow unitflow:mix histogram packs both on one axis
+}

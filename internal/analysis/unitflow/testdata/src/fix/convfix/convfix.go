@@ -1,0 +1,14 @@
+// Package convfix exercises the drop-the-redundant-conversion autofix:
+// the operand already has the target (unit-tagged) type, so the wrapper
+// is a no-op left behind by a refactor.
+package convfix
+
+// Tick counts simulated microseconds.
+//
+//rolosan:unit time
+type Tick int64
+
+func wait(t Tick) Tick {
+	delay := Tick(t) // want `redundant conversion: the operand is already Tick \(time\)`
+	return delay
+}

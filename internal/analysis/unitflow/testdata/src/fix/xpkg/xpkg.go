@@ -1,0 +1,30 @@
+// Package xpkg consumes unitdep's units through the fact layer: a byte
+// quantity laundered into unitdep.Sector is flagged at the call site and
+// at a cross-package typed assignment.
+package xpkg
+
+import "unitdep"
+
+// size counts payload bytes.
+//
+//rolosan:unit bytes
+type size int64
+
+func bad(n size) unitdep.Sector {
+	return unitdep.Seek(unitdep.Sector(int64(n))) // want `argument 1 to Seek carries bytes, parameter expects sectors`
+}
+
+func good(s unitdep.Sector) unitdep.Sector {
+	return unitdep.Seek(s)
+}
+
+// head is the current arm position.
+var head unitdep.Sector
+
+func badStore(n size) {
+	head = unitdep.Sector(int64(n)) // want `assignment of bytes value to sectors variable head`
+}
+
+func okStore(s unitdep.Sector) {
+	head = s
+}

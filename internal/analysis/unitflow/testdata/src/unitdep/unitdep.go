@@ -1,0 +1,12 @@
+// Package unitdep is the cross-package dependency fixture: the
+// //rolosan:unit tag on Sector and the parameter unit in Seek's summary
+// travel to the importing package as valueflow facts.
+package unitdep
+
+// Sector addresses one 512-byte device sector.
+//
+//rolosan:unit sectors
+type Sector int64
+
+// Seek positions the arm at s and reports where it landed.
+func Seek(s Sector) Sector { return s }

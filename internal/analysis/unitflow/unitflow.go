@@ -1,0 +1,284 @@
+// Package unitflow flags value flows that mix physical units: simulated
+// time, byte counts, block counts, sector counts, or any dimension named
+// by a //rolosan:unit directive.
+//
+// Units are seeded by the valueflow lattice from declared types
+// (internal/sim.Time is "time" without annotation) and from
+// //rolosan:unit directives on types, package-level variables, constants
+// and struct fields. Unlike simtimeunits' literal-only check, the tag
+// travels with the value: through arithmetic, φ-joins, assignments and —
+// deliberately — through conversions, so `ByteCount(elapsed)` still
+// carries "time" and is caught wherever it lands. Re-dimensioning is
+// expressed by arithmetic that cancels the unit (dividing two times
+// yields a dimensionless ratio) or, where genuinely intended, by a
+// //lint:allow waiver.
+//
+// Categories:
+//
+//   - mix: additive arithmetic (+, -, %) or a comparison whose operands
+//     carry two different known units.
+//   - assign: a value of one unit stored into a variable or field tagged
+//     (or typed) with another.
+//   - arg: a call argument whose unit differs from the callee parameter's
+//     declared unit (summaries cross packages as valueflow facts).
+//   - return: a returned value whose unit differs from the declared
+//     result type's unit.
+//   - redundant: a conversion whose operand already has the target type
+//     — a leftover where unit confusion hides; the autofix deletes the
+//     wrapper.
+//
+// Dimensionless values never trigger findings: both sides must carry a
+// known unit. Scope: all non-test files.
+package unitflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+	"github.com/rolo-storage/rolo/internal/analysis/valueflow"
+)
+
+// Analyzer is the unit-safety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitflow",
+	Doc:  "flag arithmetic, assignments and calls that mix time/byte/block/sector units",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	res := valueflow.Compute(pass)
+	for _, fr := range res.Funcs {
+		if fr.SSA.Unanalyzable || analysis.IsTestFile(pass.Fset, fr.SSA.Node.Pos()) {
+			continue
+		}
+		checkMixes(pass, fr)
+		checkAssigns(pass, res, fr)
+		checkCalls(pass, res, fr)
+		checkReturns(pass, res, fr)
+		checkRedundant(pass, res, fr)
+	}
+	return nil
+}
+
+// mixing reports whether op combines its operands in a unit-sensitive
+// way: additive arithmetic and comparisons require like units, while
+// multiplicative and shift operators legitimately combine dimensions.
+func mixing(op token.Token) (verb string, ok bool) {
+	switch op {
+	case token.ADD, token.SUB, token.REM:
+		return "arithmetic", true
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return "comparison", true
+	}
+	return "", false
+}
+
+// checkMixes flags binary operations over two different known units.
+func checkMixes(pass *analysis.Pass, fr *valueflow.FuncResult) {
+	for _, v := range fr.SSA.Values {
+		if v.Kind != ssa.BinOp || v.Expr == nil || len(v.Args) != 2 {
+			continue
+		}
+		verb, ok := mixing(v.Op)
+		if !ok || !fr.Reached(v.Block) {
+			continue
+		}
+		ux := fr.AbstractOf(v.Args[0]).Unit
+		uy := fr.AbstractOf(v.Args[1]).Unit
+		if ux == "" || uy == "" || ux == uy {
+			continue
+		}
+		pass.Reportf(v.Expr.Pos(), "mix",
+			"cross-unit %s mixes %s and %s", verb, ux, uy)
+	}
+}
+
+// checkAssigns flags plain assignments whose right-hand unit contradicts
+// the destination's declared or directive unit. Compound assignments
+// (+=) desugar to a BinOp and are covered by checkMixes.
+func checkAssigns(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	ast.Inspect(fr.SSA.Node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fr.SSA.Node {
+			return false // literals have their own FuncResult
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			want, what := destUnit(pass, res, as.Lhs[i])
+			if want == "" {
+				continue
+			}
+			rv := regOf(fr, as.Rhs[i])
+			if rv == nil {
+				continue
+			}
+			got := fr.AbstractOf(rv).Unit
+			if got == "" || got == want {
+				continue
+			}
+			pass.Reportf(as.Rhs[i].Pos(), "assign",
+				"assignment of %s value to %s %s", got, want, what)
+		}
+		return true
+	})
+}
+
+// checkCalls flags arguments whose unit differs from the callee
+// parameter's, using the callee's valueflow summary (imported across
+// packages as facts).
+func checkCalls(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	for _, cs := range fr.SSA.Calls {
+		if cs.Callee == nil || !fr.Reached(cs.Block) {
+			continue
+		}
+		s := res.SummaryOf(cs.Callee)
+		if s == nil {
+			continue
+		}
+		// Params lists the receiver first for methods; Args excludes it.
+		shift := 0
+		if cs.Recv != nil {
+			shift = 1
+		}
+		for i, arg := range cs.Args {
+			pi := i + shift
+			if arg == nil || pi >= len(s.Params) || s.Params[pi].Unit == "" {
+				continue
+			}
+			got := fr.AbstractAt(arg, cs.Block).Unit
+			if got == "" || got == s.Params[pi].Unit {
+				continue
+			}
+			pos := cs.Site.Pos()
+			if arg.Expr != nil {
+				pos = arg.Expr.Pos()
+			}
+			pass.Reportf(pos, "arg",
+				"argument %d to %s carries %s, parameter expects %s",
+				i+1, cs.Callee.Name(), got, s.Params[pi].Unit)
+		}
+	}
+}
+
+// checkReturns flags returned values whose unit differs from the unit of
+// the declared result type.
+func checkReturns(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	sig := fr.SSA.Sig
+	if sig == nil {
+		return
+	}
+	for _, rs := range fr.SSA.Returns {
+		if !fr.Reached(rs.Block) || len(rs.Vals) != sig.Results().Len() {
+			continue
+		}
+		for i, v := range rs.Vals {
+			if v == nil {
+				continue
+			}
+			want := res.UnitOf(sig.Results().At(i).Type())
+			if want == "" {
+				continue
+			}
+			got := fr.AbstractAt(v, rs.Block).Unit
+			if got == "" || got == want {
+				continue
+			}
+			pass.Reportf(rs.Stmt.Pos(), "return",
+				"returning %s value as %s result", got, want)
+		}
+	}
+}
+
+// checkRedundant flags conversions whose operand already has the target
+// type, when that type carries a unit — the no-op wrappers left behind by
+// refactors are exactly where unit confusion hides. The fix deletes the
+// wrapper, which removes the conversion and so cannot reproduce the
+// diagnostic.
+func checkRedundant(pass *analysis.Pass, res *valueflow.Result, fr *valueflow.FuncResult) {
+	for _, v := range fr.SSA.Values {
+		if v.Kind != ssa.Convert || v.Expr == nil || len(v.Args) != 1 || v.Args[0] == nil {
+			continue
+		}
+		if !fr.Reached(v.Block) {
+			continue
+		}
+		if v.Type == nil || v.Args[0].Type == nil || !types.Identical(v.Type, v.Args[0].Type) {
+			continue
+		}
+		unit := res.UnitOf(v.Type)
+		if unit == "" {
+			continue
+		}
+		call, ok := ast.Unparen(v.Expr).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue
+		}
+		name := types.TypeString(v.Type, types.RelativeTo(pass.Pkg))
+		pass.Report(analysis.Diagnostic{
+			Pos:      v.Expr.Pos(),
+			Category: "redundant",
+			Message:  fmt.Sprintf("redundant conversion: the operand is already %s (%s)", name, unit),
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message: "drop the redundant conversion",
+				Edits: []analysis.TextEdit{
+					{Pos: call.Pos(), End: call.Args[0].Pos(), NewText: ""},
+					{Pos: call.Args[0].End(), End: call.End(), NewText: ""},
+				},
+			}},
+		})
+	}
+}
+
+// destUnit resolves the unit an assignment destination expects: a
+// //rolosan:unit directive on the named variable or field, else the unit
+// of its declared type. The second result names the destination for the
+// message.
+func destUnit(pass *analysis.Pass, res *valueflow.Result, e ast.Expr) (string, string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return "", ""
+		}
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return varUnit(res, v), "variable " + x.Name
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return varUnit(res, v), "field " + x.Sel.Name
+			}
+		}
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return varUnit(res, v), "variable " + x.Sel.Name
+		}
+	case *ast.IndexExpr, *ast.StarExpr:
+		if tv, ok := pass.TypesInfo.Types[e]; ok {
+			return res.UnitOf(tv.Type), "element"
+		}
+	}
+	return "", ""
+}
+
+func varUnit(res *valueflow.Result, v *types.Var) string {
+	if u := res.UnitOfVar(v); u != "" {
+		return u
+	}
+	return res.UnitOf(v.Type())
+}
+
+// regOf maps an expression to its virtual register.
+func regOf(fr *valueflow.FuncResult, e ast.Expr) *ssa.Value {
+	if v, ok := fr.SSA.ExprValue[e]; ok {
+		return v
+	}
+	if v, ok := fr.SSA.ExprValue[ast.Unparen(e)]; ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis/analysistest"
+	"github.com/rolo-storage/rolo/internal/analysis/unitflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", unitflow.Analyzer,
+		"fix/basic",   // in-function mixes, stores, args, returns, waiver
+		"fix/convfix", // golden autofix: dropped redundant conversion
+		"fix/xpkg",    // cross-package unit facts (dep: unitdep)
+	)
+}

@@ -1,0 +1,1115 @@
+package valueflow
+
+// This file runs the computation: per-package orchestration (bottom-up
+// over call-graph SCCs), the dense edge-refinement pass, the abstract
+// fixpoint over registers, and summary extraction from return sites.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/callgraph"
+	"github.com/rolo-storage/rolo/internal/analysis/cfg"
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+)
+
+type computer struct {
+	pass *analysis.Pass
+	res  *Result
+}
+
+func compute(pass *analysis.Pass) *Result {
+	res := &Result{
+		summaries:   make(map[*types.Func]*Summary),
+		unitsByType: make(map[*types.TypeName]string),
+		unitsByVar:  make(map[*types.Var]string),
+		unitsByObj:  make(map[types.Object]string),
+		pass:        pass,
+	}
+	c := &computer{pass: pass, res: res}
+	c.scanUnits()
+
+	// Solve bottom-up so intra-package callees refine their callers; the
+	// public Funcs list stays in declaration order for the analyzers.
+	cg := callgraph.Build(pass.Files, pass.TypesInfo)
+	solved := make(map[*types.Func]*FuncResult)
+	lits := make(map[*types.Func][]*FuncResult)
+	for _, scc := range cg.SCCs() {
+		for _, node := range scc {
+			fr := c.solveFunc(node.Decl)
+			if fr == nil {
+				continue
+			}
+			fr.Obj = node.Func
+			solved[node.Func] = fr
+			if !fr.SSA.Unanalyzable {
+				res.summaries[node.Func] = c.summarize(fr)
+			}
+			lits[node.Func] = c.solveLits(fr.SSA)
+		}
+	}
+	for _, node := range cg.All() {
+		if fr, ok := solved[node.Func]; ok {
+			res.Funcs = append(res.Funcs, fr)
+			res.Funcs = append(res.Funcs, lits[node.Func]...)
+		}
+	}
+	res.export(pass)
+	return res
+}
+
+// solveLits builds and solves the nested function literals of f,
+// recursively.
+func (c *computer) solveLits(f *ssa.Func) []*FuncResult {
+	var out []*FuncResult
+	for _, lit := range f.Lits {
+		fr := c.solveFunc(lit)
+		if fr == nil {
+			continue
+		}
+		out = append(out, fr)
+		out = append(out, c.solveLits(fr.SSA)...)
+	}
+	return out
+}
+
+// solveFunc builds the SSA form of node and runs the lattice on it.
+func (c *computer) solveFunc(node ast.Node) *FuncResult {
+	f := ssa.Build(c.pass.TypesInfo, node)
+	if f == nil {
+		return nil
+	}
+	fr := &FuncResult{SSA: f, callOf: make(map[*ssa.Value]*ssa.CallSite)}
+	if f.Unanalyzable {
+		return fr
+	}
+	for _, cs := range f.Calls {
+		fr.callOf[cs.Result] = cs
+	}
+	c.refinePass(fr)
+	c.solveAbs(fr)
+	return fr
+}
+
+// ---- dense refinement pass ----
+
+func (c *computer) refinePass(fr *FuncResult) {
+	f := fr.SSA
+	n := len(f.Blocks)
+	fr.in = make([]RefMap, n)
+	fr.edgeIn = make([][]RefMap, n)
+	fr.terminated = make([]bool, n)
+	for i, blk := range f.Blocks {
+		fr.edgeIn[i] = make([]RefMap, len(blk.Preds))
+		fr.terminated[i] = c.blockTerminates(blk)
+	}
+
+	// slotOf[b][k]: index in the target's Preds of block b's k'th edge.
+	// Preds were appended by mirrorBlocks in (block, succ) order.
+	slotOf := make([][]int, n)
+	fill := make([]int, n)
+	for _, blk := range f.Blocks {
+		slotOf[blk.Index] = make([]int, len(blk.CFG.Succs))
+		for k, e := range blk.CFG.Succs {
+			slotOf[blk.Index][k] = fill[e.To.Index]
+			fill[e.To.Index]++
+		}
+	}
+
+	fr.in[f.Entry.Index] = RefMap{}
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, blk := range f.Blocks {
+			bi := blk.Index
+			if fr.in[bi] == nil || fr.terminated[bi] {
+				continue
+			}
+			for k, e := range blk.CFG.Succs {
+				out := fr.in[bi].clone()
+				c.interpretEdge(fr, e, out)
+				ti := e.To.Index
+				fr.edgeIn[ti][slotOf[bi][k]] = out
+				// Recompute the target's entry state as the join over its
+				// reached in-edges.
+				var merged RefMap
+				for _, em := range fr.edgeIn[ti] {
+					if em == nil {
+						continue
+					}
+					if merged == nil {
+						merged = em.clone()
+					} else {
+						merged = joinRefMap(merged, em)
+					}
+				}
+				if merged != nil && (fr.in[ti] == nil || !equalRef(fr.in[ti], merged)) {
+					fr.in[ti] = merged
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// blockTerminates reports whether the block contains a statement-level
+// call to a function that never returns, cutting the paths through it.
+func (c *computer) blockTerminates(blk *ssa.Block) bool {
+	for _, s := range blk.CFG.Stmts {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		callee := callgraph.StaticCallee(c.pass.TypesInfo, call)
+		if callee == nil {
+			continue
+		}
+		if s := c.res.SummaryOf(callee); s != nil && s.NeverReturns {
+			return true
+		}
+	}
+	return false
+}
+
+func (fr *FuncResult) reg(e ast.Expr) *ssa.Value {
+	if v, ok := fr.SSA.ExprValue[e]; ok {
+		return v
+	}
+	return fr.SSA.ExprValue[ast.Unparen(e)]
+}
+
+func (c *computer) interpretEdge(fr *FuncResult, e cfg.Edge, out RefMap) {
+	switch {
+	case e.If != nil:
+		c.interpretCond(fr, e.If, e.Branch > 0, out)
+	case e.Cond != nil:
+		c.interpretSwitchCond(fr, e.Cond, out)
+	}
+}
+
+// interpretSwitchCond handles the normalized `tag ∈/∉ {vals}` conditions
+// the CFG places on switch dispatch edges. Case values are never emitted
+// as statements, so they are read syntactically, not through registers.
+func (c *computer) interpretSwitchCond(fr *FuncResult, cond *cfg.Cond, out RefMap) {
+	v := fr.reg(cond.Expr)
+	if v == nil {
+		return
+	}
+	// Only single-value conditions carry usable information here: a
+	// one-case match is an equality, and a default edge excludes nil
+	// only when nil is the sole candidate.
+	if len(cond.Vals) == 1 {
+		c.refineBySyntaxVal(fr, v, cond.Vals[0], !cond.Negated, out)
+	}
+}
+
+// interpretCond narrows registers assuming cond evaluates to sense.
+func (c *computer) interpretCond(fr *FuncResult, cond ast.Expr, sense bool, out RefMap) {
+	cond = ast.Unparen(cond)
+	switch e := cond.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			c.interpretCond(fr, e.X, !sense, out)
+		}
+		return
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if sense {
+				c.interpretCond(fr, e.X, true, out)
+				c.interpretCond(fr, e.Y, true, out)
+			}
+			return
+		case token.LOR:
+			if !sense {
+				c.interpretCond(fr, e.X, false, out)
+				c.interpretCond(fr, e.Y, false, out)
+			}
+			return
+		case token.EQL, token.NEQ:
+			isEq := (e.Op == token.EQL) == sense
+			// Boolean equality recurses: `ok == false` is `!ok`.
+			if b, ok := c.syntaxBool(e.Y); ok {
+				c.interpretCond(fr, e.X, isEq == b, out)
+				return
+			}
+			if b, ok := c.syntaxBool(e.X); ok {
+				c.interpretCond(fr, e.Y, isEq == b, out)
+				return
+			}
+			if vx := fr.reg(e.X); vx != nil {
+				c.refineBySyntaxVal(fr, vx, e.Y, isEq, out)
+			}
+			if vy := fr.reg(e.Y); vy != nil {
+				c.refineBySyntaxVal(fr, vy, e.X, isEq, out)
+			}
+			return
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			c.interpretRel(fr, e, sense, out)
+			return
+		}
+		return
+	}
+	// A bare boolean register: the comma-ok idiom.
+	if v := fr.reg(cond); v != nil {
+		c.refineOkBool(fr, v, sense, out)
+	}
+}
+
+// refineOkBool narrows the partner of a comma-ok boolean.
+func (c *computer) refineOkBool(fr *FuncResult, v *ssa.Value, sense bool, out RefMap) {
+	if v.Kind != ssa.Extract || v.CommaOk == ssa.NotCommaOk || v.Index != 1 || v.Pair == nil {
+		return
+	}
+	pair := v.Pair
+	if sense {
+		// The lookup/assert/receive succeeded: the checked pattern is
+		// satisfied, but a stored or typed nil is still possible, so only
+		// the evidence is dropped.
+		addRefine(out, pair, Refine{ClearEvidence: true})
+		return
+	}
+	// Failed: the partner is the zero value.
+	r := Refine{}
+	if isNilable(pair.Type) {
+		r.HasNil, r.Nil = true, IsNil
+	}
+	if isInteger(pair.Type) {
+		r.HasIV, r.IV = true, pointInterval(0)
+	}
+	addRefine(out, pair, r)
+}
+
+// syntaxBool reports the value of a constant boolean expression.
+func (c *computer) syntaxBool(e ast.Expr) (bool, bool) {
+	tv, ok := c.pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// refineBySyntaxVal narrows v given v ==/!= y, where y is read from the
+// type checker (a nil literal or constant; anything else is ignored).
+func (c *computer) refineBySyntaxVal(fr *FuncResult, v *ssa.Value, y ast.Expr, isEq bool, out RefMap) {
+	if v == nil {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[ast.Unparen(y)]
+	if !ok {
+		return
+	}
+	switch {
+	case tv.IsNil():
+		if isEq {
+			addRefine(out, v, Refine{HasNil: true, Nil: IsNil})
+		} else {
+			addRefine(out, v, Refine{HasNil: true, Nil: NonNil})
+		}
+		c.refineErrPair(fr, v, isEq, out)
+	case tv.Value != nil && (tv.Value.Kind() == constant.Int || tv.Value.Kind() == constant.Float):
+		if i, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok && isEq {
+			addRefine(out, v, Refine{HasIV: true, IV: pointInterval(i)})
+		}
+	}
+}
+
+// refineErrPair propagates an error-nilness verdict to the sibling value
+// results: when the callee's summary proves a result non-nil on the no-
+// error path, `if err != nil { return }` establishes it for the caller.
+// The error must be the callee's last result, whatever the arity.
+func (c *computer) refineErrPair(fr *FuncResult, errv *ssa.Value, errIsNil bool, out RefMap) {
+	if !errIsNil || errv.Kind != ssa.Extract || errv.CommaOk != ssa.NotCommaOk ||
+		len(errv.Args) == 0 {
+		return
+	}
+	cs := fr.callOf[errv.Args[0]]
+	if cs == nil {
+		return
+	}
+	s := c.res.SummaryOf(cs.Callee)
+	if s == nil || errv.Index != len(s.Results)-1 {
+		return
+	}
+	refine := func(rv *ssa.Value) {
+		if rv == nil || rv == errv || rv.Index >= len(s.Results) {
+			return
+		}
+		if s.Results[rv.Index].NonNilWhenNoErr {
+			addRefine(out, rv, Refine{HasNil: true, Nil: NonNil})
+		}
+	}
+	refine(errv.Pair)
+	for _, rv := range cs.Results {
+		refine(rv)
+	}
+}
+
+// interpretRel narrows intervals for <, <=, >, >=.
+func (c *computer) interpretRel(fr *FuncResult, e *ast.BinaryExpr, sense bool, out RefMap) {
+	op := e.Op
+	if !sense {
+		switch op {
+		case token.LSS:
+			op = token.GEQ
+		case token.LEQ:
+			op = token.GTR
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		}
+	}
+	vx, vy := fr.reg(e.X), fr.reg(e.Y)
+	cx, okx := constInt(vx)
+	cy, oky := constInt(vy)
+	switch {
+	case oky && vx != nil:
+		addRefine(out, vx, relRefine(op, cy))
+	case okx && vy != nil:
+		// c op y reads as y (flipped op) c.
+		addRefine(out, vy, relRefine(flipRel(op), cx))
+	case vx != nil || vy != nil:
+		// A dynamic bound: no numeric value, but the comparison itself is
+		// the bound check taintbounds looks for.
+		switch op {
+		case token.LSS, token.LEQ:
+			addRefine(out, vx, Refine{HasIV: true, IV: Interval{Lo: NegInf, Hi: PosInf, HiChecked: true}})
+			addRefine(out, vy, Refine{HasIV: true, IV: Interval{Lo: NegInf, Hi: PosInf, LoChecked: true}})
+		case token.GTR, token.GEQ:
+			addRefine(out, vx, Refine{HasIV: true, IV: Interval{Lo: NegInf, Hi: PosInf, LoChecked: true}})
+			addRefine(out, vy, Refine{HasIV: true, IV: Interval{Lo: NegInf, Hi: PosInf, HiChecked: true}})
+		}
+	}
+}
+
+func relRefine(op token.Token, c int64) Refine {
+	iv := Top
+	switch op {
+	case token.LSS:
+		iv.Hi = satAdd(c, -1)
+	case token.LEQ:
+		iv.Hi = c
+	case token.GTR:
+		iv.Lo = satAdd(c, 1)
+	case token.GEQ:
+		iv.Lo = c
+	}
+	return Refine{HasIV: true, IV: iv}
+}
+
+func flipRel(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+func addRefine(out RefMap, v *ssa.Value, r Refine) {
+	if v == nil {
+		return
+	}
+	old := out[v]
+	if r.HasNil {
+		old.HasNil, old.Nil = true, r.Nil
+	}
+	old.ClearEvidence = old.ClearEvidence || r.ClearEvidence
+	if r.HasIV {
+		if old.HasIV {
+			old.IV = meetInterval(old.IV, r.IV)
+		} else {
+			old.HasIV, old.IV = true, r.IV
+		}
+	}
+	out[v] = old
+}
+
+func constInt(v *ssa.Value) (int64, bool) {
+	if v == nil || v.Kind != ssa.Const || v.ConstVal == nil {
+		return 0, false
+	}
+	if v.ConstVal.Kind() != constant.Int && v.ConstVal.Kind() != constant.Float {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(v.ConstVal))
+}
+
+// SiteAbstract returns v's abstract at a site in blk, refined by the
+// site's short-circuit guard context (`p != nil && use(*p)` shapes) —
+// the analyzers' entry point for judging deref and bound sites.
+func (r *Result) SiteAbstract(fr *FuncResult, v *ssa.Value, blk *ssa.Block, guards []ssa.Guard) Abstract {
+	c := &computer{pass: r.pass, res: r}
+	return c.guardedAbstract(fr, v, blk, guards)
+}
+
+// guardedAbstract returns v's abstract at the site, refined by the site's
+// short-circuit guard context (`p != nil && use(*p)` shapes).
+func (c *computer) guardedAbstract(fr *FuncResult, v *ssa.Value, blk *ssa.Block, guards []ssa.Guard) Abstract {
+	a := fr.AbstractAt(v, blk)
+	if len(guards) == 0 {
+		return a
+	}
+	out := RefMap{}
+	for _, g := range guards {
+		c.interpretCond(fr, g.Cond, g.Sense, out)
+	}
+	if r, ok := out[v]; ok {
+		a = r.apply(a)
+	}
+	return a
+}
+
+// ---- abstract fixpoint ----
+
+func (c *computer) solveAbs(fr *FuncResult) {
+	f := fr.SSA
+	fr.abs = make([]Abstract, len(f.Values))
+	fr.absSet = make([]bool, len(f.Values))
+	const widenAfter = 4
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, v := range f.Values {
+			if v.Kind == ssa.Phi && !c.phiReady(fr, v) {
+				continue // all operands still bottom: stay bottom
+			}
+			na := c.transfer(fr, v)
+			if fr.absSet[v.ID] {
+				old := fr.abs[v.ID]
+				if na == old {
+					continue
+				}
+				if round >= widenAfter {
+					// Widen growing intervals so loop counters converge.
+					if na.IV.Lo < old.IV.Lo {
+						na.IV.Lo = NegInf
+					}
+					if na.IV.Hi > old.IV.Hi {
+						na.IV.Hi = PosInf
+					}
+					if na == old {
+						continue
+					}
+				}
+			}
+			fr.abs[v.ID] = na
+			fr.absSet[v.ID] = true
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (c *computer) argAbs(fr *FuncResult, v *ssa.Value) Abstract {
+	if v == nil || !fr.absSet[v.ID] {
+		return unknownAbs("")
+	}
+	return fr.abs[v.ID]
+}
+
+func (c *computer) transfer(fr *FuncResult, v *ssa.Value) Abstract {
+	unit := c.unitForValue(v)
+	switch v.Kind {
+	case ssa.Param, ssa.Unknown, ssa.Load:
+		a := unknownAbs(unit)
+		if v.Kind == ssa.Load && len(v.Args) > 0 {
+			// Loads out of tainted containers stay tainted: *flagPtr,
+			// record[i], parsedMap[k].
+			base := c.argAbs(fr, v.Args[0])
+			a.Taint, a.TaintPos = base.Taint, base.TaintPos
+		}
+		return a
+	case ssa.Zero:
+		a := unknownAbs(unit)
+		if isNilable(v.Type) {
+			a.Nil, a.NilOrigin = IsNil, "zero value"
+		}
+		if isInteger(v.Type) {
+			a.IV = pointInterval(0)
+		}
+		return a
+	case ssa.Const:
+		a := unknownAbs(unit)
+		if v.ConstVal != nil {
+			switch v.ConstVal.Kind() {
+			case constant.Int, constant.Float:
+				if i, ok := constant.Int64Val(constant.ToInt(v.ConstVal)); ok {
+					a.IV = pointInterval(i)
+				}
+			case constant.String:
+				a.IV = pointInterval(int64(len(constant.StringVal(v.ConstVal))))
+			}
+		}
+		return a
+	case ssa.NilConst:
+		a := unknownAbs(unit)
+		a.Nil, a.NilOrigin = IsNil, "nil constant"
+		return a
+	case ssa.Phi:
+		return c.phiAbs(fr, v, unit)
+	case ssa.Call:
+		return c.callAbs(fr, v, unit)
+	case ssa.Extract:
+		return c.extractAbs(fr, v, unit)
+	case ssa.BinOp:
+		return c.binAbs(fr, v, unit)
+	case ssa.UnOp:
+		x := c.argAbs(fr, v.Args[0])
+		a := unknownAbs(unit)
+		if v.Op == token.SUB {
+			a.IV = Interval{Lo: satNeg(x.IV.Hi), Hi: satNeg(x.IV.Lo)}
+		}
+		if a.Unit == "" {
+			a.Unit = x.Unit
+		}
+		a.Taint, a.TaintPos = x.Taint, x.TaintPos
+		return a
+	case ssa.Convert:
+		x := c.argAbs(fr, v.Args[0])
+		a := x
+		// A flowing unit survives the conversion — the laundering case —
+		// otherwise the declared target type names the unit.
+		if a.Unit == "" {
+			a.Unit = unit
+		}
+		a.IV = clampToType(a.IV, v.Type)
+		return a
+	case ssa.Alloc:
+		a := unknownAbs(unit)
+		a.Nil, a.NilOrigin = NonNil, ""
+		if len(v.Args) > 0 && v.Args[0] != nil {
+			// make: the length interval (and its taint) is the size's.
+			size := c.argAbs(fr, v.Args[0])
+			a.IV = size.IV
+			a.Taint, a.TaintPos = size.Taint, size.TaintPos
+		}
+		return a
+	case ssa.RangeVar:
+		return c.rangeAbs(fr, v, unit)
+	case ssa.Assert:
+		x := c.argAbs(fr, v.Args[0])
+		a := unknownAbs(unit)
+		a.Taint, a.TaintPos = x.Taint, x.TaintPos
+		return a
+	case ssa.SliceOp:
+		return c.sliceAbs(fr, v, unit)
+	case ssa.LenOf:
+		x := c.argAbs(fr, v.Args[0])
+		a := unknownAbs(unit)
+		a.IV = Interval{Lo: max(0, x.IV.Lo), Hi: x.IV.Hi, HiChecked: x.IV.HiChecked}
+		if a.IV.Hi < 0 {
+			a.IV.Hi = 0
+		}
+		a.Taint, a.TaintPos = x.Taint, x.TaintPos
+		return a
+	}
+	return unknownAbs(unit)
+}
+
+// phiReady reports whether any operand can contribute to the φ's join: a
+// set register other than the φ itself, arriving over a reached edge.
+// Until then the φ stays bottom — seeding it "unknown" would poison its
+// own join through loop latches (join(nonnil, unknown) = unknown sticks).
+func (c *computer) phiReady(fr *FuncResult, v *ssa.Value) bool {
+	edges := fr.edgeIn[v.Block.Index]
+	for i, op := range v.Args {
+		if op == nil || op == v || !fr.absSet[op.ID] {
+			continue
+		}
+		if i < len(edges) && edges[i] == nil {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func (c *computer) phiAbs(fr *FuncResult, v *ssa.Value, unit string) Abstract {
+	var out Abstract
+	first := true
+	edges := fr.edgeIn[v.Block.Index]
+	for i, op := range v.Args {
+		if op == nil || op == v || !fr.absSet[op.ID] {
+			// A self-operand restates the φ along the loop latch and
+			// contributes nothing new to the join.
+			continue
+		}
+		if i < len(edges) && edges[i] == nil {
+			continue // in-edge never reached: the operand does not flow
+		}
+		a := fr.abs[op.ID]
+		if i < len(edges) {
+			if r, ok := edges[i][op]; ok {
+				a = r.apply(a)
+			}
+		}
+		if first {
+			out, first = a, false
+		} else {
+			out = joinAbs(out, a)
+		}
+	}
+	if first {
+		return unknownAbs(unit)
+	}
+	if out.Unit == "" {
+		out.Unit = unit
+	}
+	return out
+}
+
+func (c *computer) callAbs(fr *FuncResult, v *ssa.Value, unit string) Abstract {
+	a := unknownAbs(unit)
+	cs := fr.callOf[v]
+	if cs == nil {
+		return a
+	}
+	s := c.res.SummaryOf(cs.Callee)
+	if s != nil && len(s.Results) == 1 {
+		a = c.resultAbs(s.Results[0], cs, 0, unit)
+	}
+	if cs.Callee != nil && propagatesTaint(cs.Callee) && a.Taint == "" {
+		a.Taint, a.TaintPos = c.argsTaint(fr, cs)
+	}
+	return a
+}
+
+func (c *computer) argsTaint(fr *FuncResult, cs *ssa.CallSite) (string, string) {
+	if cs.Recv != nil {
+		if r := c.argAbs(fr, cs.Recv); r.Taint != "" {
+			return r.Taint, r.TaintPos
+		}
+	}
+	for _, arg := range cs.Args {
+		if a := c.argAbs(fr, arg); a.Taint != "" {
+			return a.Taint, a.TaintPos
+		}
+	}
+	return "", ""
+}
+
+// resultAbs turns one ResultSummary into an abstract at a call site.
+func (c *computer) resultAbs(rs ResultSummary, cs *ssa.CallSite, idx int, unit string) Abstract {
+	a := unknownAbs(unit)
+	switch rs.Nilness {
+	case "nonnil":
+		a.Nil = NonNil
+	case "nil":
+		a.Nil, a.NilOrigin = IsNil, rs.NilOrigin
+	case "maybe-nil":
+		a.Nil = MaybeNil
+		a.NilOrigin = rs.NilOrigin
+		if a.NilOrigin == "" {
+			a.NilOrigin = "may be nil"
+		}
+		if cs.Callee != nil {
+			a.NilOrigin = cs.Callee.Name() + ": " + a.NilOrigin
+		}
+	}
+	if rs.Lo != nil {
+		a.IV.Lo = *rs.Lo
+	}
+	if rs.Hi != nil {
+		a.IV.Hi = *rs.Hi
+	}
+	if rs.Unit != "" {
+		a.Unit = rs.Unit
+	}
+	if rs.Taint != "" {
+		a.Taint = rs.Taint
+		if cs.Callee != nil {
+			a.TaintPos = c.pass.Fset.Position(cs.Site.Pos()).String()
+		}
+	}
+	return a
+}
+
+func (c *computer) extractAbs(fr *FuncResult, v *ssa.Value, unit string) Abstract {
+	a := unknownAbs(unit)
+	if len(v.Args) == 0 || v.Args[0] == nil {
+		return a
+	}
+	root := v.Args[0]
+	switch v.CommaOk {
+	case ssa.MapOk, ssa.AssertOk:
+		if v.Index == 0 {
+			base := c.argAbs(fr, root)
+			a.Taint, a.TaintPos = base.Taint, base.TaintPos
+			if isNilable(v.Type) {
+				a.Nil = MaybeNil
+				if v.CommaOk == ssa.MapOk {
+					a.NilOrigin = "zero value of a missed map lookup (ok not yet checked)"
+				} else {
+					a.NilOrigin = "zero value of a failed type assertion (ok not yet checked)"
+				}
+			}
+		}
+		return a
+	case ssa.RecvOk:
+		return a
+	}
+	if root.Kind == ssa.Call {
+		cs := fr.callOf[root]
+		if cs == nil {
+			return a
+		}
+		s := c.res.SummaryOf(cs.Callee)
+		if s != nil && v.Index < len(s.Results) {
+			a = c.resultAbs(s.Results[v.Index], cs, v.Index, unit)
+		}
+		if cs.Callee != nil && propagatesTaint(cs.Callee) && a.Taint == "" {
+			a.Taint, a.TaintPos = c.argsTaint(fr, cs)
+		}
+	}
+	return a
+}
+
+func (c *computer) binAbs(fr *FuncResult, v *ssa.Value, unit string) Abstract {
+	x := c.argAbs(fr, v.Args[0])
+	y := c.argAbs(fr, v.Args[1])
+	a := unknownAbs(unit)
+	switch v.Op {
+	case token.ADD:
+		a.IV = addInterval(x.IV, y.IV)
+	case token.SUB:
+		a.IV = subInterval(x.IV, y.IV)
+	case token.MUL:
+		if xi, ok := point(x.IV); ok {
+			if yi, ok := point(y.IV); ok {
+				a.IV = pointInterval(satMul(xi, yi))
+			}
+		}
+	case token.REM:
+		// x % c is within (-c, c), and within [0, c) for non-negative x —
+		// the hash-mod-bucket idiom that bounds tainted indexes.
+		if cy, ok := point(y.IV); ok && cy > 0 {
+			if x.IV.Lo >= 0 {
+				a.IV = Interval{Lo: 0, Hi: cy - 1}
+			} else {
+				a.IV = Interval{Lo: -(cy - 1), Hi: cy - 1}
+			}
+		}
+	case token.AND:
+		// Masking with a non-negative constant bounds the result.
+		if cy, ok := point(y.IV); ok && cy >= 0 {
+			a.IV = Interval{Lo: 0, Hi: cy}
+		} else if cx, ok := point(x.IV); ok && cx >= 0 {
+			a.IV = Interval{Lo: 0, Hi: cx}
+		}
+	}
+	if a.Unit == "" {
+		a.Unit = binUnit(v.Op, x.Unit, y.Unit)
+	}
+	a.Taint, a.TaintPos = x.Taint, x.TaintPos
+	if a.Taint == "" {
+		a.Taint, a.TaintPos = y.Taint, y.TaintPos
+	}
+	return a
+}
+
+// binUnit is the unit algebra of a binary operation (the transfer keeps
+// flowing; unitflow reports the cross-unit cases separately).
+func binUnit(op token.Token, x, y string) string {
+	switch op {
+	case token.ADD, token.SUB, token.REM, token.AND, token.OR, token.XOR, token.AND_NOT:
+		if x == y {
+			return x
+		}
+		if x == "" {
+			return y
+		}
+		if y == "" {
+			return x
+		}
+		return ""
+	case token.MUL:
+		if x != "" && y != "" {
+			return "" // unit² — out of the algebra
+		}
+		if x != "" {
+			return x
+		}
+		return y
+	case token.QUO:
+		if x == y {
+			return "" // a ratio is dimensionless
+		}
+		if y == "" {
+			return x
+		}
+		return ""
+	case token.SHL, token.SHR:
+		return x
+	}
+	return "" // comparisons, &&, ||
+}
+
+func point(iv Interval) (int64, bool) {
+	if iv.Lo == iv.Hi && iv.Lo != NegInf && iv.Lo != PosInf {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return PosInf
+		}
+		return NegInf
+	}
+	return p
+}
+
+func (c *computer) rangeAbs(fr *FuncResult, v *ssa.Value, unit string) Abstract {
+	a := unknownAbs(unit)
+	var op Abstract
+	if len(v.Args) > 0 && v.Args[0] != nil {
+		op = c.argAbs(fr, v.Args[0])
+	} else {
+		op = unknownAbs("")
+	}
+	if v.Index == 0 && isInteger(v.Type) {
+		// A range key is always in bounds for its own collection: [0, n).
+		a.IV = Interval{Lo: 0, Hi: satAdd(op.IV.Hi, -1), HiChecked: true}
+		return a
+	}
+	// Element values inherit the collection's taint.
+	a.Taint, a.TaintPos = op.Taint, op.TaintPos
+	return a
+}
+
+func (c *computer) sliceAbs(fr *FuncResult, v *ssa.Value, unit string) Abstract {
+	a := unknownAbs(unit)
+	base := c.argAbs(fr, v.Args[0])
+	a.Nil = base.Nil // s[lo:hi] of nil is nil-ish, but never flagged: no evidence transfer
+	a.Nil = NilTop
+	a.Taint, a.TaintPos = base.Taint, base.TaintPos
+	// Length: bounded by the high index when present, else by the base.
+	hiAbs := base
+	if len(v.Args) > 2 && v.Args[2] != nil {
+		hiAbs = c.argAbs(fr, v.Args[2])
+		if hiAbs.Taint != "" && a.Taint == "" {
+			a.Taint, a.TaintPos = hiAbs.Taint, hiAbs.TaintPos
+		}
+	}
+	a.IV = Interval{Lo: 0, Hi: hiAbs.IV.Hi, HiChecked: hiAbs.IV.HiChecked}
+	return a
+}
+
+// clampToType intersects iv with the representable range of integer type
+// t (conversions truncate, so an unbounded source stays unbounded rather
+// than gaining false bounds — only finite bounds survive a narrowing).
+func clampToType(iv Interval, t types.Type) Interval {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return iv
+	}
+	var lo, hi int64
+	switch b.Kind() {
+	case types.Int8:
+		lo, hi = math.MinInt8, math.MaxInt8
+	case types.Int16:
+		lo, hi = math.MinInt16, math.MaxInt16
+	case types.Int32:
+		lo, hi = math.MinInt32, math.MaxInt32
+	case types.Uint8:
+		lo, hi = 0, math.MaxUint8
+	case types.Uint16:
+		lo, hi = 0, math.MaxUint16
+	case types.Uint32:
+		lo, hi = 0, math.MaxUint32
+	case types.Uint, types.Uint64, types.Uintptr:
+		lo, hi = 0, PosInf
+	default:
+		return iv
+	}
+	// A source value outside the target range wraps, so the clamp is only
+	// sound when the source already fits; otherwise drop to the type range.
+	if iv.Lo >= lo && iv.Hi <= hi {
+		return iv
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func isNilable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// ---- summaries ----
+
+func (c *computer) summarize(fr *FuncResult) *Summary {
+	f := fr.SSA
+	s := &Summary{NeverReturns: c.neverReturns(fr)}
+	s.Params = make([]ParamSummary, len(f.Params))
+	for i, p := range f.Params {
+		s.Params[i].Unit = c.unitForValue(p)
+	}
+	// A dereference in the entry block runs before any guard can: the
+	// parameter is a precondition.
+	for _, d := range f.Derefs {
+		if d.Base != nil && d.Base.Kind == ssa.Param && d.Block == f.Entry &&
+			len(d.Guards) == 0 && isNilable(d.Base.Type) {
+			s.Params[d.Base.Index].NonNilRequired = true
+		}
+	}
+
+	nres := f.Sig.Results().Len()
+	if nres == 0 {
+		return s
+	}
+	joined := make([]Abstract, nres)
+	have := make([]bool, nres)
+	nonnilOK := make([]bool, nres)
+	for i := range nonnilOK {
+		nonnilOK[i] = true
+	}
+	errIdx := -1
+	if nres >= 2 && isErrType(f.Sig.Results().At(nres-1).Type()) {
+		errIdx = nres - 1
+	}
+	sawNoErrPath := false
+	for _, rs := range f.Returns {
+		if !fr.Reached(rs.Block) {
+			continue
+		}
+		for i, val := range rs.Vals {
+			if i >= nres || val == nil {
+				continue
+			}
+			a := fr.AbstractAt(val, rs.Block)
+			if have[i] {
+				joined[i] = joinAbs(joined[i], a)
+			} else {
+				joined[i], have[i] = a, true
+			}
+		}
+		if errIdx >= 0 && errIdx < len(rs.Vals) && rs.Vals[errIdx] != nil {
+			errAbs := fr.AbstractAt(rs.Vals[errIdx], rs.Block)
+			if errAbs.Nil != NonNil { // this return may report success
+				sawNoErrPath = true
+				for i := 0; i < errIdx; i++ {
+					if i >= len(rs.Vals) || rs.Vals[i] == nil {
+						nonnilOK[i] = false
+						continue
+					}
+					if fr.AbstractAt(rs.Vals[i], rs.Block).Nil != NonNil {
+						nonnilOK[i] = false
+					}
+				}
+			}
+		}
+	}
+	s.Results = make([]ResultSummary, nres)
+	for i := range s.Results {
+		if !have[i] {
+			continue
+		}
+		a := joined[i]
+		rs := &s.Results[i]
+		if isNilable(f.Sig.Results().At(i).Type()) && a.Nil != NilTop {
+			rs.Nilness = a.Nil.String()
+			// Callers see this through resultAbs, prefixed with the callee
+			// name; local wording like "nil constant" reads poorly there.
+			if a.Nil == MaybeNil {
+				rs.NilOrigin = "may return nil"
+			}
+		}
+		if a.IV.Lo != NegInf {
+			lo := a.IV.Lo
+			rs.Lo = &lo
+		}
+		if a.IV.Hi != PosInf {
+			hi := a.IV.Hi
+			rs.Hi = &hi
+		}
+		rs.Unit = a.Unit
+		rs.Taint = a.Taint
+		if errIdx >= 0 && i < errIdx && sawNoErrPath && nonnilOK[i] &&
+			isNilable(f.Sig.Results().At(i).Type()) {
+			rs.NonNilWhenNoErr = true
+		}
+	}
+	return s
+}
+
+// neverReturns reports whether no reachable path leaves the function
+// normally: every exit panics or calls a no-return function (or the body
+// loops forever).
+func (c *computer) neverReturns(fr *FuncResult) bool {
+	f := fr.SSA
+	sawExit := false
+	for _, blk := range f.Blocks {
+		if !fr.Reached(blk) || fr.terminated[blk.Index] {
+			continue
+		}
+		if len(blk.CFG.Succs) > 0 {
+			continue
+		}
+		sawExit = true
+		stmts := blk.CFG.Stmts
+		if len(stmts) == 0 {
+			return false // falls off the end
+		}
+		last := stmts[len(stmts)-1]
+		if _, ok := last.(*ast.ReturnStmt); ok {
+			return false
+		}
+		if !cfg.IsPanicStmt(last) {
+			return false
+		}
+	}
+	// A function with no terminal blocks at all spins forever; one whose
+	// every terminal block panics never returns either. An empty entry
+	// was handled above (no statements → falls off).
+	_ = sawExit
+	return true
+}
+
+func isErrType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}

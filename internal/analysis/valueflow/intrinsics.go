@@ -1,0 +1,166 @@
+package valueflow
+
+// Intrinsic summaries for standard-library functions the repo cannot
+// analyze, keyed by analysis.ObjectKey. Three families matter:
+//
+//   - no-return sinks (os.Exit, log.Fatal*, runtime.Goexit, testing's
+//     FailNow family) so `if x == nil { log.Fatalf(...) }` refines x;
+//   - constructors with known nilness (errors.New is never nil; os.Open
+//     is nil exactly when err != nil);
+//   - taint sources (environment, flags, file/stream reads, CSV records,
+//     bufio scanners) feeding the taintbounds analyzer.
+//
+// strconv/strings/bytes/fmt calls additionally propagate taint from
+// their arguments, and Parse* functions in any in-repo trace package are
+// treated as taint sources for their results.
+
+import (
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+)
+
+func nonnilResult() ResultSummary        { return ResultSummary{Nilness: "nonnil"} }
+func plainResult() ResultSummary         { return ResultSummary{} }
+func taintResult(w string) ResultSummary { return ResultSummary{Taint: w} }
+
+func openLike(what string) *Summary {
+	return &Summary{Results: []ResultSummary{
+		{Nilness: "maybe-nil", NilOrigin: "nil when the " + what + " fails", NonNilWhenNoErr: true},
+		plainResult(),
+	}}
+}
+
+var noReturn = &Summary{NeverReturns: true}
+
+var intrinsics = map[string]*Summary{
+	// no-return sinks
+	"os.Exit":                  noReturn,
+	"runtime.Goexit":           noReturn,
+	"log.Fatal":                noReturn,
+	"log.Fatalf":               noReturn,
+	"log.Fatalln":              noReturn,
+	"log.Panic":                noReturn,
+	"log.Panicf":               noReturn,
+	"log.Panicln":              noReturn,
+	"(log.Logger).Fatal":       noReturn,
+	"(log.Logger).Fatalf":      noReturn,
+	"(log.Logger).Fatalln":     noReturn,
+	"(log.Logger).Panic":       noReturn,
+	"(log.Logger).Panicf":      noReturn,
+	"(log.Logger).Panicln":     noReturn,
+	"(testing.common).Fatal":   noReturn,
+	"(testing.common).Fatalf":  noReturn,
+	"(testing.common).FailNow": noReturn,
+	"(testing.common).Skip":    noReturn,
+	"(testing.common).Skipf":   noReturn,
+	"(testing.common).SkipNow": noReturn,
+
+	// never-nil constructors
+	"errors.New":          {Results: []ResultSummary{nonnilResult()}},
+	"fmt.Errorf":          {Results: []ResultSummary{nonnilResult()}},
+	"bufio.NewReader":     {Results: []ResultSummary{nonnilResult()}},
+	"bufio.NewWriter":     {Results: []ResultSummary{nonnilResult()}},
+	"bytes.NewBuffer":     {Results: []ResultSummary{nonnilResult()}},
+	"bytes.NewReader":     {Results: []ResultSummary{nonnilResult()}},
+	"strings.NewReader":   {Results: []ResultSummary{nonnilResult()}},
+	"strings.NewReplacer": {Results: []ResultSummary{nonnilResult()}},
+	"log.New":             {Results: []ResultSummary{nonnilResult()}},
+	"csv.NewReader":       {Results: []ResultSummary{nonnilResult()}},
+	"csv.NewWriter":       {Results: []ResultSummary{nonnilResult()}},
+
+	// nil-iff-error constructors
+	"os.Open":     openLike("open"),
+	"os.Create":   openLike("create"),
+	"os.OpenFile": openLike("open"),
+
+	// taint sources: environment and command line
+	"os.Getenv": {Results: []ResultSummary{taintResult("environment variable")}},
+	"os.LookupEnv": {Results: []ResultSummary{
+		taintResult("environment variable"), plainResult()}},
+	"flag.Arg":  {Results: []ResultSummary{taintResult("command-line argument")}},
+	"flag.Args": {Results: []ResultSummary{taintResult("command-line arguments")}},
+	"flag.String": {Results: []ResultSummary{
+		{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Int":            {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Int64":          {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Uint":           {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Uint64":         {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Float64":        {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Bool":           {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"flag.Duration":       {Results: []ResultSummary{{Nilness: "nonnil", Taint: "command-line flag"}}},
+	"(flag.FlagSet).Arg":  {Results: []ResultSummary{taintResult("command-line argument")}},
+	"(flag.FlagSet).Args": {Results: []ResultSummary{taintResult("command-line arguments")}},
+
+	// taint sources: file and stream input
+	"os.ReadFile":           {Results: []ResultSummary{taintResult("file contents"), plainResult()}},
+	"io.ReadAll":            {Results: []ResultSummary{taintResult("stream contents"), plainResult()}},
+	"(bufio.Scanner).Text":  {Results: []ResultSummary{taintResult("scanned input")}},
+	"(bufio.Scanner).Bytes": {Results: []ResultSummary{taintResult("scanned input")}},
+	"(bufio.Reader).ReadString": {Results: []ResultSummary{
+		taintResult("read input"), plainResult()}},
+	"(bufio.Reader).ReadBytes": {Results: []ResultSummary{
+		taintResult("read input"), plainResult()}},
+	"(csv.Reader).Read": {Results: []ResultSummary{
+		taintResult("CSV record"), plainResult()}},
+	"(csv.Reader).ReadAll": {Results: []ResultSummary{
+		taintResult("CSV records"), plainResult()}},
+}
+
+// intrinsicSummary returns the built-in summary for fn, or nil.
+func intrinsicSummary(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	if s, ok := intrinsics[analysis.ObjectKey(fn)]; ok {
+		return s
+	}
+	// In-repo trace parsers are taint sources: whatever a Parse* function
+	// in a trace package returns came from workload input.
+	if pkg := fn.Pkg(); pkg != nil && hasPathSegment(pkg.Path(), "trace") &&
+		strings.HasPrefix(fn.Name(), "Parse") {
+		return traceParseSummary(fn)
+	}
+	return nil
+}
+
+// traceParseSummary marks every non-error result of fn tainted.
+func traceParseSummary(fn *types.Func) *Summary {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	n := sig.Results().Len()
+	s := &Summary{Results: make([]ResultSummary, n)}
+	for i := 0; i < n; i++ {
+		if !isErrType(sig.Results().At(i).Type()) {
+			s.Results[i].Taint = "trace input"
+		}
+	}
+	return s
+}
+
+// propagatesTaint reports whether fn is a pure transformer whose results
+// inherit the taint of its operands (string/byte munging, formatting,
+// numeric parsing).
+func propagatesTaint(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "strconv", "strings", "bytes", "fmt":
+		return true
+	}
+	return false
+}
+
+func hasPathSegment(path, seg string) bool {
+	for _, p := range strings.Split(path, "/") {
+		if p == seg {
+			return true
+		}
+	}
+	return false
+}

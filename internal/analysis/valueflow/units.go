@@ -1,0 +1,153 @@
+package valueflow
+
+// Unit seeding. A unit is a short name ("time", "bytes", "blocks", ...)
+// attached to a type, variable, constant, or struct field by a
+// `//rolosan:unit <name>` directive; internal/sim.Time is seeded as
+// "time" without a directive. Units flow through arithmetic in the
+// transfer functions; the unitflow analyzer reports where two different
+// known units meet.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+)
+
+const unitDirective = "rolosan:unit"
+
+// directiveUnit extracts the unit name from a comment group, if any.
+func directiveUnit(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, cm := range cg.List {
+		text := strings.TrimPrefix(cm.Text, "//")
+		if rest, ok := strings.CutPrefix(text, unitDirective+" "); ok {
+			if u := strings.TrimSpace(rest); u != "" {
+				return strings.Fields(u)[0]
+			}
+		}
+	}
+	return ""
+}
+
+func firstUnit(us ...string) string {
+	for _, u := range us {
+		if u != "" {
+			return u
+		}
+	}
+	return ""
+}
+
+// scanUnits walks the package's declarations collecting unit directives
+// on types, vars, consts, and struct fields.
+func (c *computer) scanUnits() {
+	info := c.pass.TypesInfo
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declU := directiveUnit(gd.Doc)
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					u := firstUnit(directiveUnit(sp.Doc), directiveUnit(sp.Comment), declU)
+					if u != "" {
+						if tn, ok := info.Defs[sp.Name].(*types.TypeName); ok {
+							c.res.unitsByType[tn] = u
+						}
+					}
+					if st, ok := sp.Type.(*ast.StructType); ok {
+						c.scanFields(st)
+					}
+				case *ast.ValueSpec:
+					u := firstUnit(directiveUnit(sp.Doc), directiveUnit(sp.Comment), declU)
+					if u == "" {
+						continue
+					}
+					for _, name := range sp.Names {
+						if obj := info.Defs[name]; obj != nil {
+							c.res.unitsByObj[obj] = u
+							if vr, ok := obj.(*types.Var); ok {
+								c.res.unitsByVar[vr] = u
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *computer) scanFields(st *ast.StructType) {
+	info := c.pass.TypesInfo
+	for _, field := range st.Fields.List {
+		u := firstUnit(directiveUnit(field.Doc), directiveUnit(field.Comment))
+		if u == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				c.res.unitsByObj[obj] = u
+				if vr, ok := obj.(*types.Var); ok {
+					c.res.unitsByVar[vr] = u
+				}
+			}
+		}
+	}
+}
+
+// unitForValue resolves the unit of a register: an object-level directive
+// on the variable, constant, or field it reads wins over the unit of its
+// declared type.
+func (c *computer) unitForValue(v *ssa.Value) string {
+	if v == nil {
+		return ""
+	}
+	if v.Var != nil {
+		if u := c.res.UnitOfVar(v.Var); u != "" {
+			return u
+		}
+	}
+	if v.Expr != nil {
+		if u := c.unitForExpr(v.Expr); u != "" {
+			return u
+		}
+	}
+	return c.res.UnitOf(v.Type)
+}
+
+// unitForExpr looks up the directive unit of the object an expression
+// names: a const or var ident, or a selected struct field.
+func (c *computer) unitForExpr(e ast.Expr) string {
+	info := c.pass.TypesInfo
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return c.objUnit(obj)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return c.objUnit(sel.Obj())
+		}
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return c.objUnit(obj)
+		}
+	}
+	return ""
+}
+
+// objUnit resolves an object's unit: local directive, or an imported
+// UnitFact for cross-package constants and fields is not available (facts
+// attach to types only), so imported objects fall back to their type.
+func (c *computer) objUnit(obj types.Object) string {
+	if u := c.res.unitsByObj[obj]; u != "" {
+		return u
+	}
+	return ""
+}

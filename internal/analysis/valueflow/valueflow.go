@@ -1,0 +1,525 @@
+// Package valueflow runs a sparse-conditional value lattice over the ssa
+// package's IR and publishes the results to the nilness, unitflow and
+// taintbounds analyzers.
+//
+// Each virtual register gets one Abstract: a nilness verdict (with the
+// evidence that makes a possibly-nil value worth flagging), a saturating
+// constant interval (doubling as the length interval for slice and string
+// values), a unit tag (seeded from declared types such as sim.Time and
+// from //rolosan:unit directives), and a taint origin. Branch conditions
+// narrow registers along CFG edges: a dense per-block refinement pass
+// interprets nil comparisons, comma-ok booleans, relational bounds and
+// (via function summaries) err-result pairing, so `if err != nil { return
+// }` really does prove the paired result non-nil afterwards.
+//
+// Per-function summaries — parameter nilness preconditions and unit
+// expectations, result nilness/interval/unit/taint postconditions, and
+// whether the function can return at all — cross package boundaries
+// through the analysis framework's fact layer in namespace "valueflow",
+// alongside unit tags for //rolosan:unit-annotated named types. Within a
+// package, functions are summarized bottom-up over call-graph SCCs, so
+// intra-package helpers refine their callers too.
+//
+// The computation runs once per package: the three consuming analyzers
+// share a single-entry cache keyed by the *types.Package, and whichever
+// of them runs first exports the facts (the drivers share one exported
+// fact set per unit, so parity holds with any subset of the three
+// enabled).
+package valueflow
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"go/types"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+)
+
+// FactNS is the fact namespace shared by the valueflow analyzers.
+const FactNS = "valueflow"
+
+// Nilness is the pointer-validity verdict for one register.
+type Nilness uint8
+
+const (
+	NilTop   Nilness = iota // no information; never flagged
+	NonNil                  // proven non-nil
+	IsNil                   // proven nil
+	MaybeNil                // may be nil, with evidence — the flaggable state
+)
+
+var nilNames = [...]string{"unknown", "nonnil", "nil", "maybe-nil"}
+
+func (n Nilness) String() string {
+	if int(n) < len(nilNames) {
+		return nilNames[n]
+	}
+	return "nilness?"
+}
+
+// joinNil merges two verdicts at a control-flow join. Evidence is sticky:
+// a path that proves nil possible makes the join flaggable.
+func joinNil(a, b Nilness) Nilness {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == NilTop && b == NonNil:
+		return NilTop
+	default:
+		// Any combination involving IsNil or MaybeNil that is not
+		// IsNil⊔IsNil keeps the nil possibility alive with evidence.
+		return MaybeNil
+	}
+}
+
+const (
+	NegInf = math.MinInt64
+	PosInf = math.MaxInt64
+)
+
+// Interval is a saturating integer interval. For slice and string values
+// it describes the length. LoChecked/HiChecked record that the value was
+// compared against a non-constant bound on this path, which is all the
+// taint-bounds check needs when the bound itself is not a constant.
+type Interval struct {
+	Lo, Hi               int64
+	LoChecked, HiChecked bool
+}
+
+// Top is the unbounded interval.
+var Top = Interval{Lo: NegInf, Hi: PosInf}
+
+func (iv Interval) BoundedBelow() bool { return iv.Lo > NegInf || iv.LoChecked }
+func (iv Interval) BoundedAbove() bool { return iv.Hi < PosInf || iv.HiChecked }
+
+func (iv Interval) String() string {
+	lo, hi := "-∞", "+∞"
+	if iv.Lo > NegInf {
+		lo = fmt.Sprint(iv.Lo)
+	} else if iv.LoChecked {
+		lo = "checked"
+	}
+	if iv.Hi < PosInf {
+		hi = fmt.Sprint(iv.Hi)
+	} else if iv.HiChecked {
+		hi = "checked"
+	}
+	return "[" + lo + ", " + hi + "]"
+}
+
+func joinInterval(a, b Interval) Interval {
+	return Interval{
+		Lo:        min(a.Lo, b.Lo),
+		Hi:        max(a.Hi, b.Hi),
+		LoChecked: a.BoundedBelow() && b.BoundedBelow(),
+		HiChecked: a.BoundedAbove() && b.BoundedAbove(),
+	}
+}
+
+// meetInterval narrows a by b (a refinement).
+func meetInterval(a, b Interval) Interval {
+	return Interval{
+		Lo:        max(a.Lo, b.Lo),
+		Hi:        min(a.Hi, b.Hi),
+		LoChecked: a.LoChecked || b.LoChecked,
+		HiChecked: a.HiChecked || b.HiChecked,
+	}
+}
+
+func satAdd(a, b int64) int64 {
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	if a == PosInf || b == PosInf {
+		return PosInf
+	}
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		if b > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	return s
+}
+
+func satNeg(a int64) int64 {
+	switch a {
+	case NegInf:
+		return PosInf
+	case PosInf:
+		return NegInf
+	}
+	return -a
+}
+
+func addInterval(a, b Interval) Interval {
+	return Interval{Lo: satAdd(a.Lo, b.Lo), Hi: satAdd(a.Hi, b.Hi)}
+}
+
+func subInterval(a, b Interval) Interval {
+	return Interval{Lo: satAdd(a.Lo, satNeg(b.Hi)), Hi: satAdd(a.Hi, satNeg(b.Lo))}
+}
+
+// pointInterval is the interval of a known constant.
+func pointInterval(c int64) Interval { return Interval{Lo: c, Hi: c} }
+
+// An Abstract is the lattice element of one register.
+type Abstract struct {
+	Nil       Nilness
+	NilOrigin string // evidence for MaybeNil/IsNil, shown in findings
+
+	IV Interval
+
+	// Unit tags a quantity's dimension: "time", "bytes", "blocks",
+	// "sectors", or any //rolosan:unit name. "" is dimensionless/unknown.
+	Unit string
+
+	Taint    string // origin description of untrusted input; "" if clean
+	TaintPos string // rendered source position of the taint source
+}
+
+// unknown is the no-information element (with a unit, which is type-derived).
+func unknownAbs(unit string) Abstract {
+	return Abstract{Nil: NilTop, IV: Top, Unit: unit}
+}
+
+func joinAbs(a, b Abstract) Abstract {
+	out := Abstract{
+		Nil: joinNil(a.Nil, b.Nil),
+		IV:  joinInterval(a.IV, b.IV),
+	}
+	out.NilOrigin = a.NilOrigin
+	if out.NilOrigin == "" {
+		out.NilOrigin = b.NilOrigin
+	}
+	switch {
+	case a.Unit == b.Unit:
+		out.Unit = a.Unit
+	case a.Unit == "":
+		out.Unit = b.Unit
+	case b.Unit == "":
+		out.Unit = a.Unit
+	}
+	out.Taint, out.TaintPos = a.Taint, a.TaintPos
+	if out.Taint == "" {
+		out.Taint, out.TaintPos = b.Taint, b.TaintPos
+	}
+	return out
+}
+
+// A Refine narrows one register along an edge or under a guard.
+type Refine struct {
+	HasNil bool
+	Nil    Nilness
+
+	// ClearEvidence drops a MaybeNil verdict back to NilTop without
+	// claiming non-nil: a comma-ok check proves the lookup succeeded, but
+	// the stored value could still be a typed nil.
+	ClearEvidence bool
+
+	HasIV bool
+	IV    Interval
+}
+
+func (r Refine) apply(a Abstract) Abstract {
+	if r.HasNil {
+		a.Nil = r.Nil
+		if r.Nil == NonNil {
+			a.NilOrigin = ""
+		}
+	}
+	if r.ClearEvidence && a.Nil == MaybeNil {
+		a.Nil = NilTop
+		a.NilOrigin = ""
+	}
+	if r.HasIV {
+		a.IV = meetInterval(a.IV, r.IV)
+	}
+	return a
+}
+
+// joinRefine weakens two refinements at a merge; ok reports whether any
+// information survives.
+func joinRefine(a, b Refine) (Refine, bool) {
+	var out Refine
+	if a.HasNil && b.HasNil {
+		n := joinNil(a.Nil, b.Nil)
+		if n == NonNil || n == IsNil {
+			out.HasNil = true
+			out.Nil = n
+		}
+	}
+	out.ClearEvidence = a.ClearEvidence && b.ClearEvidence
+	if a.HasIV && b.HasIV {
+		iv := joinInterval(a.IV, b.IV)
+		if iv != Top {
+			out.HasIV = true
+			out.IV = iv
+		}
+	}
+	return out, out.HasNil || out.ClearEvidence || out.HasIV
+}
+
+// A RefMap is the refinement state at one program point.
+type RefMap map[*ssa.Value]Refine
+
+func (m RefMap) clone() RefMap {
+	out := make(RefMap, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// equalRef compares two refinement maps.
+func equalRef(a, b RefMap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// joinRefMap merges two program points; keys surviving must be refined on
+// both.
+func joinRefMap(a, b RefMap) RefMap {
+	out := make(RefMap)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if j, keep := joinRefine(va, vb); keep {
+				out[k] = j
+			}
+		}
+	}
+	return out
+}
+
+// ---- summaries (the "valueflow" fact schema) ----
+
+// A Summary is the exported value behavior of one function.
+type Summary struct {
+	// Params has one entry per parameter, receiver first for methods.
+	Params []ParamSummary `json:"params,omitempty"`
+	// Results has one entry per result.
+	Results []ResultSummary `json:"results,omitempty"`
+	// NeverReturns marks functions that cannot return normally (every
+	// path panics, exits or loops forever).
+	NeverReturns bool `json:"noreturn,omitempty"`
+}
+
+type ParamSummary struct {
+	// NonNilRequired: the function dereferences this parameter before any
+	// guard, so passing a provably/possibly nil argument is a bug.
+	NonNilRequired bool `json:"nonnil,omitempty"`
+	// Unit of the parameter's declared type, when known.
+	Unit string `json:"unit,omitempty"`
+}
+
+type ResultSummary struct {
+	// Nilness of the result across all returns ("" when unknown).
+	Nilness string `json:"nil,omitempty"`
+	// NilOrigin is the evidence wording for a maybe-nil result.
+	NilOrigin string `json:"nilOrigin,omitempty"`
+	// NonNilWhenNoErr: for a (T, error) function, the T result is proven
+	// non-nil on every return where the error is (or may be) nil. Callers
+	// checking the error may then rely on the result.
+	NonNilWhenNoErr bool `json:"nonnilOK,omitempty"`
+	// Lo/Hi bound the result when finite (length for slices/strings).
+	Lo *int64 `json:"lo,omitempty"`
+	Hi *int64 `json:"hi,omitempty"`
+	// Unit of the result's value flow, when known.
+	Unit string `json:"unit,omitempty"`
+	// Taint marks results derived from untrusted input.
+	Taint string `json:"taint,omitempty"`
+}
+
+// UnitFact tags a named type with a unit (//rolosan:unit on the type
+// declaration), exported under the type's object key.
+type UnitFact struct {
+	Unit string `json:"unit"`
+}
+
+func (s *Summary) resultNilness(i int) Nilness {
+	if s == nil || i >= len(s.Results) {
+		return NilTop
+	}
+	switch s.Results[i].Nilness {
+	case "nonnil":
+		return NonNil
+	case "nil":
+		return IsNil
+	case "maybe-nil":
+		return MaybeNil
+	}
+	return NilTop
+}
+
+// ---- per-package results ----
+
+// A FuncResult carries the solved lattice of one function or literal.
+type FuncResult struct {
+	SSA *ssa.Func
+	Obj *types.Func // nil for literals
+
+	// abs is the fixpoint abstract of every register, indexed by Value ID.
+	abs []Abstract
+	// absSet marks IDs whose abstract has been computed at least once;
+	// unset φ operands are treated as bottom (skipped from joins).
+	absSet []bool
+	// in is the refinement state on entry to each block (nil: unreached).
+	in []RefMap
+	// edgeIn[b][i] is the refinement state along the i'th in-edge of
+	// block b (parallel to Preds), used for edge-refined φ operands.
+	edgeIn [][]RefMap
+	// terminated marks blocks that end in a call that never returns.
+	terminated []bool
+
+	callOf map[*ssa.Value]*ssa.CallSite // call root → site
+}
+
+// Reached reports whether blk is reachable (refinement-wise) from entry.
+func (fr *FuncResult) Reached(blk *ssa.Block) bool {
+	return blk != nil && blk.Index < len(fr.in) && fr.in[blk.Index] != nil
+}
+
+// AbstractOf returns the flow-insensitive abstract of v.
+func (fr *FuncResult) AbstractOf(v *ssa.Value) Abstract {
+	if v == nil || v.ID >= len(fr.abs) {
+		return unknownAbs("")
+	}
+	return fr.abs[v.ID]
+}
+
+// AbstractAt returns v's abstract at blk's entry, with the block's edge
+// refinements applied.
+func (fr *FuncResult) AbstractAt(v *ssa.Value, blk *ssa.Block) Abstract {
+	a := fr.AbstractOf(v)
+	if v == nil || blk == nil || blk.Index >= len(fr.in) || fr.in[blk.Index] == nil {
+		return a
+	}
+	if r, ok := fr.in[blk.Index][v]; ok {
+		a = r.apply(a)
+	}
+	return a
+}
+
+// A Result is the valueflow computation for one package.
+type Result struct {
+	Funcs []*FuncResult
+
+	// summaries of this package's functions, by object.
+	summaries map[*types.Func]*Summary
+	// unitsByType: local //rolosan:unit type tags.
+	unitsByType map[*types.TypeName]string
+	// unitsByVar: local //rolosan:unit var/field/const tags.
+	unitsByVar map[*types.Var]string
+	// unitsByObj: the same tags for any object kind (consts included).
+	unitsByObj map[types.Object]string
+
+	pass *analysis.Pass
+}
+
+// SummaryOf resolves the summary of fn: intrinsics first, then this
+// package's own functions, then imported facts.
+func (r *Result) SummaryOf(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	if s := intrinsicSummary(fn); s != nil {
+		return s
+	}
+	if s, ok := r.summaries[fn]; ok {
+		return s
+	}
+	var s Summary
+	if r.pass.ImportFact(FactNS, fn, &s) {
+		return &s
+	}
+	return nil
+}
+
+// UnitOf resolves the unit of type t: sim.Time, then local and imported
+// //rolosan:unit tags on the named type.
+func (r *Result) UnitOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if analysis.IsNamed(t, "internal/sim", "Time") {
+		return "time"
+	}
+	obj := named.Obj()
+	if u, ok := r.unitsByType[obj]; ok {
+		return u
+	}
+	var uf UnitFact
+	if r.pass.ImportFact(FactNS, obj, &uf) {
+		return uf.Unit
+	}
+	return ""
+}
+
+// UnitOfVar resolves a //rolosan:unit tag on a specific variable, field
+// or constant declaration (package-local).
+func (r *Result) UnitOfVar(v *types.Var) string {
+	return r.unitsByVar[v]
+}
+
+// ---- cache ----
+
+var cache struct {
+	mu  sync.Mutex
+	pkg *types.Package
+	res *Result
+}
+
+// Compute returns the valueflow result for pass's package, computing it
+// on first request and replaying the exported facts on cache hits (the
+// three consuming analyzers share one result per package).
+//
+// The fact horizon stops at the module boundary: neither driver runs
+// the analyzers over standard-library units (the standalone loader
+// skips them, the unitchecker recognizes and skips them), so summaries
+// exist only for module functions and both drivers resolve the same
+// SummaryOf answers — which is what keeps their finding sets identical.
+// Calls into the stdlib are still covered by the taint intrinsics,
+// which are keyed by name, not by facts.
+func Compute(pass *analysis.Pass) *Result {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if cache.pkg == pass.Pkg && cache.res != nil {
+		cache.res.pass = pass
+		cache.res.export(pass)
+		return cache.res
+	}
+	res := compute(pass)
+	cache.pkg, cache.res = pass.Pkg, res
+	return res
+}
+
+// export (re-)publishes the package's facts through pass. ExportFact
+// overwrites identically on repeat, so this is idempotent.
+func (r *Result) export(pass *analysis.Pass) {
+	for fn, s := range r.summaries {
+		pass.ExportFact(FactNS, fn, s)
+	}
+	for tn, u := range r.unitsByType {
+		pass.ExportFact(FactNS, tn, UnitFact{Unit: u})
+	}
+}

@@ -1,0 +1,565 @@
+package valueflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/analysis"
+	"github.com/rolo-storage/rolo/internal/analysis/ssa"
+)
+
+// solveSrc type-checks src as a single-file package and runs the
+// valueflow computation through the analyzer framework (so facts flow
+// the way they do under the real drivers).
+func solveSrc(t *testing.T, pkgpath, src string) *Result {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check(pkgpath, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	unit := &analysis.Unit{Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+	var res *Result
+	probe := &analysis.Analyzer{
+		Name: "vfprobe",
+		Doc:  "captures the valueflow result",
+		Run: func(pass *analysis.Pass) error {
+			res = Compute(pass)
+			return nil
+		},
+	}
+	if _, err := analysis.RunAnalyzers(unit, []*analysis.Analyzer{probe}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res == nil {
+		t.Fatal("probe did not run")
+	}
+	return res
+}
+
+// funcResult finds the FuncResult of the named declared function.
+func funcResult(t *testing.T, res *Result, name string) *FuncResult {
+	t.Helper()
+	for _, fr := range res.Funcs {
+		if fr.Obj != nil && fr.Obj.Name() == name {
+			return fr
+		}
+	}
+	t.Fatalf("no FuncResult for %q", name)
+	return nil
+}
+
+// summaryOf finds the summary of the named function.
+func summaryOf(t *testing.T, res *Result, name string) *Summary {
+	t.Helper()
+	for fn, s := range res.summaries {
+		if fn.Name() == name {
+			return s
+		}
+	}
+	t.Fatalf("no summary for %q", name)
+	return nil
+}
+
+const errPrelude = `
+type T struct{ n int }
+type myErr struct{}
+func (*myErr) Error() string { return "boom" }
+`
+
+func TestSummaryNonNilWhenNoErr(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func mk(ok bool) (*T, error) {
+	if ok {
+		return &T{}, nil
+	}
+	return nil, &myErr{}
+}
+`)
+	s := summaryOf(t, res, "mk")
+	if got := s.Results[0].Nilness; got != "maybe-nil" {
+		t.Errorf("result 0 nilness = %q, want maybe-nil", got)
+	}
+	if !s.Results[0].NonNilWhenNoErr {
+		t.Error("result 0 not marked non-nil on the no-error path")
+	}
+	if got := s.Results[1].Nilness; got != "maybe-nil" {
+		t.Errorf("error result nilness = %q, want maybe-nil", got)
+	}
+}
+
+func TestErrCheckRefinesPairedResult(t *testing.T) {
+	src := `package p
+` + errPrelude + `
+func mk(ok bool) (*T, error) {
+	if ok {
+		return &T{}, nil
+	}
+	return nil, &myErr{}
+}
+func use(ok bool) int {
+	v, err := mk(ok)
+	if err != nil {
+		return 0
+	}
+	return v.n
+}
+func unchecked(ok bool) int {
+	v, _ := mk(ok)
+	return v.n
+}
+`
+	res := solveSrc(t, "p", src)
+
+	fr := funcResult(t, res, "use")
+	if len(fr.SSA.Derefs) != 1 {
+		t.Fatalf("use: %d deref sites, want 1", len(fr.SSA.Derefs))
+	}
+	d := fr.SSA.Derefs[0]
+	if got := fr.AbstractAt(d.Base, d.Block).Nil; got != NonNil {
+		t.Errorf("v after err check: nilness %v, want NonNil", got)
+	}
+
+	fr = funcResult(t, res, "unchecked")
+	d = fr.SSA.Derefs[0]
+	a := fr.AbstractAt(d.Base, d.Block)
+	if a.Nil != MaybeNil {
+		t.Errorf("unchecked v: nilness %v, want MaybeNil", a.Nil)
+	}
+	if a.NilOrigin == "" {
+		t.Error("unchecked v: no evidence wording")
+	}
+}
+
+func TestNoReturnCallRefines(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func die(msg string) { panic(msg) }
+func g(p *T) int {
+	if p == nil {
+		die("nil p")
+	}
+	return p.n
+}
+`)
+	if s := summaryOf(t, res, "die"); !s.NeverReturns {
+		t.Error("die not marked NeverReturns")
+	}
+	fr := funcResult(t, res, "g")
+	d := fr.SSA.Derefs[0]
+	if got := fr.AbstractAt(d.Base, d.Block).Nil; got != NonNil {
+		t.Errorf("p after no-return guard: nilness %v, want NonNil", got)
+	}
+}
+
+func TestIntervalSummary(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+func clamp(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > 10 {
+		return 10
+	}
+	return n
+}
+`)
+	s := summaryOf(t, res, "clamp")
+	if s.Results[0].Lo == nil || *s.Results[0].Lo != 0 {
+		t.Errorf("Lo = %v, want 0", s.Results[0].Lo)
+	}
+	if s.Results[0].Hi == nil || *s.Results[0].Hi != 10 {
+		t.Errorf("Hi = %v, want 10", s.Results[0].Hi)
+	}
+}
+
+func TestUnitDirectives(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+
+//rolosan:unit bytes
+type ByteCount int64
+
+//rolosan:unit blocks
+const PerBlock = 8
+
+type hdr struct {
+	//rolosan:unit sectors
+	start int64
+}
+
+func pass(b ByteCount) ByteCount { return b }
+`)
+	s := summaryOf(t, res, "pass")
+	if got := s.Params[0].Unit; got != "bytes" {
+		t.Errorf("param unit = %q, want bytes", got)
+	}
+	if got := s.Results[0].Unit; got != "bytes" {
+		t.Errorf("result unit = %q, want bytes", got)
+	}
+	var tn *types.TypeName
+	for k := range res.unitsByType {
+		if k.Name() == "ByteCount" {
+			tn = k
+		}
+	}
+	if tn == nil {
+		t.Fatal("ByteCount not tagged")
+	}
+	found := false
+	for obj, u := range res.unitsByObj {
+		if obj.Name() == "start" && u == "sectors" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("field directive not collected")
+	}
+	found = false
+	for obj, u := range res.unitsByObj {
+		if obj.Name() == "PerBlock" && u == "blocks" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("const directive not collected")
+	}
+}
+
+func TestTraceParseTaintReachesMakeBound(t *testing.T) {
+	res := solveSrc(t, "demo/trace", `package trace
+func ParseSize(s string) int { return len(s) * 2 }
+func alloc(s string) []byte {
+	n := ParseSize(s)
+	return make([]byte, n)
+}
+`)
+	fr := funcResult(t, res, "alloc")
+	var site *ssa.BoundSite
+	for _, b := range fr.SSA.Bounds {
+		if b.Kind == ssa.MakeLen {
+			site = b
+		}
+	}
+	if site == nil {
+		t.Fatal("no MakeLen bound site")
+	}
+	a := fr.AbstractAt(site.Val, site.Block)
+	if a.Taint != "trace input" {
+		t.Errorf("make size taint = %q, want trace input", a.Taint)
+	}
+	if a.IV.BoundedAbove() {
+		t.Errorf("make size unexpectedly bounded: %v", a.IV)
+	}
+}
+
+func TestBoundCheckClearsTaintAlarm(t *testing.T) {
+	res := solveSrc(t, "demo/trace", `package trace
+func ParseSize(s string) int { return len(s) * 2 }
+func alloc(s string, limit int) []byte {
+	n := ParseSize(s)
+	if n > limit {
+		n = limit
+	}
+	if n < 0 {
+		n = 0
+	}
+	return make([]byte, n)
+}
+`)
+	fr := funcResult(t, res, "alloc")
+	var site *ssa.BoundSite
+	for _, b := range fr.SSA.Bounds {
+		if b.Kind == ssa.MakeLen {
+			site = b
+		}
+	}
+	if site == nil {
+		t.Fatal("no MakeLen bound site")
+	}
+	a := fr.AbstractAt(site.Val, site.Block)
+	if a.Taint == "" {
+		t.Error("taint lost through the clamp")
+	}
+	if !a.IV.BoundedAbove() || !a.IV.BoundedBelow() {
+		t.Errorf("clamped size not bounded: %v", a.IV)
+	}
+}
+
+func TestCommaOkEvidence(t *testing.T) {
+	src := `package p
+` + errPrelude + `
+func checked(ms map[string]*T) int {
+	v, ok := ms["k"]
+	if !ok {
+		return 0
+	}
+	return v.n
+}
+func unchecked(ms map[string]*T) int {
+	v, _ := ms["k"]
+	return v.n
+}
+`
+	res := solveSrc(t, "p", src)
+
+	fr := funcResult(t, res, "checked")
+	d := fr.SSA.Derefs[0]
+	if got := fr.AbstractAt(d.Base, d.Block).Nil; got != NilTop {
+		t.Errorf("checked lookup: nilness %v, want NilTop (evidence cleared)", got)
+	}
+
+	fr = funcResult(t, res, "unchecked")
+	d = fr.SSA.Derefs[0]
+	a := fr.AbstractAt(d.Base, d.Block)
+	if a.Nil != MaybeNil {
+		t.Errorf("unchecked lookup: nilness %v, want MaybeNil", a.Nil)
+	}
+}
+
+func TestSwitchTagRefinesInterval(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+func pick(n int) int {
+	switch n {
+	case 3:
+		return n
+	}
+	return 0
+}
+`)
+	s := summaryOf(t, res, "pick")
+	if s.Results[0].Lo == nil || *s.Results[0].Lo != 0 || s.Results[0].Hi == nil || *s.Results[0].Hi != 3 {
+		t.Errorf("result interval = [%v, %v], want [0, 3]", s.Results[0].Lo, s.Results[0].Hi)
+	}
+}
+
+func TestLoopWideningConverges(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+func sum(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`)
+	sm := summaryOf(t, res, "sum")
+	if sm.Results[0].Lo == nil || *sm.Results[0].Lo != 0 {
+		t.Errorf("sum Lo = %v, want 0", sm.Results[0].Lo)
+	}
+	if sm.Results[0].Hi != nil {
+		t.Errorf("sum Hi = %v, want unbounded", *sm.Results[0].Hi)
+	}
+}
+
+func TestParamPrecondition(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func reads(p *T) int { return p.n }
+func guards(p *T) int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+`)
+	if s := summaryOf(t, res, "reads"); !s.Params[0].NonNilRequired {
+		t.Error("reads: parameter precondition not recorded")
+	}
+	if s := summaryOf(t, res, "guards"); s.Params[0].NonNilRequired {
+		t.Error("guards: guarded deref wrongly recorded as precondition")
+	}
+}
+
+func TestGuardedAbstract(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func f(p *T) bool {
+	return p != nil && p.n > 0
+}
+`)
+	fr := funcResult(t, res, "f")
+	if len(fr.SSA.Derefs) != 1 {
+		t.Fatalf("%d derefs, want 1", len(fr.SSA.Derefs))
+	}
+	d := fr.SSA.Derefs[0]
+	if len(d.Guards) != 1 {
+		t.Fatalf("%d guards, want 1", len(d.Guards))
+	}
+	c := &computer{pass: res.pass, res: res}
+	if got := c.guardedAbstract(fr, d.Base, d.Block, d.Guards).Nil; got != NonNil {
+		t.Errorf("guarded deref base: nilness %v, want NonNil", got)
+	}
+}
+
+func TestUnitFlowsThroughConversion(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+
+//rolosan:unit bytes
+type ByteCount int64
+
+func launder(b ByteCount) int64 {
+	return int64(b)
+}
+`)
+	s := summaryOf(t, res, "launder")
+	if got := s.Results[0].Unit; got != "bytes" {
+		t.Errorf("laundered unit = %q, want bytes (survives conversion)", got)
+	}
+}
+
+// TestLoopLatchPhiStaysPrecise pins the φ-bottom semantics: a value
+// defined before two sequential loops reads through self-referential
+// loop-latch φs, which must not poison the join (the latch operand
+// restates the φ itself). Regression: the summary used to lose
+// NonNilWhenNoErr for exactly array.New's shape.
+func TestLoopLatchPhiStaysPrecise(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func mk(i int) (*T, error) {
+	if i < 0 {
+		return nil, &myErr{}
+	}
+	return &T{}, nil
+}
+
+func build(pairs int) (*T, error) {
+	a := &T{}
+	for i := 0; i < pairs; i++ {
+		d, err := mk(i)
+		if err != nil {
+			return nil, err
+		}
+		a.n += d.n
+	}
+	for i := 0; i < pairs; i++ {
+		d, err := mk(i)
+		if err != nil {
+			return nil, err
+		}
+		a.n += d.n
+	}
+	return a, nil
+}
+`)
+	s := summaryOf(t, res, "build")
+	if len(s.Results) != 2 || !s.Results[0].NonNilWhenNoErr {
+		t.Fatalf("build: want NonNilWhenNoErr on result 0, got %+v", s.Results)
+	}
+}
+
+// TestMultiResultErrCheckRefinesSiblings pins the any-arity refineErrPair:
+// for a (A, B, C, error) callee, `if err != nil { return }` proves every
+// sibling result its summary marks NonNilWhenNoErr. Regression: the
+// refinement used to be hard-wired to two-result (T, error) shapes.
+func TestMultiResultErrCheckRefinesSiblings(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func three(ok bool) (*T, *T, error) {
+	if !ok {
+		return nil, nil, &myErr{}
+	}
+	return &T{}, &T{}, nil
+}
+
+func use(ok bool) int {
+	x, y, err := three(ok)
+	if err != nil {
+		return 0
+	}
+	return x.n + y.n
+}
+`)
+	fr := funcResult(t, res, "use")
+	for _, d := range fr.SSA.Derefs {
+		a := res.SiteAbstract(fr, d.Base, d.Block, d.Guards)
+		if a.Nil != NonNil {
+			t.Errorf("deref of %v at %v: want nonnil after err check, got %v (%s)",
+				d.What, d.Expr.Pos(), a.Nil, a.NilOrigin)
+		}
+	}
+}
+
+// TestDeferredClosureWriteKeepsTracking pins the capture rule for
+// deferred literals: `defer func() { err = ... }()` writes err at
+// function exit, after every load in the body, so err stays tracked and
+// the err-check refinement still proves the sibling result non-nil.
+// Regression: any reference under any literal used to untrack.
+func TestDeferredClosureWriteKeepsTracking(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func mk(ok bool) (*T, error) {
+	if !ok {
+		return nil, &myErr{}
+	}
+	return &T{}, nil
+}
+
+func run(ok bool) (n int, err error) {
+	defer func() {
+		if err != nil {
+			err = &myErr{}
+		}
+	}()
+	x, err := mk(ok)
+	if err != nil {
+		return 0, err
+	}
+	return x.n, nil
+}
+`)
+	fr := funcResult(t, res, "run")
+	for _, d := range fr.SSA.Derefs {
+		a := res.SiteAbstract(fr, d.Base, d.Block, d.Guards)
+		if a.Nil != NonNil {
+			t.Errorf("deref of %v: want nonnil after err check, got %v (%s)",
+				d.What, a.Nil, a.NilOrigin)
+		}
+	}
+}
+
+// TestReadOnlyCaptureKeepsTracking pins the other half of the capture
+// rule: a literal that merely reads a variable cannot change it between
+// the outer body's statements, so the variable stays tracked; a literal
+// that writes it still untracks.
+func TestReadOnlyCaptureKeepsTracking(t *testing.T) {
+	res := solveSrc(t, "p", `package p
+`+errPrelude+`
+func reads() (int, func() int) {
+	x := &T{}
+	f := func() int { return x.n }
+	return x.n, f
+}
+
+func writes() int {
+	x := &T{}
+	f := func() { x = nil }
+	f()
+	return x.n
+}
+`)
+	fr := funcResult(t, res, "reads")
+	for _, d := range fr.SSA.Derefs {
+		if a := res.SiteAbstract(fr, d.Base, d.Block, d.Guards); a.Nil != NonNil {
+			t.Errorf("reads: read-only captured x: want NonNil, got %v (%s)", a.Nil, a.NilOrigin)
+		}
+	}
+	fw := funcResult(t, res, "writes")
+	for _, d := range fw.SSA.Derefs {
+		if d.What != "field access" {
+			continue // the f() call deref's base is the literal itself
+		}
+		if a := res.SiteAbstract(fw, d.Base, d.Block, d.Guards); a.Nil == NonNil {
+			t.Errorf("writes: closure-written x must not stay provably non-nil")
+		}
+	}
+}

@@ -361,6 +361,10 @@ func Run(cfg Config, recs []trace.Record) (rep Report, err error) {
 			r.DestagingEnergyRatio = c.Phases().DestagingEnergyRatio()
 			return nil
 		}
+	default:
+		// Validate has vetted the scheme already; keep the switch total
+		// anyway so ctrl and resp are assigned on every path out.
+		return rep, fmt.Errorf("rolo: unknown scheme %q", cfg.Scheme)
 	}
 
 	// RoloSan attaches to the raw scheme controller, before any cache
@@ -402,7 +406,7 @@ func Run(cfg Config, recs []trace.Record) (rep Report, err error) {
 	if in, ok := ctrl.(telemetry.Instrumented); ok {
 		in.SetTelemetry(tel)
 	}
-	if tel.Enabled() {
+	if tel.Enabled() { //lint:allow nilness:maybe Recorder methods are nil-receiver safe by design; a nil Recorder means telemetry is off
 		for _, d := range arr.AllDisks() {
 			d.AddStateChangeHook(func(d *disk.Disk, _, to disk.PowerState, now sim.Time) {
 				switch to {

@@ -3,11 +3,14 @@
 # schedule/fire/cancel/churn, interval add/remove/pop, histogram add,
 # telemetry event encoding) with -benchmem and writes the results to
 # BENCH_core.json so successive PRs can diff ns/op and allocs/op against
-# the committed baseline. Run from the repository root (or via
-# `make bench`).
+# the committed baseline, then times a warm standalone `rololint ./...`
+# run over the whole module and writes the best wall time to
+# BENCH_lint.json (the 700 ms budget scripts/check.sh enforces). Run
+# from the repository root (or via `make bench`).
 #
 #	BENCH_COUNT=5 ./scripts/bench.sh    # more repetitions (best-of is kept)
 #	BENCH_OUT=/tmp/b.json ./scripts/bench.sh
+#	BENCH_LINT_OUT=/tmp/l.json ./scripts/bench.sh
 set -u
 
 cd "$(dirname "$0")/.."
@@ -55,3 +58,28 @@ END {
 }' count="$count" "$raw" >"$out" || exit 1
 
 echo "bench.sh: wrote $out" >&2
+
+# Lint latency: best-of-N warm standalone runs of the full analyzer
+# suite over ./... — the local iteration loop whose budget check.sh
+# enforces. The first (untimed) run warms the go list/export cache.
+lintout="${BENCH_LINT_OUT:-BENCH_lint.json}"
+echo "== rololint ./... warm wall time (best of $count)" >&2
+go build -o bin/rololint ./cmd/rololint || exit 1
+./bin/rololint ./... >/dev/null || exit 1
+best=""
+i=0
+while [ "$i" -lt "$count" ]; do
+	t0=$(date +%s%N)
+	./bin/rololint ./... >/dev/null || exit 1
+	t1=$(date +%s%N)
+	ms=$(((t1 - t0) / 1000000))
+	echo "  run $((i + 1)): ${ms}ms" >&2
+	if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then
+		best=$ms
+	fi
+	i=$((i + 1))
+done
+analyzers=$(./bin/rololint -flags | grep -o '"Name"' | wc -l)
+printf '{\n  "go": "%s",\n  "count": %s,\n  "analyzers": %s,\n  "warm_wall_ms": %s,\n  "budget_ms": 700\n}\n' \
+	"$(go env GOVERSION)" "$count" "$analyzers" "$best" >"$lintout" || exit 1
+echo "bench.sh: wrote $lintout" >&2

@@ -73,6 +73,24 @@ if want lint; then
 		sh -c 'std=$(./bin/rololint ./... 2>&1 | sed "s#^$(pwd)/##" | grep -E "^[^ ]+\.go:[0-9]+:[0-9]+: " | sort -u); \
 			vet=$(go vet -vettool=bin/rololint ./... 2>&1 | grep -E "^[^ ]+\.go:[0-9]+:[0-9]+: " | grep -v "_test\.go:" | sort -u); \
 			[ "$std" = "$vet" ] || { echo "driver parity broken:" >&2; echo "--- standalone only or both" >&2; echo "$std" >&2; echo "--- vettool (non-test)" >&2; echo "$vet" >&2; exit 1; }'
+	# Parity must also hold for analyzer subsets: the valueflow family
+	# shares one SSA/fact cache per package, so disabling one member must
+	# not change what the others (or the rest of the suite) report, and
+	# the two drivers must still agree finding-for-finding. One pass per
+	# valueflow analyzer, with that analyzer disabled. lintallow is also
+	# left out of these passes: disabling an analyzer makes its waivers
+	# stale by construction, which is noise here, not a parity signal.
+	all_analyzers="simdeterminism telemetryguard simtimeunits errpropagation resourcelifecycle phasepairing statetransition invariantguard guardedby lockcontract gocapture waitpairing lockorder chanmisuse goroleak nilness unitflow taintbounds lintallow"
+	for off in nilness unitflow taintbounds; do
+		flags=""
+		for a in $all_analyzers; do
+			[ "$a" = "$off" ] || [ "$a" = "lintallow" ] || flags="$flags -$a"
+		done
+		stage "driver parity with -$off disabled" \
+			sh -c "std=\$(./bin/rololint $flags ./... 2>&1 | sed \"s#^\$(pwd)/##\" | grep -E '^[^ ]+\.go:[0-9]+:[0-9]+: ' | sort -u); \
+				vet=\$(go vet -vettool=bin/rololint $flags ./... 2>&1 | grep -E '^[^ ]+\.go:[0-9]+:[0-9]+: ' | grep -v '_test\.go:' | sort -u); \
+				[ \"\$std\" = \"\$vet\" ] || { echo 'driver parity broken with -$off disabled:' >&2; echo '--- standalone' >&2; echo \"\$std\" >&2; echo '--- vettool (non-test)' >&2; echo \"\$vet\" >&2; exit 1; }"
+	done
 	# -fix must be a fixed point on the gate-clean tree: it exits 0 and
 	# rewrites nothing (compared by content hash over the tracked .go
 	# files, so a locally dirty tree doesn't false-fail the stage). The
@@ -81,10 +99,29 @@ if want lint; then
 		sh -c 'snap() { git ls-files -z "*.go" | xargs -0 sha256sum | sha256sum; }; \
 			before=$(snap) && ./bin/rololint -fix ./... && after=$(snap) && \
 			{ [ "$before" = "$after" ] || { echo "rololint -fix rewrote files on a clean tree" >&2; exit 1; }; }'
+	# Waiver audit: -allows exits 2 if any //lint:allow directive is
+	# stale (suppresses nothing) or inert (no reason), so dead waivers
+	# cannot linger once the finding they covered is gone.
+	stage "rololint -allows (no stale or inert waivers)" \
+		./bin/rololint -allows ./...
 	# The SARIF report CI uploads as an artifact; also a shape gate, since
 	# -sarif exercises the renderer over the real suite and tree.
 	stage "rololint -sarif bin/rololint.sarif ./..." \
 		./bin/rololint -sarif bin/rololint.sarif ./...
+	# Latency budget: a warm standalone run over the whole module (the
+	# local iteration loop) must stay under 700 ms with all 18 analyzers
+	# plus the waiver audit enabled. The earlier stages have already
+	# warmed the build cache; scripts/bench.sh records the measured
+	# trajectory in BENCH_lint.json.
+	# Best of three runs, so one scheduler hiccup does not fail the gate.
+	stage "rololint warm wall-time budget (<700ms)" \
+		sh -c 'best=""; for i in 1 2 3; do \
+				t0=$(date +%s%N); ./bin/rololint ./... >/dev/null || exit 1; t1=$(date +%s%N); \
+				ms=$(( (t1 - t0) / 1000000 )); \
+				if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi; \
+			done; \
+			echo "warm standalone run: best ${best}ms of 3 (budget 700ms)"; \
+			[ "$best" -lt 700 ] || { echo "rololint warm run exceeded the 700ms budget" >&2; exit 1; }'
 fi
 
 if want test; then
