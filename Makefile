@@ -55,6 +55,7 @@ NIGHTLY_PAIRS ?= 20
 NIGHTLY_JOBS ?= 0
 NIGHTLY_JOURNAL_DIR ?= bin/nightly-journals
 NIGHTLY_JOURNAL_SEGMENT ?= 4194304
+NIGHTLY_FLEET_SHARDS ?= 512
 nightly: build
 	$(GO) build -o bin/roloexp ./cmd/roloexp
 	$(GO) build -o bin/rolostat ./cmd/rolostat
@@ -66,3 +67,10 @@ nightly: build
 		./bin/rolostat -verify "$$d" >/dev/null || exit 1; \
 	done
 	@echo "nightly: all journal manifests verified"
+	$(GO) build -o bin/rolofleet ./cmd/rolofleet
+	@echo "== rolofleet -shards $(NIGHTLY_FLEET_SHARDS) -check (determinism across job counts)"
+	./bin/rolofleet -shards $(NIGHTLY_FLEET_SHARDS) -check -jobs 0 2>/dev/null > bin/fleet-par.txt
+	./bin/rolofleet -shards $(NIGHTLY_FLEET_SHARDS) -check -jobs 1 2>/dev/null > bin/fleet-ser.txt
+	cmp bin/fleet-par.txt bin/fleet-ser.txt
+	@rm -f bin/fleet-par.txt bin/fleet-ser.txt
+	@echo "nightly: fleet report identical at -jobs 0 and -jobs 1"

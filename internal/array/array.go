@@ -24,6 +24,11 @@ type Array struct {
 	Primaries []*disk.Disk
 	Mirrors   []*disk.Disk
 	Extras    []*disk.Disk
+
+	// ios is the array-wide IO free list: DataIO/LogIO/PooledIO draw
+	// from it and the drives recycle completed requests back into it,
+	// so steady-state request submission allocates nothing.
+	ios disk.IOPool
 }
 
 // New builds an array with the given geometry. extras additional disks are
@@ -91,14 +96,28 @@ func SectorRange(off, length int64) (lba, sectors int64) {
 // DataIO builds an IO against a disk's data region.
 func (a *Array) DataIO(off, length int64, write, background bool) *disk.IO {
 	lba, sectors := SectorRange(off, length)
-	return &disk.IO{LBA: lba, Sectors: sectors, Write: write, Background: background}
+	return a.PooledIO(lba, sectors, write, background)
 }
 
 // LogIO builds an IO against a disk's logging region, where off is relative
 // to the region start.
 func (a *Array) LogIO(off, length int64, write, background bool) *disk.IO {
 	lba, sectors := SectorRange(off, length)
-	return &disk.IO{LBA: a.dataRegionSectors() + lba, Sectors: sectors, Write: write, Background: background}
+	return a.PooledIO(a.dataRegionSectors()+lba, sectors, write, background)
+}
+
+// PooledIO builds a raw IO addressed by absolute LBA from the array's IO
+// pool. DataIO and LogIO cover the shared regions; this covers extra
+// disks with their own addressing (GRAID's dedicated log device). The IO
+// recycles into the pool once the drive has run its completion callback,
+// so callers must not retain it past their OnDone.
+func (a *Array) PooledIO(lba, sectors int64, write, background bool) *disk.IO {
+	io := a.ios.Get()
+	io.LBA = lba
+	io.Sectors = sectors
+	io.Write = write
+	io.Background = background
+	return io
 }
 
 // AllDisks returns every disk in the array.

@@ -253,7 +253,8 @@ func (g *GRAID) submitWrite(rec trace.Record, exts []raid.Extent, record func(si
 	// The dedicated log disk is log-only: its whole LBA space is the log,
 	// addressed sequentially from LBA 0.
 	lba, sectors := array.SectorRange(alloc.Offset, alloc.Length)
-	logIO := &disk.IO{LBA: lba, Sectors: sectors, Write: true, OnDone: join.Done}
+	logIO := g.arr.PooledIO(lba, sectors, true, false)
+	logIO.OnDone = join.Done
 	if err := g.logDisk.Submit(logIO); err != nil {
 		return fmt.Errorf("graid: log write: %w", err)
 	}

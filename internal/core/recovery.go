@@ -200,6 +200,7 @@ func (r *RoLo) submitSurviving(ios []targetIO, record func(sim.Time)) error {
 	join := array.NewJoin(live, record)
 	for _, t := range ios {
 		if t.disk.Failed() {
+			t.io.Recycle() // never submitted; return it to the array pool
 			continue
 		}
 		t.io.OnDone = join.Done

@@ -165,6 +165,11 @@ type IO struct {
 
 	submitted  bool
 	enqueuedAt sim.Time
+
+	// pool, when non-nil, is the free list this IO came from; the drive
+	// returns the IO to it after the completion (or drop) callback has
+	// run. See IOPool.
+	pool *IOPool
 }
 
 // Errors returned by Disk operations.
@@ -457,6 +462,7 @@ func (d *Disk) Fail() {
 		if io.OnDone != nil {
 			io.OnDone(now)
 		}
+		io.release()
 	}
 }
 
@@ -593,6 +599,9 @@ func (d *Disk) complete(io *IO, now sim.Time) {
 	if io.OnDone != nil {
 		io.OnDone(now)
 	}
+	// The request's lifetime ends with its callback; a pooled IO goes
+	// back on the free list before the dispatch of the next one.
+	io.release()
 	d.tryDispatch(now)
 }
 

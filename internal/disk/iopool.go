@@ -1,0 +1,60 @@
+package disk
+
+// IOPool is a free list of IO structs keyed by request lifetime: an IO
+// obtained from Get returns to the pool automatically once the drive is
+// done with it — after its completion callback has run, or after the
+// drop-on-failure path has fired it. IOs built with a plain composite
+// literal never enter a pool and keep their ordinary GC lifetime.
+//
+// The pool is deliberately unsynchronized: like the engine, the disks and
+// every controller, it belongs to exactly one simulation goroutine.
+// Each Array owns one pool shared by its disks, which removes the last
+// per-request heap allocation from the submit hot path (the ROADMAP's
+// standing perf guideline; see DESIGN §11).
+type IOPool struct {
+	free []*IO
+}
+
+// Get returns a zeroed IO bound to this pool. The caller fills in the
+// request fields and submits it; the drive recycles it after the
+// completion callback has run, so callers must not retain the pointer
+// past their OnDone.
+func (p *IOPool) Get() *IO {
+	if n := len(p.free); n > 0 {
+		io := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return io
+	}
+	return &IO{pool: p}
+}
+
+// put zeroes the IO and pushes it back on the free list.
+func (p *IOPool) put(io *IO) {
+	*io = IO{pool: p}
+	p.free = append(p.free, io)
+}
+
+// Free reports how many IOs are parked on the free list (test hook).
+func (p *IOPool) Free() int { return len(p.free) }
+
+// release returns a pooled IO to its pool; it is a no-op for IOs built
+// directly. The drive calls it once per request, after the completion
+// (or drop) callback has returned.
+func (io *IO) release() {
+	if io.pool != nil {
+		io.pool.put(io)
+	}
+}
+
+// Recycle returns an unsubmitted pooled IO to its pool (no-op for
+// non-pooled IOs). Controllers use it for IOs they built but then chose
+// not to submit — a target disk turned out to have failed, say. Calling
+// it on an IO that has been submitted but has not completed corrupts the
+// pool; submitted IOs are recycled by the drive itself.
+func (io *IO) Recycle() {
+	if io.submitted {
+		return
+	}
+	io.release()
+}

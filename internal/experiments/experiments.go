@@ -69,6 +69,9 @@ type Options struct {
 	// "no pool": acquire is a no-op and runPar degenerates to a serial
 	// loop.
 	sem chan struct{}
+	// stats, when non-nil, observes slot occupancy (tests attach it to
+	// pin the shared-budget invariant; see slotStats).
+	stats *slotStats
 }
 
 // DefaultOptions returns the default experiment options.

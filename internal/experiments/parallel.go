@@ -57,7 +57,57 @@ func (o Options) acquire() func() {
 		return func() {}
 	}
 	o.sem <- struct{}{}
-	return func() { <-o.sem }
+	if o.stats != nil {
+		o.stats.enter()
+	}
+	return func() {
+		if o.stats != nil {
+			o.stats.exit()
+		}
+		<-o.sem
+	}
+}
+
+// slotStats observes pool occupancy. Attached (by tests) via the stats
+// field, it records the high-water mark of simulations simultaneously
+// holding a slot — the oversubscription regression check: every layer
+// above the pool, including a fleet experiment's shards, must draw from
+// the one shared semaphore, so the mark can never exceed the slot count.
+type slotStats struct {
+	mu    sync.Mutex
+	cur   int   //rolosan:guardedby mu
+	max   int   //rolosan:guardedby mu
+	total int64 //rolosan:guardedby mu
+}
+
+func (s *slotStats) enter() {
+	s.mu.Lock()
+	s.cur++
+	s.total++
+	if s.cur > s.max {
+		s.max = s.cur
+	}
+	s.mu.Unlock()
+}
+
+func (s *slotStats) exit() {
+	s.mu.Lock()
+	s.cur--
+	s.mu.Unlock()
+}
+
+// Max returns the occupancy high-water mark.
+func (s *slotStats) Max() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Total returns how many slot acquisitions the pool has served.
+func (s *slotStats) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
 }
 
 // indexedErr carries one runPar result back to the coordinator.

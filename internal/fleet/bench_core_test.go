@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"testing"
+
+	"github.com/rolo-storage/rolo"
+)
+
+// BenchmarkCoreFleetMerge measures the streaming fold of one shard
+// report into a warmed cluster accumulator — the per-shard cost of the
+// merge layer, exercised thousands of times per fleet. Must stay
+// 0 allocs/op: the merge path is what keeps a 10k-shard fleet
+// constant-memory.
+func BenchmarkCoreFleetMerge(b *testing.B) {
+	spec := testSpec(b, 4)
+	reps := make([]rolo.Report, spec.Shards)
+	for i := range reps {
+		rep, err := spec.RunShard(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	c := NewCluster(8)
+	for i := range reps {
+		c.Fold(i, &reps[i]) // warm the histograms to their final span
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fold(spec.Shards+i, &reps[i%len(reps)])
+	}
+}
+
+// BenchmarkCoreFleetEndToEnd runs a small fleet — simulate, merge,
+// report — as the macro benchmark of the sharding layer.
+func BenchmarkCoreFleetEndToEnd(b *testing.B) {
+	spec := testSpec(b, 8)
+	pool := NewPool(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

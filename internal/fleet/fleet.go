@@ -1,0 +1,278 @@
+// Package fleet multiplexes many independent RoLo arrays — one per
+// tenant shard — and folds their reports into a single deterministic
+// cluster report. It is the enterprise-data-center layer over the
+// single-array simulator: a one-line base workload spec expands into
+// thousands of distinct per-tenant workloads (trace.ShardRule), every
+// shard runs a private engine + array + controller (rolo.Run) as a leaf
+// job on a shared worker pool, and a streaming merge layer folds the
+// per-shard reports in shard-index order so the cluster report is
+// byte-identical at any job count (DESIGN §16).
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/rolo-storage/rolo"
+	"github.com/rolo-storage/rolo/internal/telemetry/journal"
+	"github.com/rolo-storage/rolo/internal/trace"
+)
+
+// Spec describes a fleet: how many shards, which schemes they cycle
+// through, the per-shard array geometry, and the base tenant workload
+// with its per-shard derivation rule.
+type Spec struct {
+	// Shards is the number of independent arrays.
+	Shards int
+	// Schemes are cycled across shards: shard i runs Schemes[i%len].
+	Schemes []rolo.Scheme
+	// Pairs, Scale, FreeGiB and StripeKB fix each shard's array geometry
+	// (the same scaling discipline as internal/experiments: capacity,
+	// free space and trace length shrink together).
+	Pairs    int
+	Scale    float64
+	FreeGiB  float64
+	StripeKB int64
+	// Base is the tenant workload template; Rule derives shard i's
+	// variant (distinct seed, IOPS spread).
+	Base trace.Synthetic
+	Rule trace.ShardRule
+	// Check enables the RoloSan sanitizer in every shard.
+	Check bool
+	// WorstK is how many worst shards (by p99 latency) the cluster
+	// report digests. Zero means 8.
+	WorstK int
+
+	// JournalDir, when non-empty, writes one rotated telemetry journal
+	// directory per shard (shard-NNNNN/) through the async pipeline with
+	// the drop backpressure policy — fleet mode favors forward progress
+	// over journal completeness, and the per-shard manifests record the
+	// drop counts.
+	JournalDir          string
+	JournalSegmentBytes int64
+	JournalCompress     bool
+	JournalRetain       int
+}
+
+// DefaultSpec returns a small but representative fleet: 64 shards
+// cycling all five schemes at toy scale under a bursty mixed workload.
+func DefaultSpec() Spec {
+	base, err := trace.ParseSyntheticSpec("iops=60 write=0.9 duration=20s size=16K random=0.7 burst=0.3 seed=1")
+	if err != nil {
+		panic("fleet: default workload spec invalid: " + err.Error()) // programmer error at init
+	}
+	return Spec{
+		Shards:   64,
+		Schemes:  append([]rolo.Scheme(nil), rolo.Schemes...),
+		Pairs:    4,
+		Scale:    0.02,
+		FreeGiB:  8,
+		StripeKB: 64,
+		Base:     base,
+		Rule:     trace.ShardRule{SeedStride: 1, IOPSSpread: 0.5},
+	}
+}
+
+// Validate reports spec errors.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Shards <= 0:
+		return fmt.Errorf("fleet: non-positive shard count %d", s.Shards)
+	case len(s.Schemes) == 0:
+		return fmt.Errorf("fleet: no schemes")
+	case s.Pairs < 2:
+		return fmt.Errorf("fleet: pairs %d < 2", s.Pairs)
+	case s.Scale <= 0 || s.Scale > 1:
+		return fmt.Errorf("fleet: scale %g outside (0,1]", s.Scale)
+	case s.FreeGiB <= 0:
+		return fmt.Errorf("fleet: non-positive free space %g GiB", s.FreeGiB)
+	case s.StripeKB <= 0:
+		return fmt.Errorf("fleet: non-positive stripe unit %d KB", s.StripeKB)
+	case s.Rule.IOPSSpread < 0 || s.Rule.IOPSSpread >= 1:
+		return fmt.Errorf("fleet: IOPS spread %g outside [0,1)", s.Rule.IOPSSpread)
+	case s.WorstK < 0:
+		return fmt.Errorf("fleet: negative worst-K %d", s.WorstK)
+	case (s.JournalCompress || s.JournalRetain != 0 || s.JournalSegmentBytes != 0) && s.JournalDir == "":
+		return fmt.Errorf("fleet: journal options require a journal directory")
+	}
+	for _, sch := range s.Schemes {
+		if _, err := rolo.ParseScheme(sch.String()); err != nil {
+			return err
+		}
+	}
+	return s.Base.Validate()
+}
+
+// worstK returns the effective worst-shard digest size.
+func (s *Spec) worstK() int {
+	if s.WorstK == 0 {
+		return 8
+	}
+	return s.WorstK
+}
+
+// SchemeFor returns the scheme shard i runs.
+func (s *Spec) SchemeFor(shard int) rolo.Scheme {
+	return s.Schemes[shard%len(s.Schemes)]
+}
+
+// ShardConfig builds shard i's array configuration and derived workload.
+func (s *Spec) ShardConfig(shard int) (rolo.Config, trace.Synthetic) {
+	cfg := rolo.DefaultConfig(s.SchemeFor(shard))
+	cfg.Pairs = s.Pairs
+	cfg.StripeUnitBytes = s.StripeKB << 10
+	cfg.Disk.CapacityBytes = scaleBytes(18.4*(1<<30), s.Scale)
+	cfg.FreeBytesPerDisk = scaleBytes(s.FreeGiB*(1<<30), s.Scale)
+	cfg.GRAID.LogCapacityBytes = scaleBytes(16*(1<<30), s.Scale)
+	cfg.Check = s.Check
+	return cfg, s.Rule.Derive(s.Base, shard)
+}
+
+// RunShard simulates shard i to completion and returns its report. It is
+// a pure function of (spec, shard) apart from the optional journal files,
+// so shards can run in any order and on any goroutine.
+func (s *Spec) RunShard(shard int) (rep rolo.Report, err error) {
+	cfg, wl := s.ShardConfig(shard)
+	recs, err := wl.Generate(cfg.VolumeBytes())
+	if err != nil {
+		return rolo.Report{}, fmt.Errorf("fleet: shard %d workload: %w", shard, err)
+	}
+	if s.JournalDir != "" {
+		dir := filepath.Join(s.JournalDir, fmt.Sprintf("shard-%05d", shard))
+		if mkerr := os.MkdirAll(dir, 0o755); mkerr != nil {
+			return rolo.Report{}, mkerr
+		}
+		segment := s.JournalSegmentBytes
+		if segment == 0 {
+			segment = 4 << 20
+		}
+		w, werr := journal.NewRotatingWriter(journal.RotateConfig{
+			Dir:          dir,
+			SegmentBytes: segment,
+			Compress:     s.JournalCompress,
+			Retain:       s.JournalRetain,
+		})
+		if werr != nil {
+			return rolo.Report{}, werr
+		}
+		// Drop policy: a slow journal writer must never stall a fleet of
+		// shards; the manifest records how many events were shed.
+		sink := journal.NewAsyncSink(w, journal.AsyncConfig{Policy: journal.PolicyDrop})
+		defer func() {
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		cfg.Telemetry.Sink = sink
+	}
+	rep, err = rolo.Run(cfg, recs)
+	if err != nil {
+		return rolo.Report{}, fmt.Errorf("fleet: shard %d (%v): %w", shard, cfg.Scheme, err)
+	}
+	return rep, nil
+}
+
+// scaleBytes shrinks a byte quantity by the scale factor, aligned down to
+// 1 MiB (the same rounding the experiments package uses).
+func scaleBytes(b float64, scale float64) int64 {
+	v := int64(b * scale)
+	const align = 1 << 20
+	v -= v % align
+	if v < align {
+		v = align
+	}
+	return v
+}
+
+// ParseSpec reads a fleet spec: one "key value" pair per line, with '#'
+// comments and blank lines ignored. Keys:
+//
+//	shards      N                  shard count
+//	scheme      RoLo-P[,RoLo-E,…]  schemes cycled across shards; "all" = all five
+//	pairs       N                  mirrored pairs per shard
+//	scale       F                  geometry+trace scale in (0,1]
+//	free        F                  per-disk free (logging) GiB before scaling
+//	stripe      N                  stripe unit in KB
+//	seed-stride N                  per-shard seed spacing (default 1)
+//	iops-spread F                  per-shard IOPS spread in [0,1)
+//	worst       N                  worst-shard digest size (default 8)
+//	workload    <spec>             base tenant workload (trace.ParseSyntheticSpec)
+//
+// Unset keys keep DefaultSpec's values. A successful parse always
+// returns a spec that passes Validate.
+func ParseSpec(r io.Reader) (Spec, error) {
+	s := DefaultSpec()
+	sc := bufio.NewScanner(r)
+	line := 0
+	seen := map[string]bool{}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, rest, _ := strings.Cut(text, " ")
+		rest = strings.TrimSpace(rest)
+		if seen[key] {
+			return Spec{}, fmt.Errorf("fleet: spec line %d: duplicate key %q", line, key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "shards":
+			s.Shards, err = strconv.Atoi(rest)
+		case "scheme":
+			s.Schemes, err = ParseSchemeList(rest)
+		case "pairs":
+			s.Pairs, err = strconv.Atoi(rest)
+		case "scale":
+			s.Scale, err = strconv.ParseFloat(rest, 64)
+		case "free":
+			s.FreeGiB, err = strconv.ParseFloat(rest, 64)
+		case "stripe":
+			s.StripeKB, err = strconv.ParseInt(rest, 10, 64)
+		case "seed-stride":
+			s.Rule.SeedStride, err = strconv.ParseInt(rest, 10, 64)
+		case "iops-spread":
+			s.Rule.IOPSSpread, err = strconv.ParseFloat(rest, 64)
+		case "worst":
+			s.WorstK, err = strconv.Atoi(rest)
+		case "workload":
+			s.Base, err = trace.ParseSyntheticSpec(rest)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("fleet: spec line %d (%q): %v", line, key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Spec{}, fmt.Errorf("fleet: reading spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ParseSchemeList resolves a comma-separated scheme list; "all" expands
+// to every scheme in paper order.
+func ParseSchemeList(list string) ([]rolo.Scheme, error) {
+	if list == "all" {
+		return append([]rolo.Scheme(nil), rolo.Schemes...), nil
+	}
+	var out []rolo.Scheme
+	for _, name := range strings.Split(list, ",") {
+		sch, err := rolo.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sch)
+	}
+	return out, nil
+}

@@ -92,6 +92,9 @@ func (r *ResponseStats) Max() sim.Time { return r.all.Max() }
 // over all responses.
 func (r *ResponseStats) Percentile(p float64) float64 { return r.all.Percentile(p) }
 
+// All returns the combined (read+write) statistics.
+func (r *ResponseStats) All() *ClassStats { return &r.all }
+
 // Reads returns the read-class statistics.
 func (r *ResponseStats) Reads() *ClassStats { return &r.read }
 

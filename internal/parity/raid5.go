@@ -14,6 +14,10 @@ type Array struct {
 	Eng   *sim.Engine
 	Geom  Geometry
 	Disks []*disk.Disk
+
+	// ios is the array-wide IO free list; drives recycle completed
+	// requests back into it (see disk.IOPool).
+	ios disk.IOPool
 }
 
 // NewArray builds a RAID5 array; each drive reserves everything past the
@@ -54,18 +58,25 @@ func sectorRange(off, length int64) (lba, sectors int64) {
 // DataIO builds an IO against a disk's data region.
 func (a *Array) DataIO(off, length int64, write, background bool) *disk.IO {
 	lba, sectors := sectorRange(off, length)
-	return &disk.IO{LBA: lba, Sectors: sectors, Write: write, Background: background}
+	return a.pooledIO(lba, sectors, write, background)
 }
 
 // LogIO builds an IO against a disk's logging region.
 func (a *Array) LogIO(off, length int64, write, background bool) *disk.IO {
 	lba, sectors := sectorRange(off, length)
-	return &disk.IO{
-		LBA:        a.Geom.DataBytesPerDisk/disk.SectorSize + lba,
-		Sectors:    sectors,
-		Write:      write,
-		Background: background,
-	}
+	return a.pooledIO(a.Geom.DataBytesPerDisk/disk.SectorSize+lba, sectors, write, background)
+}
+
+// pooledIO draws a request from the array's IO free list; the drive
+// recycles it after the completion callback runs, so callers must not
+// retain the pointer past their OnDone.
+func (a *Array) pooledIO(lba, sectors int64, write, background bool) *disk.IO {
+	io := a.ios.Get()
+	io.LBA = lba
+	io.Sectors = sectors
+	io.Write = write
+	io.Background = background
+	return io
 }
 
 // TotalEnergyJ sums cumulative energy.

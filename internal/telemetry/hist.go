@@ -103,6 +103,48 @@ func (h *Histogram) Quantile(p float64) int64 {
 	return h.max
 }
 
+// Merge adds src's counts into h bucket-by-bucket. Because both
+// histograms share the same exact log-bucket layout, the result is
+// identical to having observed every one of src's samples into h
+// directly: counts, totals and maxima are exact, and sums are exact as
+// long as they stay within float64's integer range (they do for
+// microsecond latencies at any realistic fleet size). src is only read;
+// merging a histogram into itself is not supported. Merge grows h's
+// bucket array at most to src's length, so folding many histograms into
+// one accumulator allocates only until the accumulator has seen the
+// largest bucket index — the steady-state fold is allocation-free.
+func (h *Histogram) Merge(src *Histogram) {
+	if src.total == 0 {
+		return
+	}
+	if len(src.counts) > len(h.counts) {
+		grown := make([]int64, len(src.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range src.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.total += src.total
+	h.sum += src.sum
+	if src.max > h.max {
+		h.max = src.max
+	}
+}
+
+// Reset empties the histogram, keeping the bucket array's capacity so a
+// reused accumulator does not re-grow.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.max = 0
+}
+
 // Buckets invokes fn for every non-empty bucket in increasing value
 // order with the bucket's representative value and count.
 func (h *Histogram) Buckets(fn func(value, count int64)) {

@@ -103,3 +103,73 @@ func TestHistogramBucketsIteration(t *testing.T) {
 		t.Fatalf("bucket counts sum to %d, want 3", total)
 	}
 }
+
+// TestHistogramMergeProperty is the fleet-merge correctness property:
+// merging per-shard histograms must equal the histogram of the
+// concatenated samples — exactly, not approximately. Counts are integer
+// adds and the sums are float64 additions of integer values far below
+// 2^53, so equality is exact in every field and at every quantile.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var merged, direct Histogram
+	for shard := 0; shard < 17; shard++ {
+		var h Histogram
+		n := rng.Intn(3000) // including empty shards
+		for i := 0; i < n; i++ {
+			v := int64(rng.ExpFloat64() * float64(1+rng.Intn(200_000)))
+			h.Observe(v)
+			direct.Observe(v)
+		}
+		merged.Merge(&h)
+	}
+	if merged.Total() != direct.Total() || merged.Sum() != direct.Sum() || merged.Max() != direct.Max() {
+		t.Fatalf("merged total/sum/max = %d/%g/%d, direct = %d/%g/%d",
+			merged.Total(), merged.Sum(), merged.Max(),
+			direct.Total(), direct.Sum(), direct.Max())
+	}
+	for _, p := range []float64{1, 25, 50, 90, 95, 99, 99.9, 100} {
+		if m, d := merged.Quantile(p), direct.Quantile(p); m != d {
+			t.Fatalf("Q%g: merged %d, direct %d", p, m, d)
+		}
+	}
+	type bucket struct{ v, c int64 }
+	var mb, db []bucket
+	merged.Buckets(func(v, c int64) { mb = append(mb, bucket{v, c}) })
+	direct.Buckets(func(v, c int64) { db = append(db, bucket{v, c}) })
+	if len(mb) != len(db) {
+		t.Fatalf("bucket spans differ: %d vs %d", len(mb), len(db))
+	}
+	for i := range mb {
+		if mb[i] != db[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, mb[i], db[i])
+		}
+	}
+}
+
+// TestHistogramMergeSteadyStateAlloc pins the fold hot path: once the
+// destination spans the widest source, further merges allocate nothing.
+func TestHistogramMergeSteadyStateAlloc(t *testing.T) {
+	var src Histogram
+	for v := int64(1); v < 1_000_000; v *= 3 {
+		src.Observe(v)
+	}
+	var dst Histogram
+	dst.Merge(&src) // grow once
+	if n := testing.AllocsPerRun(100, func() { dst.Merge(&src) }); n > 0 {
+		t.Fatalf("steady-state Merge allocates %v, want 0", n)
+	}
+}
+
+// TestHistogramReset pins Reset: the histogram empties but keeps its
+// bucket capacity, so a reused accumulator stays allocation-free.
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(12345)
+	h.Reset()
+	if h.Total() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(50) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if n := testing.AllocsPerRun(10, func() { h.Observe(12345) }); n > 0 {
+		t.Fatalf("Observe after Reset allocates %v, want 0", n)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+// Fleet-scale workload derivation: a single base Synthetic spec expands
+// into thousands of distinct per-tenant workloads through a ShardRule —
+// deterministically, so a fleet run is reproducible from a one-line spec
+// plus the rule parameters (see internal/fleet).
+
+// ShardRule derives a per-shard tenant workload from a base Synthetic.
+// The zero value is the identity rule except for seeding: every shard
+// still gets a distinct seed (stride 1) so tenants never replay the same
+// arrival sequence.
+type ShardRule struct {
+	// SeedStride spaces the per-shard seeds: shard i runs with
+	// base.Seed + SeedStride·i. Zero means 1.
+	SeedStride int64
+	// IOPSSpread scales each shard's arrival rate by a deterministic
+	// per-shard factor drawn uniformly from [1-IOPSSpread, 1+IOPSSpread],
+	// modeling tenants of different intensity around the base rate.
+	// Must be in [0, 1).
+	IOPSSpread float64
+}
+
+// Derive returns the workload for shard index i (i >= 0): the base spec
+// re-seeded by SeedStride and IOPS-scaled by the shard's spread factor.
+// The derivation is a pure function of (base, rule, i) — the same inputs
+// always produce the same tenant, on any host and at any concurrency.
+func (r ShardRule) Derive(base Synthetic, shard int) Synthetic {
+	c := base
+	stride := r.SeedStride
+	if stride == 0 {
+		stride = 1
+	}
+	c.Seed = base.Seed + stride*int64(shard)
+	if r.IOPSSpread > 0 {
+		// A uniform factor in [1-spread, 1+spread] keyed by (base seed,
+		// shard) through a splitmix64 hash: independent of the Go
+		// runtime's rand internals, so the expansion can never drift
+		// across toolchain versions.
+		u := unitFloat(splitmix64(uint64(base.Seed)*0x9e3779b97f4a7c15 + uint64(shard) + 1))
+		c.IOPS = base.IOPS * (1 + r.IOPSSpread*(2*u-1))
+	}
+	return c
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a 64-bit hash to [0,1) with 53-bit resolution.
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rolo-storage/rolo/internal/sim"
+)
+
+func baseSynthetic() Synthetic {
+	return Synthetic{
+		IOPS:        100,
+		WriteRatio:  0.9,
+		Duration:    10 * sim.Second,
+		AvgReqBytes: 16 << 10,
+		RandomFrac:  0.5,
+		Seed:        7,
+	}
+}
+
+// TestShardRuleDeterministic pins the derivation contract: the same
+// (base, rule, shard) always yields the same workload, shards get
+// distinct strided seeds, and the IOPS spread stays inside its band.
+func TestShardRuleDeterministic(t *testing.T) {
+	base := baseSynthetic()
+	rule := ShardRule{SeedStride: 3, IOPSSpread: 0.4}
+	seen := map[int64]bool{}
+	for shard := 0; shard < 200; shard++ {
+		a := rule.Derive(base, shard)
+		b := rule.Derive(base, shard)
+		if a != b {
+			t.Fatalf("shard %d derivation not deterministic: %+v vs %+v", shard, a, b)
+		}
+		if want := base.Seed + 3*int64(shard); a.Seed != want {
+			t.Fatalf("shard %d seed = %d, want %d", shard, a.Seed, want)
+		}
+		if seen[a.Seed] {
+			t.Fatalf("shard %d reuses seed %d", shard, a.Seed)
+		}
+		seen[a.Seed] = true
+		lo, hi := base.IOPS*(1-rule.IOPSSpread), base.IOPS*(1+rule.IOPSSpread)
+		if a.IOPS < lo || a.IOPS > hi {
+			t.Fatalf("shard %d IOPS %g outside [%g, %g]", shard, a.IOPS, lo, hi)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("shard %d derived workload invalid: %v", shard, err)
+		}
+	}
+}
+
+// TestShardRuleZeroValue pins the zero rule: stride defaults to 1 (every
+// shard still gets a distinct seed) and IOPS is untouched.
+func TestShardRuleZeroValue(t *testing.T) {
+	base := baseSynthetic()
+	var rule ShardRule
+	for shard := 0; shard < 5; shard++ {
+		d := rule.Derive(base, shard)
+		if d.Seed != base.Seed+int64(shard) {
+			t.Fatalf("shard %d seed = %d, want stride-1 default", shard, d.Seed)
+		}
+		if d.IOPS != base.IOPS {
+			t.Fatalf("shard %d IOPS changed without spread: %g", shard, d.IOPS)
+		}
+	}
+}
+
+// TestShardRuleSpreadCoverage checks the spread factors actually use the
+// band rather than clustering: across many shards the mean scaling stays
+// near 1 and both halves of the band are populated.
+func TestShardRuleSpreadCoverage(t *testing.T) {
+	base := baseSynthetic()
+	rule := ShardRule{IOPSSpread: 0.5}
+	var sum float64
+	below, above := 0, 0
+	const n = 1000
+	for shard := 0; shard < n; shard++ {
+		f := rule.Derive(base, shard).IOPS / base.IOPS
+		sum += f
+		if f < 1 {
+			below++
+		} else {
+			above++
+		}
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean spread factor %g, want ≈1", mean)
+	}
+	if below < n/4 || above < n/4 {
+		t.Fatalf("spread factors unbalanced: %d below, %d above", below, above)
+	}
+}

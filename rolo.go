@@ -226,6 +226,17 @@ type Report struct {
 	ReadLatency  LatencyBreakdown
 	WriteLatency LatencyBreakdown
 
+	// AllHist, ReadHist and WriteHist are the exact log-bucketed
+	// response-time histograms behind the summary statistics above
+	// (microsecond values, every response counted). They exist so a
+	// fleet layer can merge per-shard latency distributions without
+	// loss (internal/fleet); they are omitted from JSON reports. The
+	// histograms are snapshots: safe to read and merge from, but not
+	// observation targets.
+	AllHist   telemetry.Histogram `json:"-"`
+	ReadHist  telemetry.Histogram `json:"-"`
+	WriteHist telemetry.Histogram `json:"-"`
+
 	// SpinCycles is the array-wide count of disk spin-up events
 	// (Table I's "number of disks spin up/down").
 	SpinCycles int
@@ -453,6 +464,12 @@ func Run(cfg Config, recs []trace.Record) (rep Report, err error) {
 	rep.DrainedAt = res.DrainedAt
 	rep.ReadLatency = breakdown(resp.Reads())
 	rep.WriteLatency = breakdown(resp.Writes())
+	// Snapshot the latency histograms for cluster-level merging. The
+	// copies share bucket arrays with the controller's accumulators,
+	// which see no further observations once the run has drained.
+	rep.AllHist = *resp.All().Histogram()
+	rep.ReadHist = *resp.Reads().Histogram()
+	rep.WriteHist = *resp.Writes().Histogram()
 	rep.StateSeconds = make(map[string]float64)
 	for st, dur := range array.StateDurations(arr.AllDisks()) {
 		rep.StateSeconds[st.String()] = dur.Seconds()

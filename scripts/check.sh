@@ -9,7 +9,8 @@
 #	./scripts/check.sh build lint        # compile + analyzer gates only
 #	./scripts/check.sh race-smoke        # the parallel runner under -race
 #
-# Groups: build, lint, test, race-smoke, bench-smoke, journal-smoke, fuzz.
+# Groups: build, lint, test, race-smoke, bench-smoke, journal-smoke,
+# fleet-smoke, fuzz.
 #
 # Every stage enumerates packages with `./...` patterns, which never
 # descend into testdata: analyzer fixture packages (deliberate
@@ -24,12 +25,12 @@ if ! command -v go >/dev/null 2>&1; then
 	exit 1
 fi
 
-groups="${*:-build lint test race-smoke bench-smoke journal-smoke fuzz}"
+groups="${*:-build lint test race-smoke bench-smoke journal-smoke fleet-smoke fuzz}"
 for g in $groups; do
 	case "$g" in
-	build | lint | test | race-smoke | bench-smoke | journal-smoke | fuzz) ;;
+	build | lint | test | race-smoke | bench-smoke | journal-smoke | fleet-smoke | fuzz) ;;
 	*)
-		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke bench-smoke journal-smoke fuzz)" >&2
+		echo "check.sh: unknown stage group \"$g\" (have: build lint test race-smoke bench-smoke journal-smoke fleet-smoke fuzz)" >&2
 		exit 2
 		;;
 	esac
@@ -109,19 +110,21 @@ if want lint; then
 	stage "rololint -sarif bin/rololint.sarif ./..." \
 		./bin/rololint -sarif bin/rololint.sarif ./...
 	# Latency budget: a warm standalone run over the whole module (the
-	# local iteration loop) must stay under 700 ms with all 18 analyzers
-	# plus the waiver audit enabled. The earlier stages have already
-	# warmed the build cache; scripts/bench.sh records the measured
-	# trajectory in BENCH_lint.json.
+	# local iteration loop) must stay under 850 ms with all 18 analyzers
+	# plus the waiver audit enabled. The budget moves with the tree —
+	# raised from 700 ms when the fleet layer added two packages — so it
+	# catches lint regressions, not module growth. The earlier stages have
+	# already warmed the build cache; scripts/bench.sh records the
+	# measured trajectory in BENCH_lint.json.
 	# Best of three runs, so one scheduler hiccup does not fail the gate.
-	stage "rololint warm wall-time budget (<700ms)" \
+	stage "rololint warm wall-time budget (<850ms)" \
 		sh -c 'best=""; for i in 1 2 3; do \
 				t0=$(date +%s%N); ./bin/rololint ./... >/dev/null || exit 1; t1=$(date +%s%N); \
 				ms=$(( (t1 - t0) / 1000000 )); \
 				if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best=$ms; fi; \
 			done; \
-			echo "warm standalone run: best ${best}ms of 3 (budget 700ms)"; \
-			[ "$best" -lt 700 ] || { echo "rololint warm run exceeded the 700ms budget" >&2; exit 1; }'
+			echo "warm standalone run: best ${best}ms of 3 (budget 850ms)"; \
+			[ "$best" -lt 850 ] || { echo "rololint warm run exceeded the 850ms budget" >&2; exit 1; }'
 fi
 
 if want test; then
@@ -144,7 +147,8 @@ fi
 if want bench-smoke; then
 	stage "bench smoke: go test -bench=Core -benchtime=1x" \
 		go test -run '^$' -bench 'Core' -benchtime 1x \
-		./internal/sim/ ./internal/intervals/ ./internal/metrics/ ./internal/telemetry/
+		./internal/sim/ ./internal/intervals/ ./internal/metrics/ ./internal/telemetry/ \
+		./internal/disk/ ./internal/fleet/
 fi
 
 # Journal smoke: a race-built rolosim writes a rotated, compressed journal
@@ -160,6 +164,18 @@ if want journal-smoke; then
 			-journal bin/journal-smoke -journal-segment 65536 -journal-compress >/dev/null'
 	stage "rolostat -verify (manifest integrity)" \
 		sh -c './bin/rolostat -verify bin/journal-smoke >/dev/null && rm -rf bin/journal-smoke'
+fi
+
+# Fleet smoke: a race-built rolofleet runs a sharded cluster with the
+# sanitizer on, once serial and once on four jobs, and the two reports
+# must hash identically — the end-to-end check of the deterministic
+# streaming merge (DESIGN §16) under real goroutine interleavings.
+if want fleet-smoke; then
+	stage "build rolofleet (-race)" go build -race -o bin/rolofleet.race ./cmd/rolofleet
+	stage "rolofleet -shards 32 -check: identical output at -jobs 1 and -jobs 4" \
+		sh -c 'par=$(./bin/rolofleet.race -shards 32 -scale 0.01 -check -jobs 4 2>/dev/null | sha256sum) && \
+			ser=$(./bin/rolofleet.race -shards 32 -scale 0.01 -check -jobs 1 2>/dev/null | sha256sum) && \
+			{ [ "$par" = "$ser" ] || { echo "fleet report depends on -jobs: $par vs $ser" >&2; exit 1; }; }'
 fi
 
 # Fuzz smoke: a few seconds per target catches parser regressions on the
